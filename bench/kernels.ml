@@ -1,0 +1,73 @@
+(* Bechamel micro-benchmarks of the library's hot kernels: Dijkstra, full
+   routing-state computation, a complete DTR cost evaluation, and the
+   incremental single-failure sweep.  These are the operations whose counts
+   determine every experiment's wall-clock (Section IV-E2). *)
+
+open Bechamel
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+
+let tests () =
+  let rng = Rng.create 99 in
+  let scenario =
+    Scenario.random_instance ~params:Scenario.quick_params ~nodes:30 ~degree:6. rng
+      Gen.Rand_topo
+  in
+  let g = scenario.Scenario.graph in
+  let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
+  let failures = Failure.all_single_arcs g in
+  let dijkstra =
+    Test.make ~name:"dijkstra (30n/180a, one dest)"
+      (Staged.stage (fun () ->
+           Dtr_spf.Dijkstra.to_destination g ~weights:w.Weights.wd ~dest:0 ()))
+  in
+  let routing =
+    Test.make ~name:"routing state (all dests, one class)"
+      (Staged.stage (fun () -> Dtr_spf.Routing.compute g ~weights:w.Weights.wd ()))
+  in
+  let eval =
+    Test.make ~name:"full DTR evaluation (both classes)"
+      (Staged.stage (fun () -> Eval.cost scenario w))
+  in
+  let sweep =
+    Test.make ~name:"incremental sweep (180 arc failures)"
+      (Staged.stage (fun () -> Eval.sweep scenario w failures))
+  in
+  Test.make_grouped ~name:"kernels" [ dijkstra; routing; eval; sweep ]
+
+let run () =
+  Harness.section "Kernel micro-benchmarks (bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (tests ()) in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let t =
+    Dtr_util.Table.create ~title:"estimated time per call"
+      ~columns:[ "kernel"; "time" ]
+  in
+  let pretty ns =
+    if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, ns) -> Dtr_util.Table.add_row t [ name; pretty ns ])
+    (List.sort compare !rows);
+  Dtr_util.Table.print t

@@ -1,0 +1,316 @@
+(* dtr-opt: command-line driver for robust DTR optimization.
+
+   Subcommands:
+     generate   synthesize a topology (+ calibrated traffic) and write them out
+     optimize   run the two-phase heuristic on a generated or loaded instance
+     evaluate   price a saved weight setting under normal and failure conditions
+
+   Running without a subcommand behaves like `optimize` on a generated
+   instance and prints a solution report. *)
+
+module Rng = Dtr_util.Rng
+module Table = Dtr_util.Table
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Matrix = Dtr_traffic.Matrix
+module Scenario = Dtr_core.Scenario
+module Optimizer = Dtr_core.Optimizer
+module Metrics = Dtr_core.Metrics
+module Lexico = Dtr_cost.Lexico
+
+(* ------------------------------------------------------------------ *)
+(* Converters and shared options                                       *)
+(* ------------------------------------------------------------------ *)
+
+let topo_conv =
+  let parse = function
+    | "rand" -> Ok Gen.Rand_topo
+    | "near" -> Ok Gen.Near_topo
+    | "pl" -> Ok Gen.Pl_topo
+    | "isp" -> Ok Gen.Isp
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S (rand|near|pl|isp)" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Gen.kind_name k) in
+  Cmdliner.Arg.conv (parse, print)
+
+let selector_conv =
+  let parse = function
+    | "ours" -> Ok Optimizer.Ours
+    | "full" -> Ok Optimizer.Full
+    | "random" -> Ok Optimizer.Random_selection
+    | "load" -> Ok Optimizer.Load_based
+    | "fluctuation" -> Ok Optimizer.Fluctuation_based
+    | s -> Error (`Msg (Printf.sprintf "unknown selector %S" s))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<selector>" in
+  Cmdliner.Arg.conv (parse, print)
+
+open Cmdliner
+
+let topo =
+  Arg.(value & opt topo_conv Gen.Rand_topo & info [ "t"; "topology" ] ~docv:"KIND"
+         ~doc:"Topology family: rand, near, pl or isp.")
+
+let nodes =
+  Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~docv:"N"
+         ~doc:"Number of nodes (ignored for isp).")
+
+let degree =
+  Arg.(value & opt float 5. & info [ "d"; "degree" ] ~docv:"D"
+         ~doc:"Mean undirected node degree (ignored for isp).")
+
+let avg_util =
+  Arg.(value & opt float 0.43 & info [ "u"; "avg-util" ] ~docv:"U"
+         ~doc:"Target average link utilization under hop-count routing.")
+
+let seed =
+  Arg.(value & opt int 2008 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let theta =
+  Arg.(value & opt float 25. & info [ "theta" ] ~docv:"MS"
+         ~doc:"SLA end-to-end delay bound in milliseconds.")
+
+let topology_file =
+  Arg.(value & opt (some string) None & info [ "topology-file" ] ~docv:"PATH"
+         ~doc:"Load the topology from a dtr topology file instead of generating one.")
+
+let traffic_file =
+  Arg.(value & opt (some string) None & info [ "traffic-file" ] ~docv:"PATH"
+         ~doc:"Load the two-class traffic matrices from a dtr traffic file.")
+
+(* ------------------------------------------------------------------ *)
+(* Instance assembly                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_params theta_ms paper_scale =
+  let params = if paper_scale then Scenario.paper_params else Scenario.quick_params in
+  { params with Scenario.sla = Dtr_cost.Sla.with_theta (theta_ms /. 1000.) }
+
+(* An instance comes either from files or from the generators. *)
+let build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
+    ~traffic_file =
+  let rng = Rng.create seed in
+  let graph =
+    match topology_file with
+    | Some path -> Dtr_io.Graph_io.load ~path
+    | None -> Gen.generate rng topo ~nodes ~degree
+  in
+  let rd, rt =
+    match traffic_file with
+    | Some path -> begin
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            Dtr_io.Matrix_io.pair_of_string
+              (really_input_string ic (in_channel_length ic)))
+      end
+    | None ->
+        let rd, rt = Dtr_traffic.Gravity.pair rng ~nodes:(Graph.num_nodes graph) ~total:1000. in
+        Dtr_traffic.Scaling.calibrate graph ~rd ~rt
+          (Dtr_traffic.Scaling.Avg_utilization avg_util)
+  in
+  Scenario.make ~graph ~rd ~rt ~params
+
+let report_instance scenario =
+  Format.printf "%a@." Graph.pp_summary scenario.Scenario.graph;
+  Format.printf "traffic: %.0f Mb/s delay-sensitive, %.0f Mb/s throughput-sensitive@."
+    (Matrix.total scenario.Scenario.rd)
+    (Matrix.total scenario.Scenario.rt)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_generate topo nodes degree avg_util seed out_topology out_traffic out_dot =
+  let params = build_params 25. false in
+  let scenario =
+    build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file:None
+      ~traffic_file:None
+  in
+  report_instance scenario;
+  (match out_topology with
+  | Some path ->
+      Dtr_io.Graph_io.save scenario.Scenario.graph ~path;
+      Format.printf "topology written to %s@." path
+  | None -> ());
+  (match out_traffic with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc
+            (Dtr_io.Matrix_io.pair_to_string ~rd:scenario.Scenario.rd
+               ~rt:scenario.Scenario.rt));
+      Format.printf "traffic written to %s@." path
+  | None -> ());
+  match out_dot with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Dtr_io.Graph_io.to_dot scenario.Scenario.graph));
+      Format.printf "DOT written to %s@." path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_failure_comparison scenario ~regular ~robust =
+  let failures = Failure.all_single_arcs scenario.Scenario.graph in
+  let reg = Metrics.summarize_failures scenario regular failures in
+  let rob = Metrics.summarize_failures scenario robust failures in
+  let t =
+    Table.create ~title:"SLA violations over all single link failures"
+      ~columns:[ "routing"; "average"; "top-10%"; "Phi_fail" ]
+  in
+  Table.add_row t
+    [ "regular"; Table.cell_f reg.Metrics.avg; Table.cell_f reg.Metrics.top10;
+      Table.cell_f reg.Metrics.phi_total ];
+  Table.add_row t
+    [ "robust"; Table.cell_f rob.Metrics.avg; Table.cell_f rob.Metrics.top10;
+      Table.cell_f rob.Metrics.phi_total ];
+  Table.print t
+
+let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
+    topology_file traffic_file out_weights verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let params = build_params theta_ms paper_scale in
+  let scenario =
+    build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
+      ~traffic_file
+  in
+  report_instance scenario;
+  let rng = Rng.create (seed + 1) in
+  let solution = Optimizer.optimize ~rng ~selector ~fraction scenario in
+  Format.printf "@.phase 1 (regular optimization): %.1fs, K = %a@."
+    solution.Optimizer.phase1_seconds Lexico.pp solution.Optimizer.regular_cost;
+  Format.printf "phase 2 (robust optimization):  %.1fs, K_normal = %a@."
+    solution.Optimizer.phase2_seconds Lexico.pp solution.Optimizer.robust_normal_cost;
+  Format.printf "critical set (%d/%d arcs):%s@."
+    (List.length solution.Optimizer.critical)
+    (Scenario.num_arcs scenario)
+    (String.concat ""
+       (List.map (fun a -> Printf.sprintf " %d" a) solution.Optimizer.critical));
+  print_failure_comparison scenario ~regular:solution.Optimizer.regular
+    ~robust:solution.Optimizer.robust;
+  Format.printf
+    "throughput cost accepted under normal conditions: +%.1f%% (chi allows +%.0f%%)@."
+    (Metrics.phi_gap_percent
+       ~reference:solution.Optimizer.regular_cost.Lexico.phi
+       solution.Optimizer.robust_normal_cost.Lexico.phi)
+    (100. *. scenario.Scenario.params.Scenario.chi);
+  match out_weights with
+  | Some path ->
+      Dtr_io.Weights_io.save solution.Optimizer.robust ~path;
+      Format.printf "robust weights written to %s@." path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* evaluate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
+    weights_file node_failures =
+  let params = build_params theta_ms false in
+  let scenario =
+    build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
+      ~traffic_file
+  in
+  report_instance scenario;
+  let w = Dtr_io.Weights_io.load ~path:weights_file in
+  if Dtr_core.Weights.num_arcs w <> Scenario.num_arcs scenario then begin
+    Format.eprintf "weight setting has %d arcs but the topology has %d@."
+      (Dtr_core.Weights.num_arcs w) (Scenario.num_arcs scenario);
+    exit 1
+  end;
+  let detail = Dtr_core.Eval.evaluate scenario w in
+  Format.printf "normal conditions: %a, %d SLA violations@." Lexico.pp
+    detail.Dtr_core.Eval.cost detail.Dtr_core.Eval.violations;
+  let failures =
+    if node_failures then Failure.all_single_nodes scenario.Scenario.graph
+    else Failure.all_single_arcs scenario.Scenario.graph
+  in
+  let s = Metrics.summarize_failures scenario w failures in
+  Format.printf "across %d %s failures: avg %.2f violations, top-10%% %.2f, Phi_fail %.0f@."
+    (List.length failures)
+    (if node_failures then "node" else "link")
+    s.Metrics.avg s.Metrics.top10 s.Metrics.phi_total
+
+(* ------------------------------------------------------------------ *)
+(* Command wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fraction =
+  Arg.(value & opt float 0.15 & info [ "f"; "critical-fraction" ] ~docv:"F"
+         ~doc:"Target |Ec| / |E| for the critical-link selection.")
+
+let selector =
+  Arg.(value & opt selector_conv Optimizer.Ours & info [ "selector" ] ~docv:"S"
+         ~doc:"Critical-link selector: ours, full, random, load or fluctuation.")
+
+let paper_scale =
+  Arg.(value & flag & info [ "paper-scale" ]
+         ~doc:"Use the paper's full search budgets (hours, not seconds).")
+
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let generate_cmd =
+  let out_topology =
+    Arg.(value & opt (some string) None & info [ "o"; "out-topology" ] ~docv:"PATH"
+           ~doc:"Write the topology file here.")
+  in
+  let out_traffic =
+    Arg.(value & opt (some string) None & info [ "out-traffic" ] ~docv:"PATH"
+           ~doc:"Write the two-class traffic file here.")
+  in
+  let out_dot =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH"
+           ~doc:"Write a Graphviz rendering here.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"synthesize an instance and write it to files")
+    Term.(
+      const run_generate $ topo $ nodes $ degree $ avg_util $ seed $ out_topology
+      $ out_traffic $ out_dot)
+
+let optimize_term =
+  let out_weights =
+    Arg.(value & opt (some string) None & info [ "o"; "out-weights" ] ~docv:"PATH"
+           ~doc:"Write the robust weight setting here.")
+  in
+  Term.(
+    const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
+    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ verbose)
+
+let optimize_cmd =
+  Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
+
+let evaluate_cmd =
+  let weights_file =
+    Arg.(required & opt (some string) None & info [ "w"; "weights" ] ~docv:"PATH"
+           ~doc:"Weight setting to evaluate (required).")
+  in
+  let node_failures =
+    Arg.(value & flag & info [ "node-failures" ]
+           ~doc:"Sweep single node failures instead of single link failures.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"price a saved weight setting under failures")
+    Term.(
+      const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
+      $ topology_file $ traffic_file $ weights_file $ node_failures)
+
+let cmd =
+  let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in
+  Cmd.group ~default:optimize_term
+    (Cmd.info "dtr-opt" ~version:"1.0.0" ~doc)
+    [ generate_cmd; optimize_cmd; evaluate_cmd ]
+
+let () = exit (Cmd.eval cmd)

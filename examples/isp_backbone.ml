@@ -1,0 +1,86 @@
+(* ISP backbone failure study: optimize the 16-PoP North-American backbone
+   and report, link by link, what each single link failure does to the two
+   traffic classes with and without robust optimization.
+
+   Run with: dune exec examples/isp_backbone.exe *)
+
+module Rng = Dtr_util.Rng
+module Table = Dtr_util.Table
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Scenario = Dtr_core.Scenario
+module Optimizer = Dtr_core.Optimizer
+module Metrics = Dtr_core.Metrics
+module Eval = Dtr_core.Eval
+module Lexico = Dtr_cost.Lexico
+
+let city id =
+  (* Short PoP codes in the same order as Gen's city table. *)
+  [|
+    "SEA"; "SVL"; "LAX"; "PHX"; "DEN"; "DAL"; "HOU"; "MCI";
+    "MSP"; "CHI"; "IND"; "ATL"; "MIA"; "WAS"; "NYC"; "BOS";
+  |].(id)
+
+let () =
+  let rng = Rng.create 2008 in
+  let graph = Gen.isp_backbone () in
+  Format.printf "%a@.@." Graph.pp_summary graph;
+  let n = Graph.num_nodes graph in
+  let rd, rt = Dtr_traffic.Gravity.pair rng ~nodes:n ~total:1000. in
+  let rd, rt =
+    Dtr_traffic.Scaling.calibrate graph ~rd ~rt (Dtr_traffic.Scaling.Avg_utilization 0.43)
+  in
+  let scenario = Scenario.make ~graph ~rd ~rt ~params:Scenario.quick_params in
+  let solution = Optimizer.optimize ~rng scenario in
+  Format.printf "regular K_normal: %a@." Lexico.pp solution.Optimizer.regular_cost;
+  Format.printf "robust  K_normal: %a@." Lexico.pp solution.Optimizer.robust_normal_cost;
+  Format.printf "critical arcs:";
+  List.iter
+    (fun id ->
+      let a = Graph.arc graph id in
+      Format.printf " %s->%s" (city a.Graph.src) (city a.Graph.dst))
+    solution.Optimizer.critical;
+  Format.printf "@.@.";
+
+  (* Worst failures under each routing, most damaging first. *)
+  let failures = Failure.all_single_arcs graph in
+  let details_reg = Eval.sweep_details scenario solution.Optimizer.regular failures in
+  let details_rob = Eval.sweep_details scenario solution.Optimizer.robust failures in
+  let rows =
+    List.map2
+      (fun (f, dr) dbo ->
+        ( f,
+          dr.Eval.violations,
+          dbo.Eval.violations,
+          dr.Eval.cost.Lexico.phi,
+          dbo.Eval.cost.Lexico.phi ))
+      (List.combine failures details_reg)
+      details_rob
+  in
+  let worst = List.sort (fun (_, a, _, _, _) (_, b, _, _, _) -> compare b a) rows in
+  let table =
+    Table.create ~title:"10 worst single-link failures (by regular-routing SLA violations)"
+      ~columns:
+        [ "failed link"; "violations (regular)"; "violations (robust)";
+          "Phi (regular)"; "Phi (robust)" ]
+  in
+  List.iteri
+    (fun i (f, vr, vb, pr, pb) ->
+      if i < 10 then begin
+        let label =
+          match f with
+          | Failure.Arc id ->
+              let a = Graph.arc graph id in
+              Printf.sprintf "%s->%s" (city a.Graph.src) (city a.Graph.dst)
+          | _ -> Failure.name graph f
+        in
+        Table.add_row table
+          [ label; string_of_int vr; string_of_int vb; Table.cell_f pr; Table.cell_f pb ]
+      end)
+    worst;
+  Table.print table;
+  let sum_reg = Metrics.summarize_failures scenario solution.Optimizer.regular failures in
+  let sum_rob = Metrics.summarize_failures scenario solution.Optimizer.robust failures in
+  Format.printf "average violations over all failures: regular %.2f, robust %.2f@."
+    sum_reg.Metrics.avg sum_rob.Metrics.avg

@@ -1,0 +1,73 @@
+(* Network design workflow: combine the optimizer with the capacity-resizing
+   and probabilistic-failure extensions.
+
+   Scenario: a NearTopo-style access network whose core is congested.  We
+   (1) quantify the damage, (2) resize the congested core links (Section V-B
+   of the paper), (3) re-optimize, and (4) check the final design against a
+   length-proportional probabilistic failure model — long-haul links fail
+   more often, so the expected-violations metric weights them accordingly.
+
+   Run with: dune exec examples/network_design.exe *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Scenario = Dtr_core.Scenario
+module Optimizer = Dtr_core.Optimizer
+module Metrics = Dtr_core.Metrics
+module Resize = Dtr_core.Resize
+module Prob_failure = Dtr_core.Prob_failure
+module Lexico = Dtr_cost.Lexico
+
+let () =
+  let rng = Rng.create 1311 in
+  let scenario =
+    Scenario.random_instance ~params:Scenario.quick_params ~nodes:14 ~degree:4.
+      ~avg_util:0.5 rng Gen.Near_topo
+  in
+  Format.printf "%a@.@." Graph.pp_summary scenario.Scenario.graph;
+
+  (* 1. the congested baseline *)
+  let s = Optimizer.optimize ~rng scenario in
+  let failures = Failure.all_single_arcs scenario.Scenario.graph in
+  let before = Metrics.summarize_failures scenario s.Optimizer.robust failures in
+  Format.printf "before resizing: max utilization %.2f, avg violations %.2f@."
+    (Metrics.max_utilization scenario s.Optimizer.regular)
+    before.Metrics.avg;
+
+  (* 2. resize whatever the regular routing congests beyond 90%% *)
+  let scenario', report = Resize.resize_congested scenario s.Optimizer.regular in
+  Format.printf "resized %d links (+%.0f Mb/s):@."
+    (List.length report.Resize.upgrades)
+    report.Resize.added_capacity;
+  List.iter
+    (fun u ->
+      let a = Graph.arc scenario.Scenario.graph u.Resize.arc in
+      Format.printf "  link %d<->%d: %.0f -> %.0f Mb/s@." a.Graph.src a.Graph.dst
+        u.Resize.old_capacity u.Resize.new_capacity)
+    report.Resize.upgrades;
+
+  (* 3. re-optimize on the upgraded network *)
+  let s' = Optimizer.optimize ~rng scenario' in
+  let failures' = Failure.all_single_arcs scenario'.Scenario.graph in
+  let after = Metrics.summarize_failures scenario' s'.Optimizer.robust failures' in
+  Format.printf "@.after resizing: max utilization %.2f, avg violations %.2f@."
+    (Metrics.max_utilization scenario' s'.Optimizer.regular)
+    after.Metrics.avg;
+
+  (* 4. probabilistic stress: long links fail proportionally more often *)
+  let model = Prob_failure.length_proportional scenario'.Scenario.graph in
+  let prob_out, critical =
+    Prob_failure.robust ~rng scenario' ~phase1:s'.Optimizer.phase1 model ()
+  in
+  Format.printf "@.probability-aware critical set (%d arcs):%s@."
+    (List.length critical)
+    (String.concat "" (List.map (fun a -> Printf.sprintf " %d" a) critical));
+  let expected name w =
+    Format.printf "  %-24s expected violations per failure draw: %.3f@." name
+      (Prob_failure.expected_violations scenario' w model)
+  in
+  expected "regular" s'.Optimizer.regular;
+  expected "uniform robust" s'.Optimizer.robust;
+  expected "probability-aware" prob_out.Dtr_core.Phase2.robust

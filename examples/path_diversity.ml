@@ -1,0 +1,48 @@
+(* Path diversity analysis: why robust optimization helps some topologies
+   much more than others.
+
+   Section V-B of the paper traces the benefits of robust optimization to
+   the number of alternative paths the optimizer can explore: RandTopo
+   spreads post-failure load over many alternatives, while NearTopo funnels
+   everything through a small core.  This example puts numbers on that
+   intuition using arc-disjoint path counts (unit-capacity max-flow).
+
+   Run with: dune exec examples/path_diversity.exe *)
+
+module Rng = Dtr_util.Rng
+module Table = Dtr_util.Table
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Net_stats = Dtr_topology.Net_stats
+
+let () =
+  let table =
+    Table.create ~title:"topology statistics (16 nodes, mean degree 5, same seed)"
+      ~columns:
+        [ "topology"; "arcs"; "min/max degree"; "hop diameter"; "prop diameter (ms)";
+          "mean path diversity" ]
+  in
+  let families =
+    [ (Gen.Rand_topo, "RandTopo"); (Gen.Near_topo, "NearTopo");
+      (Gen.Pl_topo, "PLTopo"); (Gen.Isp, "ISP (16 nodes)") ]
+  in
+  List.iter
+    (fun (kind, name) ->
+      let g = Gen.generate (Rng.create 77) kind ~nodes:16 ~degree:5. in
+      let d = Net_stats.degrees g in
+      Table.add_row table
+        [
+          name;
+          string_of_int (Graph.num_arcs g);
+          Printf.sprintf "%d/%d" d.Net_stats.min_degree d.Net_stats.max_degree;
+          string_of_int (Net_stats.hop_diameter g);
+          Printf.sprintf "%.1f" (Net_stats.prop_diameter g *. 1000.);
+          Printf.sprintf "%.2f" (Net_stats.mean_path_diversity g);
+        ])
+    families;
+  Table.print table;
+  print_endline
+    "The paper's reading: the robust-vs-regular gap tracks mean path diversity -\n\
+     RandTopo (high diversity) gains the most from robust optimization, NearTopo\n\
+     (low diversity through its core) the least.  Compare with `dune exec\n\
+     bench/main.exe -- table2`."

@@ -1,0 +1,89 @@
+module Rng = Dtr_util.Rng
+module Lexico = Dtr_cost.Lexico
+
+type config = {
+  wmax : int;
+  initial_temperature : float;
+  cooling : float;
+  moves_per_stage : int;
+  min_temperature : float;
+  lambda_weight : float;
+}
+
+let default_config ~wmax =
+  {
+    wmax;
+    initial_temperature = 1000.;
+    cooling = 0.92;
+    moves_per_stage = 200;
+    min_temperature = 0.1;
+    lambda_weight = 1e4;
+  }
+
+type result = {
+  best : Weights.t;
+  best_cost : Lexico.t;
+  proposals : int;
+  accepted : int;
+  uphill : int;
+}
+
+let validate config =
+  if config.wmax < 2 then invalid_arg "Annealing: wmax must be >= 2";
+  if config.cooling <= 0. || config.cooling >= 1. then
+    invalid_arg "Annealing: cooling outside (0, 1)";
+  if config.initial_temperature <= config.min_temperature then
+    invalid_arg "Annealing: initial temperature below the floor";
+  if config.moves_per_stage < 1 then invalid_arg "Annealing: moves_per_stage < 1";
+  if config.min_temperature <= 0. then invalid_arg "Annealing: min_temperature <= 0";
+  if config.lambda_weight <= 0. then invalid_arg "Annealing: lambda_weight <= 0"
+
+let energy config cost =
+  (config.lambda_weight *. cost.Lexico.lambda) +. cost.Lexico.phi
+
+let minimize ~rng ~eval ~init config =
+  validate config;
+  let current = Weights.copy init in
+  let current_cost =
+    match eval current with
+    | Some c -> ref c
+    | None -> invalid_arg "Annealing: infeasible starting point"
+  in
+  let num_arcs = Weights.num_arcs current in
+  let best = ref (Weights.copy current) and best_cost = ref !current_cost in
+  let proposals = ref 0 and accepted = ref 0 and uphill = ref 0 in
+  let temperature = ref config.initial_temperature in
+  while !temperature >= config.min_temperature do
+    for _ = 1 to config.moves_per_stage do
+      incr proposals;
+      let arc = Rng.int rng num_arcs in
+      let saved = Weights.save_arc current arc in
+      Weights.perturb_arc rng current ~arc ~wmax:config.wmax;
+      match eval current with
+      | None -> Weights.restore_arc current saved
+      | Some cost ->
+          let delta = energy config cost -. energy config !current_cost in
+          let take =
+            if delta <= 0. then true
+            else Rng.float rng 1. < exp (-.delta /. !temperature)
+          in
+          if take then begin
+            incr accepted;
+            if delta > 0. then incr uphill;
+            current_cost := cost;
+            if Lexico.is_better cost ~than:!best_cost then begin
+              best := Weights.copy current;
+              best_cost := cost
+            end
+          end
+          else Weights.restore_arc current saved
+    done;
+    temperature := !temperature *. config.cooling
+  done;
+  {
+    best = !best;
+    best_cost = !best_cost;
+    proposals = !proposals;
+    accepted = !accepted;
+    uphill = !uphill;
+  }

@@ -1,0 +1,68 @@
+module Rng = Dtr_util.Rng
+module Lexico = Dtr_cost.Lexico
+
+let check_n ~num_arcs ~n =
+  if n < 1 || n > num_arcs then invalid_arg "Baselines: bad critical-set size"
+
+let select_random rng ~num_arcs ~n =
+  check_n ~num_arcs ~n;
+  let picked = Rng.sample_without_replacement rng n num_arcs in
+  List.sort compare (Array.to_list picked)
+
+let top_n_by scores n =
+  let ids = Criticality.ranking scores in
+  List.sort compare (Array.to_list (Array.sub ids 0 n))
+
+let select_load_based (scenario : Scenario.t) ~(phase1 : Phase1.output) ~n =
+  let num_arcs = Scenario.num_arcs scenario in
+  check_n ~num_arcs ~n;
+  let detail = Eval.evaluate scenario phase1.Phase1.best in
+  let g = scenario.Scenario.graph in
+  let utilization =
+    Array.map
+      (fun a -> detail.Eval.loads.(a.Dtr_topology.Graph.id) /. a.Dtr_topology.Graph.capacity)
+      (Dtr_topology.Graph.arcs g)
+  in
+  top_n_by utilization n
+
+(* Count transitions between the good and bad performance regions along one
+   sample sequence; samples in the middle band keep the previous region. *)
+let crossings samples ~good_below ~bad_above =
+  let region v = if v <= good_below then `Good else if v >= bad_above then `Bad else `Mid in
+  let count = ref 0 and current = ref `Mid in
+  Array.iter
+    (fun v ->
+      match (region v, !current) with
+      | `Good, `Bad | `Bad, `Good -> begin
+          incr count;
+          current := region v
+        end
+      | `Good, _ -> current := `Good
+      | `Bad, _ -> current := `Bad
+      | `Mid, _ -> ())
+    samples;
+  !count
+
+let select_fluctuation (scenario : Scenario.t) ~(phase1 : Phase1.output) ~n =
+  let num_arcs = Scenario.num_arcs scenario in
+  check_n ~num_arcs ~n;
+  let p = scenario.Scenario.params in
+  let best = phase1.Phase1.best_cost in
+  let b1 = p.Scenario.sla.Dtr_cost.Sla.b1 in
+  let sampler = phase1.Phase1.sampler in
+  let score arc =
+    let lambda_score =
+      crossings
+        (Sampler.lambda_samples sampler arc)
+        ~good_below:(best.Lexico.lambda +. (0.5 *. b1))
+        ~bad_above:(best.Lexico.lambda +. (2. *. b1))
+    in
+    let phi_score =
+      crossings
+        (Sampler.phi_samples sampler arc)
+        ~good_below:(1.05 *. best.Lexico.phi)
+        ~bad_above:(1.3 *. best.Lexico.phi)
+    in
+    float_of_int (lambda_score + phi_score)
+  in
+  top_n_by (Array.init num_arcs score) n

@@ -1,0 +1,32 @@
+(** Prior-work critical-link selectors and reference strategies.
+
+    Section IV-C reviews three earlier ways of picking critical links for
+    single-routing robust optimization, all of which the paper found wanting
+    under DTR; they are implemented here as baselines for the ablation
+    benchmarks:
+
+    - {b random selection} (Yuan 2003): a uniform random subset;
+    - {b load-based selection} (Fortz & Thorup 2003): the arcs with the
+      highest utilization under the regular-optimization solution;
+    - {b fluctuation-based selection} (Sridharan & Guérin 2005): arcs whose
+      failure-like cost samples most often cross between a "good" and a
+      "bad" performance region.  The original uses two fixed thresholds per
+      instance; our reconstruction sets, per class, the good region below
+      [best + 0.5 * B1] (resp. [1.05 * Phi_best]) and the bad region above
+      [best + 2 * B1] (resp. [1.3 * Phi_best]) and scores an arc by the
+      number of region transitions along its sample sequence, summed over
+      classes.
+
+    The {b full search} (critical set = all arcs) is available through
+    {!Optimizer} by passing the [Full] selector. *)
+
+val select_random : Dtr_util.Rng.t -> num_arcs:int -> n:int -> int list
+(** @raise Invalid_argument if [n] is outside [1, num_arcs]. *)
+
+val select_load_based : Scenario.t -> phase1:Phase1.output -> n:int -> int list
+(** Utilization is measured on the Phase-1 best setting under normal
+    conditions; ties broken by arc id. *)
+
+val select_fluctuation : Scenario.t -> phase1:Phase1.output -> n:int -> int list
+(** Threshold-crossing score computed from the Phase-1 sampler (see above);
+    arcs without samples score zero. *)

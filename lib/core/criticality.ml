@@ -1,0 +1,153 @@
+module Stat = Dtr_util.Stat
+
+type t = {
+  rho_lambda : float array;
+  rho_phi : float array;
+  tail_lambda : float array;
+  tail_phi : float array;
+  norm_lambda : float array;
+  norm_phi : float array;
+}
+
+let of_samples ~left_tail ~lambda ~phi =
+  if left_tail <= 0. || left_tail > 1. then
+    invalid_arg "Criticality: left_tail outside (0, 1]";
+  if Array.length lambda <> Array.length phi then
+    invalid_arg "Criticality: per-class sample arrays differ in length";
+  let m = Array.length lambda in
+  let rho_lambda = Array.make m 0. and rho_phi = Array.make m 0. in
+  let tail_lambda = Array.make m 0. and tail_phi = Array.make m 0. in
+  for arc = 0 to m - 1 do
+    let ls = lambda.(arc) and ps = phi.(arc) in
+    if Array.length ls > 0 then begin
+      let tail = Stat.left_tail_mean ls ~fraction:left_tail in
+      tail_lambda.(arc) <- tail;
+      rho_lambda.(arc) <- Stat.mean ls -. tail
+    end;
+    if Array.length ps > 0 then begin
+      let tail = Stat.left_tail_mean ps ~fraction:left_tail in
+      tail_phi.(arc) <- tail;
+      rho_phi.(arc) <- Stat.mean ps -. tail
+    end
+  done;
+  (* The normalisation denominators are the summed left-tail costs: lower
+     bounds on the compounded failure cost any routing can reach.  A zero sum
+     (e.g. no SLA violation ever observed) falls back to a tiny constant;
+     within-class ordering is unaffected. *)
+  let normalise rho tails =
+    let denom = Float.max (Array.fold_left ( +. ) 0. tails) 1e-9 in
+    Array.map (fun r -> r /. denom) rho
+  in
+  {
+    rho_lambda;
+    rho_phi;
+    tail_lambda;
+    tail_phi;
+    norm_lambda = normalise rho_lambda tail_lambda;
+    norm_phi = normalise rho_phi tail_phi;
+  }
+
+let compute ~left_tail sampler =
+  let m = Array.length (Sampler.counts sampler) in
+  let lambda = Array.init m (Sampler.lambda_samples sampler) in
+  let phi = Array.init m (Sampler.phi_samples sampler) in
+  of_samples ~left_tail ~lambda ~phi
+
+let ranking values =
+  let m = Array.length values in
+  let ids = Array.init m (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match Float.compare values.(b) values.(a) with 0 -> compare a b | c -> c)
+    ids;
+  ids
+
+let select t ~n =
+  let m = Array.length t.norm_lambda in
+  if n < 1 || n > m then invalid_arg "Criticality.select: bad target size";
+  let e_lambda = ranking t.norm_lambda and e_phi = ranking t.norm_phi in
+  (* in_sets.(arc): how many of the two (trimmed) lists still contain it. *)
+  let in_sets = Array.make m 0 in
+  Array.iter (fun arc -> in_sets.(arc) <- in_sets.(arc) + 1) e_lambda;
+  Array.iter (fun arc -> in_sets.(arc) <- in_sets.(arc) + 1) e_phi;
+  let union_size = ref m in
+  let drop arc =
+    in_sets.(arc) <- in_sets.(arc) - 1;
+    if in_sets.(arc) = 0 then decr union_size
+  in
+  let n1 = ref m and n2 = ref m in
+  (* Running normalised errors rho_Lambda(E_Lambda,n1) and rho_Phi(E_Phi,n2):
+     the criticality mass outside the kept prefixes. *)
+  let err_lambda = ref 0. and err_phi = ref 0. in
+  while !union_size > n do
+    (* Error each list would carry if trimmed by one more element. *)
+    let next_lambda_error =
+      if !n1 = 0 then Float.infinity
+      else !err_lambda +. t.norm_lambda.(e_lambda.(!n1 - 1))
+    in
+    let next_phi_error =
+      if !n2 = 0 then Float.infinity else !err_phi +. t.norm_phi.(e_phi.(!n2 - 1))
+    in
+    (* Algorithm 1: trim the list whose trimming costs less error (keep the
+       one whose trimming would cost more). *)
+    if next_lambda_error >= next_phi_error && !n2 > 0 then begin
+      decr n2;
+      err_phi := next_phi_error;
+      drop e_phi.(!n2)
+    end
+    else begin
+      decr n1;
+      err_lambda := next_lambda_error;
+      drop e_lambda.(!n1)
+    end
+  done;
+  let result = ref [] in
+  for arc = m - 1 downto 0 do
+    if in_sets.(arc) > 0 then result := arc :: !result
+  done;
+  !result
+
+let positions ranking =
+  let pos = Array.make (Array.length ranking) 0 in
+  Array.iteri (fun rank arc -> pos.(arc) <- rank) ranking;
+  pos
+
+let rank_change_index ~prev ~current =
+  if Array.length prev <> Array.length current then
+    invalid_arg "Criticality.rank_change_index: length mismatch";
+  let p = positions prev and c = positions current in
+  let changes = Array.mapi (fun arc rank -> float_of_int (abs (rank - c.(arc)))) p in
+  let total = Array.fold_left ( +. ) 0. changes in
+  if total = 0. then 0.
+  else
+    (* gamma_l proportional to S_l: S = sum S_l^2 / sum S_l. *)
+    Array.fold_left (fun acc s -> acc +. (s *. s)) 0. changes /. total
+
+module Convergence = struct
+  type tracker = {
+    scenario : Scenario.t;
+    mutable prev_lambda : int array option;
+    mutable prev_phi : int array option;
+    mutable last : t option;
+  }
+
+  let create scenario = { scenario; prev_lambda = None; prev_phi = None; last = None }
+
+  let check tracker sampler =
+    let p = tracker.scenario.Scenario.params in
+    let crit = compute ~left_tail:p.Scenario.left_tail sampler in
+    tracker.last <- Some crit;
+    let r_lambda = ranking crit.norm_lambda and r_phi = ranking crit.norm_phi in
+    let converged =
+      match (tracker.prev_lambda, tracker.prev_phi) with
+      | Some pl, Some pp ->
+          rank_change_index ~prev:pl ~current:r_lambda <= p.Scenario.conv_threshold
+          && rank_change_index ~prev:pp ~current:r_phi <= p.Scenario.conv_threshold
+      | _ -> false
+    in
+    tracker.prev_lambda <- Some r_lambda;
+    tracker.prev_phi <- Some r_phi;
+    converged
+
+  let last tracker = tracker.last
+end

@@ -1,0 +1,75 @@
+(** Link criticality — the paper's central contribution (Section IV-C/D).
+
+    The criticality of arc [l] for a traffic class is the difference between
+    the {e mean} and the {e left-tail mean} (mean of the smallest
+    [left_tail] fraction) of the arc's post-failure cost samples:
+
+    {v
+      rho_Lambda,l = mean (Lambda_fail,l) - left_tail_mean (Lambda_fail,l)   (8)
+      rho_Phi,l    = mean (Phi_fail,l)    - left_tail_mean (Phi_fail,l)      (9)
+    v}
+
+    Intuition: if the arc is {e not} optimized for, the final solution's cost
+    under its failure is essentially a random draw — the mean; if it {e is}
+    optimized for, the search lands in the left tail.  The gap is the
+    expected regret of leaving the arc out.
+
+    Because each arc has one criticality per class, the values are
+    normalised by the summed left-tail costs
+    ([rho-bar = rho / sum_j tail_j] — a lower bound on any routing's
+    compounded failure cost) so the two classes become comparable, and
+    Algorithm 1 trims the two descending rankings to a single critical set of
+    the requested size by always cutting the list whose next element costs
+    the smaller normalised error. *)
+
+type t = {
+  rho_lambda : float array;  (** raw Eq. (8), per arc *)
+  rho_phi : float array;  (** raw Eq. (9), per arc *)
+  tail_lambda : float array;  (** left-tail means (the Lambda-tilde of the paper) *)
+  tail_phi : float array;
+  norm_lambda : float array;  (** normalised rho-bar_Lambda *)
+  norm_phi : float array;  (** normalised rho-bar_Phi *)
+}
+
+val compute : left_tail:float -> Sampler.t -> t
+(** Arcs without samples get zero criticality (Phase 1b exists to prevent
+    that).  @raise Invalid_argument if [left_tail] is outside (0, 1]. *)
+
+val of_samples :
+  left_tail:float ->
+  lambda:float array array ->
+  phi:float array array ->
+  t
+(** Same computation from raw per-arc samples (used by tests and by the
+    baseline selectors). *)
+
+val ranking : float array -> int array
+(** Arc ids sorted by descending value; ties by ascending id (stable across
+    calls, which the convergence index relies on). *)
+
+val select : t -> n:int -> int list
+(** Algorithm 1: the critical set of at most [n] arcs, sorted ascending.
+    @raise Invalid_argument if [n < 1] or exceeds the arc count. *)
+
+val rank_change_index : prev:int array -> current:int array -> float
+(** The paper's convergence index [S]: with [S_l] the absolute rank change
+    of arc [l] between two updates and weights [gamma_l] proportional to
+    [S_l], returns [sum gamma_l * S_l] (0 when nothing moved).
+    @raise Invalid_argument if the two rankings have different lengths. *)
+
+(** Incremental convergence tracking used to decide whether Phase 1b is
+    needed. *)
+module Convergence : sig
+  type tracker
+
+  val create : Scenario.t -> tracker
+
+  val check : tracker -> Sampler.t -> bool
+  (** Recomputes criticality from the sampler, compares rankings with the
+      previous check, and returns whether both classes' indices are at or
+      below the threshold [e].  The first check never converges (there is no
+      previous ranking). *)
+
+  val last : tracker -> t option
+  (** Criticality computed by the most recent [check]. *)
+end

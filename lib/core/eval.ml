@@ -1,0 +1,157 @@
+module Graph = Dtr_topology.Graph
+module Failure = Dtr_topology.Failure
+module Routing = Dtr_spf.Routing
+module Matrix = Dtr_traffic.Matrix
+module Lexico = Dtr_cost.Lexico
+module Sla = Dtr_cost.Sla
+module Delay_model = Dtr_cost.Delay_model
+module Congestion = Dtr_cost.Congestion
+
+type detail = {
+  cost : Lexico.t;
+  violations : int;
+  unreachable_pairs : int;
+  loads : float array;
+  throughput_loads : float array;
+  pair_delays : (int * int * float) array;
+}
+
+(* Cost computation given already-computed per-class routing states. *)
+let assess (scenario : Scenario.t) ~routing_d ~routing_t ~exclude_node ~rd ~rt
+    ~want_pair_delays =
+  let g = scenario.Scenario.graph in
+  let params = scenario.Scenario.params in
+  let num_arcs = Graph.num_arcs g in
+  let throughput_loads = Array.make num_arcs 0. in
+  let (_ : float) =
+    Routing.add_loads routing_t ~demands:(Matrix.dense rt) ?exclude_node
+      ~into:throughput_loads ()
+  in
+  let loads = Array.copy throughput_loads in
+  let (_ : float) =
+    Routing.add_loads routing_d ~demands:(Matrix.dense rd) ?exclude_node ~into:loads ()
+  in
+  let arc_delay = Delay_model.arc_delays params.Scenario.delay g ~loads in
+  (* Lambda: one expected-delay DP per destination that sinks delay traffic. *)
+  let n = Graph.num_nodes g in
+  let excluded v = match exclude_node with None -> false | Some x -> x = v in
+  let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
+  let delays_out = ref [] in
+  let dense_rd = Matrix.dense rd in
+  for dest = 0 to n - 1 do
+    if not (excluded dest) then begin
+      let sinks_delay_traffic = ref false in
+      for src = 0 to n - 1 do
+        if src <> dest && (not (excluded src)) && dense_rd.(src).(dest) > 0. then
+          sinks_delay_traffic := true
+      done;
+      if !sinks_delay_traffic then begin
+        let del = Routing.expected_delays_to routing_d ~arc_delay ~dest in
+        for src = 0 to n - 1 do
+          if src <> dest && (not (excluded src)) && dense_rd.(src).(dest) > 0. then begin
+            let xi = del.(src) in
+            lambda := !lambda +. Sla.pair_penalty params.Scenario.sla xi;
+            if xi = Float.infinity then begin
+              incr unreachable;
+              incr violations
+            end
+            else if Sla.is_violation params.Scenario.sla xi then incr violations;
+            if want_pair_delays then delays_out := (src, dest, xi) :: !delays_out
+          end
+        done
+      end
+    end
+  done;
+  let carries_throughput id = throughput_loads.(id) > 1e-9 in
+  let phi = Congestion.total g ~loads ~carries_throughput in
+  {
+    cost = Lexico.make ~lambda:!lambda ~phi;
+    violations = !violations;
+    unreachable_pairs = !unreachable;
+    loads;
+    throughput_loads;
+    pair_delays = Array.of_list (List.rev !delays_out);
+  }
+
+let failed_arcs_of_mask mask =
+  let acc = ref [] in
+  Array.iteri (fun id dead -> if dead then acc := id :: !acc) mask;
+  !acc
+
+let evaluate (scenario : Scenario.t) ?failure ?rd ?rt ?(want_pair_delays = false) w =
+  let g = scenario.Scenario.graph in
+  let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
+  let rt = match rt with Some m -> m | None -> scenario.Scenario.rt in
+  let disabled, exclude_node =
+    match failure with
+    | None -> (None, None)
+    | Some f -> (Some (Failure.mask g f), Failure.excluded_node f)
+  in
+  let routing_d = Routing.compute g ~weights:(Weights.delay_of w) ?disabled () in
+  let routing_t = Routing.compute g ~weights:(Weights.throughput_of w) ?disabled () in
+  assess scenario ~routing_d ~routing_t ~exclude_node ~rd ~rt ~want_pair_delays
+
+let cost scenario ?failure w = (evaluate scenario ?failure w).cost
+
+(* Failure sweeps compute the no-failure routing once and re-route only the
+   destinations whose ECMP DAG lost an arc (see Routing.with_failed_arcs). *)
+let sweep_details (scenario : Scenario.t) ?rd ?rt w failures =
+  let g = scenario.Scenario.graph in
+  let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
+  let rt = match rt with Some m -> m | None -> scenario.Scenario.rt in
+  let base_d = Routing.compute g ~weights:(Weights.delay_of w) () in
+  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) () in
+  let mask = Array.make (Graph.num_arcs g) false in
+  List.map
+    (fun f ->
+      Failure.set_mask g f mask;
+      let failed = failed_arcs_of_mask mask in
+      let routing_d =
+        Routing.with_failed_arcs base_d ~weights:(Weights.delay_of w) ~disabled:mask ~failed
+      in
+      let routing_t =
+        Routing.with_failed_arcs base_t ~weights:(Weights.throughput_of w) ~disabled:mask
+          ~failed
+      in
+      assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f) ~rd ~rt
+        ~want_pair_delays:false)
+    failures
+
+let sweep scenario w failures =
+  Array.of_list (List.map (fun d -> d.cost) (sweep_details scenario w failures))
+
+let normal_and_sweep (scenario : Scenario.t) w ~failures ~feasible =
+  let g = scenario.Scenario.graph in
+  let rd = scenario.Scenario.rd and rt = scenario.Scenario.rt in
+  let base_d = Routing.compute g ~weights:(Weights.delay_of w) () in
+  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) () in
+  let normal =
+    assess scenario ~routing_d:base_d ~routing_t:base_t ~exclude_node:None ~rd ~rt
+      ~want_pair_delays:false
+  in
+  if not (feasible normal.cost) then (normal.cost, None)
+  else begin
+    let mask = Array.make (Graph.num_arcs g) false in
+    let total = ref Lexico.zero in
+    List.iter
+      (fun f ->
+        Failure.set_mask g f mask;
+        let failed = failed_arcs_of_mask mask in
+        let routing_d =
+          Routing.with_failed_arcs base_d ~weights:(Weights.delay_of w) ~disabled:mask
+            ~failed
+        in
+        let routing_t =
+          Routing.with_failed_arcs base_t ~weights:(Weights.throughput_of w) ~disabled:mask
+            ~failed
+        in
+        let d =
+          assess scenario ~routing_d ~routing_t
+            ~exclude_node:(Failure.excluded_node f) ~rd ~rt ~want_pair_delays:false
+        in
+        total := Lexico.add !total d.cost)
+      failures;
+    (normal.cost, Some !total)
+  end
+
+let compound costs = Array.fold_left Lexico.add Lexico.zero costs

@@ -1,0 +1,78 @@
+(** Evaluation of a DTR weight setting.
+
+    Given a weight setting [W], this module routes both traffic classes with
+    ECMP shortest paths (independently, on their respective logical
+    topologies), sums the two classes' loads on every arc (the paper's shared
+    FIFO assumption), derives per-arc delays with Eq. (1), and produces the
+    global cost [K = <Lambda, Phi>]:
+
+    - [Lambda]: total SLA penalty (Eq. (2)) over all SD pairs carrying
+      delay-sensitive traffic, using the expected end-to-end delay over the
+      ECMP DAG;
+    - [Phi]: Fortz–Thorup congestion cost of the total load, summed over
+      arcs that carry throughput-sensitive traffic.
+
+    A {!Dtr_topology.Failure.t} scenario evaluates the same weight setting on
+    the surviving topology — weights are {e not} re-optimised after a
+    failure, only shortest paths are recomputed, exactly as in IP routing
+    with static weights.  Node scenarios also drop the failed node's sourced
+    and sunk traffic. *)
+
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+type detail = {
+  cost : Lexico.t;
+  violations : int;  (** SD pairs whose delay exceeds the SLA bound *)
+  unreachable_pairs : int;  (** delay-class pairs disconnected by the failure *)
+  loads : float array;  (** total per-arc load (both classes), Mb/s *)
+  throughput_loads : float array;  (** throughput-class component *)
+  pair_delays : (int * int * float) array;
+      (** per delay-class SD pair (src, dst, expected delay in seconds);
+          empty unless requested *)
+}
+
+val evaluate :
+  Scenario.t ->
+  ?failure:Failure.t ->
+  ?rd:Dtr_traffic.Matrix.t ->
+  ?rt:Dtr_traffic.Matrix.t ->
+  ?want_pair_delays:bool ->
+  Weights.t ->
+  detail
+(** Full evaluation.  [rd]/[rt] override the scenario's matrices (used to
+    test a solution against perturbed traffic, Section V-F).
+    @raise Invalid_argument on malformed weights. *)
+
+val cost : Scenario.t -> ?failure:Failure.t -> Weights.t -> Lexico.t
+(** Cost-only wrapper around {!evaluate}. *)
+
+val sweep : Scenario.t -> Weights.t -> Failure.t list -> Lexico.t array
+(** Cost of the setting under each scenario, in order.  Sweeps share the
+    no-failure routing and re-route only the destinations each failure
+    actually affects, so they are much cheaper than repeated {!evaluate}
+    calls. *)
+
+val sweep_details :
+  Scenario.t ->
+  ?rd:Dtr_traffic.Matrix.t ->
+  ?rt:Dtr_traffic.Matrix.t ->
+  Weights.t ->
+  Failure.t list ->
+  detail list
+(** Full per-scenario details of a sweep (without pair delays). *)
+
+val normal_and_sweep :
+  Scenario.t ->
+  Weights.t ->
+  failures:Failure.t list ->
+  feasible:(Lexico.t -> bool) ->
+  Lexico.t * Lexico.t option
+(** Phase-2 fast path: computes the normal cost, applies the caller's
+    feasibility test (Eqs. (5)–(6)), and — only if feasible — compounds the
+    failure sweep, reusing the normal routing state for both steps.
+    Returns [(normal cost, compounded failure cost if feasible)]. *)
+
+val compound : Lexico.t array -> Lexico.t
+(** Componentwise sum over scenarios — [Kfail] of Eq. (4) (or its
+    critical-set restriction, Eq. (7)). *)

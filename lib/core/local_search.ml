@@ -1,0 +1,109 @@
+module Rng = Dtr_util.Rng
+module Lexico = Dtr_cost.Lexico
+
+type observation = {
+  arc : int;
+  weights : Weights.t;
+  cost_before : Lexico.t;
+  cost_after : Lexico.t option;
+  accepted : bool;
+}
+
+type config = {
+  wmax : int;
+  interval : int;
+  rounds : int;
+  c : float;
+  max_rounds : int;
+  max_sweeps : int;
+}
+
+type result = {
+  best : Weights.t;
+  best_cost : Lexico.t;
+  sweeps : int;
+  evals : int;
+  rounds_run : int;
+}
+
+let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
+  if config.interval < 1 || config.rounds < 1 then
+    invalid_arg "Local_search.run: interval and rounds must be positive";
+  let best = ref None in
+  let evals = ref 0 and sweeps = ref 0 in
+  let order = Array.init num_arcs (fun i -> i) in
+  let observe obs = match observer with None -> () | Some f -> f obs in
+  let improved w cost = match on_improvement with None -> () | Some f -> f w cost in
+  let note_best w cost =
+    (* Relative improvement of the global best achieved by this round. *)
+    match !best with
+    | None ->
+        best := Some (Weights.copy w, cost);
+        1.
+    | Some (_, prev) ->
+        if Lexico.is_better cost ~than:prev then begin
+          let gain = Lexico.improvement ~from:prev ~to_:cost in
+          best := Some (Weights.copy w, cost);
+          gain
+        end
+        else 0.
+  in
+  (* One diversification round: local search until [interval] stale sweeps. *)
+  let run_round ~round =
+    let w = Weights.copy (init ~round) in
+    match eval w with
+    | None -> None
+    | Some start_cost ->
+        incr evals;
+        let current = ref start_cost in
+        let stale = ref 0 and round_sweeps = ref 0 in
+        while !stale < config.interval && !round_sweeps < config.max_sweeps do
+          incr sweeps;
+          incr round_sweeps;
+          let sweep_improved = ref false in
+          Rng.shuffle rng order;
+          Array.iter
+            (fun arc ->
+              let saved = Weights.save_arc w arc in
+              Weights.perturb_arc rng w ~arc ~wmax:config.wmax;
+              if saved.Weights.old_wd = w.Weights.wd.(arc) && saved.Weights.old_wt = w.Weights.wt.(arc)
+              then ()
+              else begin
+                let verdict = eval w in
+                incr evals;
+                let accepted =
+                  match verdict with
+                  | Some cost -> Lexico.is_better cost ~than:!current
+                  | None -> false
+                in
+                observe
+                  { arc; weights = w; cost_before = !current; cost_after = verdict; accepted };
+                if accepted then begin
+                  (match verdict with
+                  | Some cost ->
+                      current := cost;
+                      improved w cost
+                  | None -> assert false);
+                  sweep_improved := true
+                end
+                else Weights.restore_arc w saved
+              end)
+            order;
+          if !sweep_improved then stale := 0 else incr stale
+        done;
+        Some (note_best w !current)
+  in
+  let low_streak = ref 0 and rounds_run = ref 0 in
+  let round = ref 0 in
+  while !low_streak < config.rounds && !round < config.max_rounds do
+    (match run_round ~round:!round with
+    | None -> incr low_streak (* unusable start counts as a fruitless round *)
+    | Some gain ->
+        incr rounds_run;
+        if gain < config.c then incr low_streak else low_streak := 0);
+    incr round
+  done;
+  match !best with
+  | None -> invalid_arg "Local_search.run: no feasible starting point"
+  | Some (w, cost) ->
+      { best = w; best_cost = cost; sweeps = !sweeps; evals = !evals; rounds_run = !rounds_run }

@@ -1,0 +1,63 @@
+(** Randomised local search with diversification — the engine of both phases.
+
+    The paper's search (Section IV-A): in each {e sweep}, every arc is
+    visited in random order and both of its weights are randomly redrawn; the
+    move is kept only if it lowers the cost.  If no sweep improves the cost
+    for [interval] consecutive sweeps, the search {e diversifies}: it
+    restarts from a fresh starting point supplied by the caller (random in
+    Phase 1; a recorded constraint-satisfying setting in Phase 2).  The
+    search stops once at least [rounds] consecutive diversifications have
+    each improved the global best by less than the threshold [c].
+
+    The engine is generic over the objective through [eval], which may
+    declare a setting infeasible ([None]) — Phase 2 uses this to enforce the
+    normal-conditions constraints (Eqs. (5)–(6)).  Every attempted move is
+    reported to the [observer]; Phase 1a turns those observations into
+    failure-cost samples. *)
+
+module Lexico = Dtr_cost.Lexico
+
+type observation = {
+  arc : int;  (** arc whose weights were just redrawn *)
+  weights : Weights.t;  (** the full setting with the move applied — do not retain *)
+  cost_before : Lexico.t;  (** cost of the setting the move started from *)
+  cost_after : Lexico.t option;  (** [None] when the move is infeasible *)
+  accepted : bool;
+}
+
+type config = {
+  wmax : int;
+  interval : int;  (** stale sweeps before diversifying *)
+  rounds : int;  (** required consecutive low-improvement diversifications (P) *)
+  c : float;  (** relative improvement threshold (paper: 0.001) *)
+  max_rounds : int;  (** hard cap on diversifications *)
+  max_sweeps : int;
+      (** hard cap on sweeps within one diversification round; bounds the
+          wall-clock of a round even while improvements keep arriving (the
+          paper's open-ended runs take hours - reduced-scale runs need a
+          budget) *)
+}
+
+type result = {
+  best : Weights.t;
+  best_cost : Lexico.t;
+  sweeps : int;  (** total sweeps over all rounds *)
+  evals : int;  (** total cost evaluations *)
+  rounds_run : int;
+}
+
+val run :
+  rng:Dtr_util.Rng.t ->
+  num_arcs:int ->
+  eval:(Weights.t -> Lexico.t option) ->
+  init:(round:int -> Weights.t) ->
+  ?observer:(observation -> unit) ->
+  ?on_improvement:(Weights.t -> Lexico.t -> unit) ->
+  config ->
+  result
+(** [init ~round] provides the starting setting of each diversification
+    round (round 0 is the initial search).  If a starting setting is
+    infeasible the round is skipped (counts towards [max_rounds]).
+    [on_improvement] fires whenever the {e round-local} cost improves —
+    Phase 1 uses it to record constraint-satisfying settings.
+    @raise Invalid_argument if every starting point is infeasible. *)

@@ -1,0 +1,121 @@
+module Graph = Dtr_topology.Graph
+module Failure = Dtr_topology.Failure
+module Routing = Dtr_spf.Routing
+module Matrix = Dtr_traffic.Matrix
+module Lexico = Dtr_cost.Lexico
+module Stat = Dtr_util.Stat
+
+let violations_normal scenario w = (Eval.evaluate scenario w).Eval.violations
+
+let violations_per_failure scenario w failures =
+  Array.of_list
+    (List.map (fun d -> d.Eval.violations) (Eval.sweep_details scenario w failures))
+
+let avg_violations per_failure =
+  if Array.length per_failure = 0 then 0.
+  else Stat.mean (Array.map float_of_int per_failure)
+
+let top_fraction_violations ?(fraction = 0.1) per_failure =
+  if Array.length per_failure = 0 then 0.
+  else Stat.right_tail_mean (Array.map float_of_int per_failure) ~fraction
+
+let phi_normal scenario w = (Eval.cost scenario w).Lexico.phi
+
+let phi_per_failure scenario w failures =
+  Array.of_list
+    (List.map (fun d -> d.Eval.cost.Lexico.phi) (Eval.sweep_details scenario w failures))
+
+let phi_fail_total scenario w failures =
+  Array.fold_left ( +. ) 0. (phi_per_failure scenario w failures)
+
+let phi_gap_percent ~reference x =
+  if reference = 0. then 0. else 100. *. (x -. reference) /. reference
+
+let utilizations_normal (scenario : Scenario.t) w =
+  let detail = Eval.evaluate scenario w in
+  Array.map
+    (fun a -> detail.Eval.loads.(a.Graph.id) /. a.Graph.capacity)
+    (Graph.arcs scenario.Scenario.graph)
+
+let avg_utilization scenario w =
+  let u = utilizations_normal scenario w in
+  Stat.mean u
+
+let max_utilization scenario w = Stat.maximum (utilizations_normal scenario w)
+
+type load_increase = { arcs_increased : int; avg_increase : float }
+
+let load_increase_after (scenario : Scenario.t) w failure =
+  let g = scenario.Scenario.graph in
+  let before = utilizations_normal scenario w in
+  let detail = Eval.evaluate scenario ~failure w in
+  let mask = Failure.mask g failure in
+  let increased = ref 0 and sum = ref 0. in
+  Array.iter
+    (fun a ->
+      let id = a.Graph.id in
+      if not mask.(id) then begin
+        let delta = (detail.Eval.loads.(id) /. a.Graph.capacity) -. before.(id) in
+        if delta > 1e-9 then begin
+          incr increased;
+          sum := !sum +. delta
+        end
+      end)
+    (Graph.arcs g);
+  {
+    arcs_increased = !increased;
+    avg_increase = (if !increased = 0 then 0. else !sum /. float_of_int !increased);
+  }
+
+let avg_max_pair_utilization (scenario : Scenario.t) w =
+  let g = scenario.Scenario.graph in
+  let detail = Eval.evaluate scenario w in
+  let utilization =
+    Array.map (fun a -> detail.Eval.loads.(a.Graph.id) /. a.Graph.capacity) (Graph.arcs g)
+  in
+  let routing_d = Routing.compute g ~weights:(Weights.delay_of w) () in
+  let dense_rd = Matrix.dense scenario.Scenario.rd in
+  let n = Graph.num_nodes g in
+  let acc = Stat.Acc.create () in
+  for dest = 0 to n - 1 do
+    let sinks = ref false in
+    for src = 0 to n - 1 do
+      if src <> dest && dense_rd.(src).(dest) > 0. then sinks := true
+    done;
+    if !sinks then begin
+      let bn = Routing.bottleneck_to routing_d ~arc_value:utilization ~dest in
+      for src = 0 to n - 1 do
+        if src <> dest && dense_rd.(src).(dest) > 0. && bn.(src) < Float.infinity then
+          Stat.Acc.add acc bn.(src)
+      done
+    end
+  done;
+  Stat.Acc.mean acc
+
+let delay_profile scenario w =
+  let detail = Eval.evaluate scenario ~want_pair_delays:true w in
+  let delays = Array.map (fun (_, _, d) -> d) detail.Eval.pair_delays in
+  Array.sort Float.compare delays;
+  delays
+
+type failure_summary = {
+  avg : float;
+  top10 : float;
+  per_failure : int array;
+  phi_per_failure : float array;
+  phi_total : float;
+}
+
+let summarize_failures scenario w failures =
+  let details = Eval.sweep_details scenario w failures in
+  let per_failure = Array.of_list (List.map (fun d -> d.Eval.violations) details) in
+  let phi_per_failure =
+    Array.of_list (List.map (fun d -> d.Eval.cost.Lexico.phi) details)
+  in
+  {
+    avg = avg_violations per_failure;
+    top10 = top_fraction_violations per_failure;
+    per_failure;
+    phi_per_failure;
+    phi_total = Array.fold_left ( +. ) 0. phi_per_failure;
+  }

@@ -1,0 +1,80 @@
+(** Evaluation metrics — everything the paper's tables and figures report.
+
+    All functions take a scenario and a weight setting and measure, never
+    optimize.  Failure sweeps return one value per scenario in the order
+    given, so callers can sort/aggregate as each figure requires. *)
+
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+(** {1 SLA violations (the beta metrics)} *)
+
+val violations_normal : Scenario.t -> Weights.t -> int
+(** SLA-violating SD pairs under normal conditions. *)
+
+val violations_per_failure :
+  Scenario.t -> Weights.t -> Failure.t list -> int array
+
+val avg_violations : int array -> float
+(** The paper's beta: mean violations over all scenarios of a sweep. *)
+
+val top_fraction_violations : ?fraction:float -> int array -> float
+(** Mean over the worst [fraction] (default 0.1) of the scenarios — the
+    "top-10%" rows. *)
+
+(** {1 Throughput-sensitive cost} *)
+
+val phi_normal : Scenario.t -> Weights.t -> float
+
+val phi_per_failure : Scenario.t -> Weights.t -> Failure.t list -> float array
+
+val phi_fail_total : Scenario.t -> Weights.t -> Failure.t list -> float
+(** [Phi_fail]: the compounded cost over the sweep. *)
+
+val phi_gap_percent : reference:float -> float -> float
+(** [100 * (x - reference) / reference] — the beta_Phi accuracy metric of
+    Table I and the "cost degradation" row of Table II. *)
+
+(** {1 Utilization and load} *)
+
+val utilizations_normal : Scenario.t -> Weights.t -> float array
+(** Per-arc load/capacity under normal conditions. *)
+
+val avg_utilization : Scenario.t -> Weights.t -> float
+val max_utilization : Scenario.t -> Weights.t -> float
+
+type load_increase = {
+  arcs_increased : int;  (** surviving arcs whose utilization rose *)
+  avg_increase : float;  (** mean utilization increase over those arcs *)
+}
+
+val load_increase_after : Scenario.t -> Weights.t -> Failure.t -> load_increase
+(** Fig. 4: compares per-arc utilization after the failure with normal
+    conditions; the failed arcs themselves are excluded. *)
+
+val avg_max_pair_utilization : Scenario.t -> Weights.t -> float
+(** Table V: the maximum arc utilization seen by each delay-class SD pair
+    along its ECMP paths, averaged over pairs (unreachable pairs are
+    skipped). *)
+
+(** {1 Delay profile} *)
+
+val delay_profile : Scenario.t -> Weights.t -> float array
+(** Fig. 5(b,c): expected end-to-end delays (seconds) of all delay-class SD
+    pairs under normal conditions, sorted ascending; unreachable pairs
+    appear as [Float.infinity]. *)
+
+(** {1 Solution-level summaries} *)
+
+type failure_summary = {
+  avg : float;
+  top10 : float;
+  per_failure : int array;
+  phi_per_failure : float array;
+  phi_total : float;
+}
+
+val summarize_failures :
+  Scenario.t -> Weights.t -> Failure.t list -> failure_summary
+(** One sweep computing both classes' metrics at once (each scenario is
+    evaluated a single time). *)

@@ -1,0 +1,96 @@
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+type selector =
+  | Ours
+  | Full
+  | Random_selection
+  | Load_based
+  | Fluctuation_based
+  | Given of int list
+
+type failure_model = Link_failures | Node_failures
+
+type solution = {
+  scenario : Scenario.t;
+  regular : Weights.t;
+  regular_cost : Lexico.t;
+  robust : Weights.t;
+  robust_normal_cost : Lexico.t;
+  robust_fail_cost : Lexico.t;
+  critical : int list;
+  failures : Failure.t list;
+  phase1 : Phase1.output;
+  phase2 : Phase2.output;
+  phase1_seconds : float;
+  phase2_seconds : float;
+}
+
+let timed f =
+  let start = Sys.time () in
+  let x = f () in
+  (x, Sys.time () -. start)
+
+let regular_only ~rng scenario = timed (fun () -> Phase1.run ~rng scenario)
+
+let target_size (scenario : Scenario.t) fraction =
+  let m = Scenario.num_arcs scenario in
+  let f =
+    match fraction with
+    | Some f -> f
+    | None -> scenario.Scenario.params.Scenario.critical_fraction
+  in
+  if f <= 0. || f > 1. then invalid_arg "Optimizer: fraction outside (0, 1]";
+  max 1 (int_of_float (Float.round (f *. float_of_int m)))
+
+let pick_critical ~rng ~selector ~fraction scenario (phase1 : Phase1.output) =
+  let num_arcs = Scenario.num_arcs scenario in
+  match selector with
+  | Full -> List.init num_arcs Fun.id
+  | Ours -> Criticality.select phase1.Phase1.criticality ~n:(target_size scenario fraction)
+  | Random_selection -> Baselines.select_random rng ~num_arcs ~n:(target_size scenario fraction)
+  | Load_based -> Baselines.select_load_based scenario ~phase1 ~n:(target_size scenario fraction)
+  | Fluctuation_based ->
+      Baselines.select_fluctuation scenario ~phase1 ~n:(target_size scenario fraction)
+  | Given arcs ->
+      if arcs = [] then invalid_arg "Optimizer: empty critical set";
+      List.iter
+        (fun a -> if a < 0 || a >= num_arcs then invalid_arg "Optimizer: bad arc id")
+        arcs;
+      List.sort_uniq compare arcs
+
+let assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical ~failures =
+  {
+    scenario;
+    regular = phase1.Phase1.best;
+    regular_cost = phase1.Phase1.best_cost;
+    robust = phase2.Phase2.robust;
+    robust_normal_cost = phase2.Phase2.normal_cost;
+    robust_fail_cost = phase2.Phase2.fail_cost;
+    critical;
+    failures;
+    phase1;
+    phase2;
+    phase1_seconds;
+    phase2_seconds;
+  }
+
+let robust_with ~rng scenario ~phase1 ~failures ~critical =
+  let phase2, phase2_seconds =
+    timed (fun () -> Phase2.run ~rng scenario ~phase1 ~failures)
+  in
+  assemble scenario ~phase1 ~phase1_seconds:0. ~phase2 ~phase2_seconds ~critical ~failures
+
+let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction scenario =
+  let phase1, phase1_seconds = regular_only ~rng scenario in
+  let critical, failures =
+    match failure_model with
+    | Link_failures ->
+        let critical = pick_critical ~rng ~selector ~fraction scenario phase1 in
+        (critical, List.map (fun a -> Failure.Arc a) critical)
+    | Node_failures -> ([], Failure.all_single_nodes scenario.Scenario.graph)
+  in
+  let phase2, phase2_seconds =
+    timed (fun () -> Phase2.run ~rng scenario ~phase1 ~failures)
+  in
+  assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical ~failures

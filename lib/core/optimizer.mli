@@ -1,0 +1,66 @@
+(** End-to-end robust DTR optimization — the public entry point.
+
+    Runs the two-phase heuristic of Fig. 1: regular optimization with
+    criticality estimation (Phase 1), critical-set selection (Phase 1c, or a
+    baseline selector), then robust optimization over the selected failure
+    scenarios (Phase 2). *)
+
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+(** How the Phase-2 failure set is chosen. *)
+type selector =
+  | Ours  (** the paper's criticality metric + Algorithm 1 *)
+  | Full  (** full search: every arc (the brute-force reference) *)
+  | Random_selection  (** Yuan-style random subset *)
+  | Load_based  (** Fortz-style highest-utilization arcs *)
+  | Fluctuation_based  (** Sridharan-style threshold-crossing score *)
+  | Given of int list  (** caller-chosen arc ids *)
+
+type failure_model =
+  | Link_failures  (** single-arc failures; selector picks the subset *)
+  | Node_failures
+      (** all single node failures, exhaustively (Section V-F); the selector
+          is ignored *)
+
+type solution = {
+  scenario : Scenario.t;
+  regular : Weights.t;  (** Phase-1 (regular-optimization) solution *)
+  regular_cost : Lexico.t;  (** its K_normal — the <Lambda*, Phi*> benchmark *)
+  robust : Weights.t;  (** Phase-2 solution *)
+  robust_normal_cost : Lexico.t;  (** K_normal of [robust] *)
+  robust_fail_cost : Lexico.t;  (** compounded cost over the optimized failures *)
+  critical : int list;  (** arc ids optimized against (empty for node model) *)
+  failures : Failure.t list;  (** the Phase-2 failure scenarios *)
+  phase1 : Phase1.output;
+  phase2 : Phase2.output;
+  phase1_seconds : float;
+  phase2_seconds : float;
+}
+
+val optimize :
+  rng:Dtr_util.Rng.t ->
+  ?selector:selector ->
+  ?failure_model:failure_model ->
+  ?fraction:float ->
+  Scenario.t ->
+  solution
+(** Defaults: [selector = Ours], [failure_model = Link_failures], [fraction]
+    = the scenario's [critical_fraction].  [fraction] overrides the target
+    [|Ec| / |E|] for this call. *)
+
+val regular_only : rng:Dtr_util.Rng.t -> Scenario.t -> Phase1.output * float
+(** Phase 1 alone (the "no robust" routing of the evaluation) and its
+    wall-clock seconds. *)
+
+val robust_with :
+  rng:Dtr_util.Rng.t ->
+  Scenario.t ->
+  phase1:Phase1.output ->
+  failures:Failure.t list ->
+  critical:int list ->
+  solution
+(** Assemble a solution from an existing Phase-1 output and an explicit
+    failure set — lets experiments reuse one Phase 1 across several Phase-2
+    variants (critical vs full vs baselines), as the paper's comparisons
+    do. *)

@@ -1,0 +1,146 @@
+module Rng = Dtr_util.Rng
+module Lexico = Dtr_cost.Lexico
+
+type stats = {
+  evals : int;
+  sweeps : int;
+  rounds : int;
+  samples : int;
+  phase1b_sweeps : int;
+  converged : bool;
+}
+
+type output = {
+  best : Weights.t;
+  best_cost : Lexico.t;
+  acceptable : (Weights.t * Lexico.t) list;
+  criticality : Criticality.t;
+  sampler : Sampler.t;
+  stats : stats;
+}
+
+(* Bounded pool of candidate Phase-2 starting points.  Recording every
+   improving setting would copy weight vectors thousands of times; the pool
+   keeps the lexicographically best [capacity] of them. *)
+module Pool = struct
+  type t = { capacity : int; mutable entries : (Weights.t * Lexico.t) list }
+
+  let create capacity = { capacity; entries = [] }
+
+  let compare_entries (_, a) (_, b) = Lexico.compare a b
+
+  let add t w cost =
+    t.entries <- (Weights.copy w, cost) :: t.entries;
+    if List.length t.entries > 2 * t.capacity then
+      t.entries <- List.filteri (fun i _ -> i < t.capacity) (List.sort compare_entries t.entries)
+
+  let finalize t = List.sort compare_entries t.entries
+end
+
+let run ~rng (scenario : Scenario.t) =
+  let p = scenario.Scenario.params in
+  let num_arcs = Scenario.num_arcs scenario in
+  let sampler = Sampler.create scenario in
+  let tracker = Criticality.Convergence.create scenario in
+  let pool = Pool.create 64 in
+  let best_so_far = ref None in
+  let converged = ref false in
+  let last_check_total = ref 0 in
+  let check_interval = p.Scenario.tau * num_arcs in
+  let note_best cost =
+    match !best_so_far with
+    | None -> best_so_far := Some cost
+    | Some b -> if Lexico.is_better cost ~than:b then best_so_far := Some cost
+  in
+  let observer (obs : Local_search.observation) =
+    (match obs.Local_search.cost_after with Some c -> note_best c | None -> ());
+    (match !best_so_far with
+    | Some best ->
+        let (_ : bool) = Sampler.observe sampler ~best obs in
+        ()
+    | None -> ());
+    (* Convergence is re-checked every tau samples per arc on average. *)
+    if Sampler.total sampler - !last_check_total >= check_interval then begin
+      last_check_total := Sampler.total sampler;
+      converged := Criticality.Convergence.check tracker sampler
+    end
+  in
+  let eval w = Some (Eval.cost scenario w) in
+  let config =
+    Local_search.
+      {
+        wmax = p.Scenario.wmax;
+        interval = p.Scenario.p1_interval;
+        rounds = p.Scenario.p1_rounds;
+        c = p.Scenario.c_improvement;
+        max_rounds = 5 * p.Scenario.p1_rounds;
+        max_sweeps = p.Scenario.p1_max_sweeps;
+      }
+  in
+  let init ~round:_ = Weights.random rng ~num_arcs ~wmax:p.Scenario.wmax in
+  let on_improvement w cost =
+    note_best cost;
+    Pool.add pool w cost
+  in
+  let search = Local_search.run ~rng ~num_arcs ~eval ~init ~observer ~on_improvement config in
+  let best = search.Local_search.best and best_cost = search.Local_search.best_cost in
+  (* Phase 1b: explicit failure-emulating sampling from the best setting
+     until rankings converge and every arc has a sample floor. *)
+  let phase1b_sweeps = ref 0 and extra_evals = ref 0 in
+  let needs_more () =
+    (not !converged) || Sampler.min_count sampler < p.Scenario.min_samples
+  in
+  while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
+    incr phase1b_sweeps;
+    let w = Weights.copy best in
+    for arc = 0 to num_arcs - 1 do
+      let saved = Weights.save_arc w arc in
+      Weights.raise_arc rng w ~arc ~wmax:p.Scenario.wmax ~q:p.Scenario.q;
+      let cost = Eval.cost scenario w in
+      incr extra_evals;
+      Sampler.record sampler ~arc cost;
+      Weights.restore_arc w saved
+    done;
+    converged := Criticality.Convergence.check tracker sampler
+  done;
+  let criticality =
+    match Criticality.Convergence.last tracker with
+    | Some c -> c
+    | None -> Criticality.compute ~left_tail:p.Scenario.left_tail sampler
+  in
+  (* Keep only recorded settings that satisfy Eqs. (5)-(6) w.r.t. the final
+     best; the best itself always qualifies. *)
+  let satisfies (_, cost) =
+    cost.Lexico.lambda <= best_cost.Lexico.lambda +. Lexico.lambda_tolerance
+    && cost.Lexico.phi <= (1. +. p.Scenario.chi) *. best_cost.Lexico.phi
+  in
+  let acceptable =
+    (best, best_cost)
+    :: List.filter
+         (fun (w, cost) -> satisfies (w, cost) && not (Weights.equal w best))
+         (Pool.finalize pool)
+  in
+  {
+    best;
+    best_cost;
+    acceptable;
+    criticality;
+    sampler;
+    stats =
+      {
+        evals = search.Local_search.evals + !extra_evals;
+        sweeps = search.Local_search.sweeps;
+        rounds = search.Local_search.rounds_run;
+        samples = Sampler.total sampler;
+        phase1b_sweeps = !phase1b_sweeps;
+        converged = !converged;
+      };
+  }
+
+let critical_set (scenario : Scenario.t) output =
+  let p = scenario.Scenario.params in
+  let m = Scenario.num_arcs scenario in
+  let n =
+    max 1 (int_of_float (Float.round (p.Scenario.critical_fraction *. float_of_int m)))
+  in
+  Criticality.select output.criticality ~n

@@ -1,0 +1,55 @@
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+type stats = { evals : int; sweeps : int; rounds : int }
+
+type output = {
+  robust : Weights.t;
+  fail_cost : Lexico.t;
+  normal_cost : Lexico.t;
+  stats : stats;
+}
+
+let run ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) ~failures =
+  if failures = [] then invalid_arg "Phase2.run: no failure scenarios";
+  let p = scenario.Scenario.params in
+  let num_arcs = Scenario.num_arcs scenario in
+  let best_cost = phase1.Phase1.best_cost in
+  let starts = Array.of_list phase1.Phase1.acceptable in
+  if Array.length starts = 0 then invalid_arg "Phase2.run: no acceptable starting setting";
+  let feasible normal =
+    normal.Lexico.lambda <= best_cost.Lexico.lambda +. Lexico.lambda_tolerance
+    && normal.Lexico.phi <= (1. +. p.Scenario.chi) *. best_cost.Lexico.phi
+  in
+  (* Each Phase-2 evaluation prices the setting under every scenario of the
+     optimized failure set; infeasibility w.r.t. Eqs. (5)-(6) short-circuits
+     before the expensive sweep. *)
+  let eval w = snd (Eval.normal_and_sweep scenario w ~failures ~feasible) in
+  let config =
+    Local_search.
+      {
+        wmax = p.Scenario.wmax;
+        interval = p.Scenario.p2_interval;
+        rounds = p.Scenario.p2_rounds;
+        c = p.Scenario.c_improvement;
+        max_rounds = 5 * p.Scenario.p2_rounds;
+        max_sweeps = p.Scenario.p2_max_sweeps;
+      }
+  in
+  let init ~round =
+    let w, _ = starts.(round mod Array.length starts) in
+    w
+  in
+  let search = Local_search.run ~rng ~num_arcs ~eval ~init config in
+  let robust = search.Local_search.best in
+  {
+    robust;
+    fail_cost = search.Local_search.best_cost;
+    normal_cost = Eval.cost scenario robust;
+    stats =
+      {
+        evals = search.Local_search.evals;
+        sweeps = search.Local_search.sweeps;
+        rounds = search.Local_search.rounds_run;
+      };
+  }

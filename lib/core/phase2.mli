@@ -1,0 +1,34 @@
+(** Phase 2: robust optimization (Eq. (4) / Eq. (7)).
+
+    Starting from the constraint-satisfying settings recorded in Phase 1, a
+    second local search minimises the compounded failure cost
+
+    {v  Kfail = < sum_f Lambda_fail,f , sum_f Phi_fail,f >  v}
+
+    over a caller-supplied list of failure scenarios — the critical arcs
+    (Eq. (7)), all arcs (full search), or all nodes (the node-robust
+    baseline of Section V-F) — subject to the normal-conditions constraints:
+    [Lambda_normal = Lambda*] (Eq. (5)) and
+    [Phi_normal <= (1 + chi) * Phi*] (Eq. (6)).  Settings violating the
+    constraints are infeasible moves. *)
+
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+type stats = { evals : int; sweeps : int; rounds : int }
+
+type output = {
+  robust : Weights.t;
+  fail_cost : Lexico.t;  (** compounded cost over the optimized scenarios *)
+  normal_cost : Lexico.t;  (** normal-conditions cost of [robust] *)
+  stats : stats;
+}
+
+val run :
+  rng:Dtr_util.Rng.t ->
+  Scenario.t ->
+  phase1:Phase1.output ->
+  failures:Failure.t list ->
+  output
+(** @raise Invalid_argument if [failures] is empty or Phase 1 recorded no
+    acceptable setting (cannot happen with {!Phase1.run} output). *)

@@ -1,0 +1,56 @@
+(** Probabilistic failure model — the extension sketched in the paper's
+    conclusion ("a probabilistic failure model can be formulated as part of a
+    robust optimization framework, and we believe that the critical link
+    technique developed in this paper can be extended to that model").
+
+    Instead of treating all single link failures as equally important, each
+    arc [l] gets a weight [p_l] proportional to its failure probability; the
+    robust objective becomes the {e expected} failure cost
+
+    {v  K_exp = < sum_l p_l Lambda_fail,l , sum_l p_l Phi_fail,l >  v}
+
+    and the criticality of an arc is scaled by its probability (an unlikely
+    failure with a wide cost distribution matters less than a likely one with
+    a moderately wide distribution). *)
+
+module Lexico = Dtr_cost.Lexico
+module Failure = Dtr_topology.Failure
+
+type model = { prob : float array }
+(** Per-arc relative failure probabilities (indexed by arc id, non-negative;
+    only ratios matter for optimization). *)
+
+val uniform : Dtr_topology.Graph.t -> model
+(** Every arc equally likely — recovers the paper's base objective. *)
+
+val length_proportional : Dtr_topology.Graph.t -> model
+(** [p_l] proportional to the arc's propagation delay: long-haul fibre has
+    proportionally more exposure to cuts — the classic availability model. *)
+
+val of_array : Dtr_topology.Graph.t -> float array -> model
+(** @raise Invalid_argument on wrong length or negative entries. *)
+
+val expected_fail_cost : Scenario.t -> Weights.t -> model -> Lexico.t
+(** Probability-weighted compound of all single-arc failure costs. *)
+
+val expected_violations : Scenario.t -> Weights.t -> model -> float
+(** Probability-weighted mean of SLA-violation counts over all single-arc
+    failures (weights normalised to sum to 1). *)
+
+val scale_criticality : Criticality.t -> model -> Criticality.t
+(** Scales each arc's normalised criticality by its probability, so that
+    {!Criticality.select} picks arcs by {e expected} regret. *)
+
+val robust :
+  rng:Dtr_util.Rng.t ->
+  Scenario.t ->
+  phase1:Phase1.output ->
+  model ->
+  ?fraction:float ->
+  unit ->
+  Phase2.output * int list
+(** Probability-aware Phase 2: selects the critical set from the
+    probability-scaled criticality (at [fraction], default the scenario's
+    [critical_fraction]) and minimises the expected failure cost over it,
+    under the usual normal-conditions constraints (Eqs. (5)–(6)).  Returns
+    the Phase-2 output and the selected arcs. *)

@@ -1,0 +1,52 @@
+module Graph = Dtr_topology.Graph
+
+type upgrade = {
+  arc : Graph.arc_id;
+  old_capacity : float;
+  new_capacity : float;
+}
+
+type report = { upgrades : upgrade list; added_capacity : float }
+
+let resize_congested ?(step = 100.) ?(max_util = 0.9) (scenario : Scenario.t) w =
+  if max_util <= 0. || max_util > 1. then invalid_arg "Resize: max_util outside (0, 1]";
+  if step <= 0. then invalid_arg "Resize: non-positive step";
+  let g = scenario.Scenario.graph in
+  let detail = Eval.evaluate scenario w in
+  let loads = detail.Eval.loads in
+  (* Required capacity per arc, then per physical link (max of directions),
+     rounded up to the capacity step. *)
+  let required id =
+    let need = loads.(id) /. max_util in
+    let a = Graph.arc g id in
+    if need <= a.Graph.capacity then a.Graph.capacity
+    else step *. Float.ceil (need /. step)
+  in
+  let upgrades = ref [] and added = ref 0. in
+  let edges =
+    Array.to_list (Graph.arcs g)
+    |> List.filter_map (fun a ->
+           if a.Graph.rev >= 0 && a.Graph.id > a.Graph.rev then None
+           else begin
+             let cap =
+               if a.Graph.rev < 0 then required a.Graph.id
+               else Float.max (required a.Graph.id) (required a.Graph.rev)
+             in
+             if cap > a.Graph.capacity then begin
+               upgrades :=
+                 { arc = a.Graph.id; old_capacity = a.Graph.capacity; new_capacity = cap }
+                 :: !upgrades;
+               added := !added +. (cap -. a.Graph.capacity)
+             end;
+             Some
+               Graph.
+                 { u = a.Graph.src; v = a.Graph.dst; cap; prop = a.Graph.delay }
+           end)
+  in
+  let coords = Graph.coords g in
+  let g' = Graph.of_edges ?coords ~n:(Graph.num_nodes g) edges in
+  let scenario' =
+    Scenario.make ~graph:g' ~rd:scenario.Scenario.rd ~rt:scenario.Scenario.rt
+      ~params:scenario.Scenario.params
+  in
+  (scenario', { upgrades = List.rev !upgrades; added_capacity = !added })

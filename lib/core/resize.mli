@@ -1,0 +1,35 @@
+(** Capacity resizing of congested links.
+
+    Section V-B of the paper investigates whether NearTopo's poor showing is
+    merely under-provisioning: congested core links are resized — their
+    capacity increased until their normal-conditions utilization drops below
+    a threshold (the paper uses 90%) — and the optimization re-run.  This
+    module implements that resizing step as a reusable network-design
+    operation.
+
+    Capacities are per physical link (both directions get the larger of the
+    two directions' requirements), and upgrades are rounded up to a step
+    (default 100 Mb/s) to mimic discrete capacity units. *)
+
+type upgrade = {
+  arc : Dtr_topology.Graph.arc_id;  (** lower arc id of the upgraded link *)
+  old_capacity : float;
+  new_capacity : float;
+}
+
+type report = {
+  upgrades : upgrade list;
+  added_capacity : float;  (** total Mb/s added over all links (one direction) *)
+}
+
+val resize_congested :
+  ?step:float ->
+  ?max_util:float ->
+  Scenario.t ->
+  Weights.t ->
+  Scenario.t * report
+(** [resize_congested scenario w] returns a scenario whose graph has enough
+    capacity that no arc exceeds [max_util] (default 0.9) under the routing
+    induced by [w] on the {e original} graph, together with the list of
+    upgrades.  Traffic matrices and parameters are unchanged.
+    @raise Invalid_argument if [max_util] is not in (0, 1] or [step <= 0]. *)

@@ -1,0 +1,52 @@
+module Lexico = Dtr_cost.Lexico
+
+type t = {
+  scenario : Scenario.t;
+  lambda : float list array; (* newest first, per arc *)
+  phi : float list array;
+  counts : int array;
+  mutable total : int;
+}
+
+let create (scenario : Scenario.t) =
+  let m = Scenario.num_arcs scenario in
+  {
+    scenario;
+    lambda = Array.make m [];
+    phi = Array.make m [];
+    counts = Array.make m 0;
+    total = 0;
+  }
+
+let is_failure_like t w ~arc =
+  let p = t.scenario.Scenario.params in
+  let lo = int_of_float (Float.ceil (p.Scenario.q *. float_of_int p.Scenario.wmax)) in
+  w.Weights.wd.(arc) >= lo && w.Weights.wt.(arc) >= lo
+
+let is_acceptable t ~best cost =
+  let p = t.scenario.Scenario.params in
+  cost.Lexico.lambda <= best.Lexico.lambda +. (p.Scenario.z *. p.Scenario.sla.Dtr_cost.Sla.b1)
+  && cost.Lexico.phi <= (1. +. p.Scenario.chi) *. best.Lexico.phi
+
+let record t ~arc cost =
+  t.lambda.(arc) <- cost.Lexico.lambda :: t.lambda.(arc);
+  t.phi.(arc) <- cost.Lexico.phi :: t.phi.(arc);
+  t.counts.(arc) <- t.counts.(arc) + 1;
+  t.total <- t.total + 1
+
+let observe t ~best (obs : Local_search.observation) =
+  match obs.Local_search.cost_after with
+  | Some cost
+    when is_failure_like t obs.Local_search.weights ~arc:obs.Local_search.arc
+         && is_acceptable t ~best obs.Local_search.cost_before ->
+      record t ~arc:obs.Local_search.arc cost;
+      true
+  | Some _ | None -> false
+
+let count t arc = t.counts.(arc)
+let counts t = Array.copy t.counts
+let total t = t.total
+let min_count t = Array.fold_left min max_int t.counts
+
+let lambda_samples t arc = Array.of_list t.lambda.(arc)
+let phi_samples t arc = Array.of_list t.phi.(arc)

@@ -1,0 +1,47 @@
+(** Collection of post-failure cost samples (Phase 1a / 1b).
+
+    Estimating a link's criticality requires the distribution of network
+    costs over acceptable routings when that link fails (Fig. 2 of the
+    paper).  Rather than failing every link under thousands of settings, the
+    heuristic harvests the samples for free from the Phase-1 local search:
+    whenever a perturbation leaves {e both} weights of an arc in
+    [[q * wmax, wmax]] it acts like a failure of that arc, so the perturbed
+    setting's cost is a sample of the arc's post-failure cost distribution —
+    provided the {e pre-perturbation} cost was acceptable, i.e. within the
+    relaxed constraints ([Lambda <= best + z * B1],
+    [Phi <= (1 + chi) * best]) of the best cost discovered so far. *)
+
+module Lexico = Dtr_cost.Lexico
+
+type t
+
+val create : Scenario.t -> t
+
+val is_failure_like : t -> Weights.t -> arc:int -> bool
+(** Both class weights of [arc] lie in [[q * wmax, wmax]]. *)
+
+val is_acceptable : t -> best:Lexico.t -> Lexico.t -> bool
+(** The relaxed Phase-1a acceptability test described above. *)
+
+val observe : t -> best:Lexico.t -> Local_search.observation -> bool
+(** Feed one search observation; records a sample when the move is
+    failure-like for its arc and the pre-move cost is acceptable.  Returns
+    whether a sample was recorded. *)
+
+val record : t -> arc:int -> Lexico.t -> unit
+(** Unconditional recording — Phase 1b uses it after explicitly raising an
+    arc's weights. *)
+
+val count : t -> int -> int
+(** Samples held for an arc. *)
+
+val counts : t -> int array
+
+val total : t -> int
+
+val min_count : t -> int
+
+val lambda_samples : t -> int -> float array
+(** The recorded [Lambda_fail,l] sample for each observation of arc [l]. *)
+
+val phi_samples : t -> int -> float array

@@ -1,0 +1,104 @@
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Matrix = Dtr_traffic.Matrix
+
+type params = {
+  wmax : int;
+  sla : Dtr_cost.Sla.params;
+  delay : Dtr_cost.Delay_model.params;
+  chi : float;
+  z : float;
+  q : float;
+  tau : int;
+  conv_threshold : float;
+  left_tail : float;
+  min_samples : int;
+  p1_rounds : int;
+  p1_interval : int;
+  p1_max_sweeps : int;
+  p2_rounds : int;
+  p2_interval : int;
+  p2_max_sweeps : int;
+  c_improvement : float;
+  critical_fraction : float;
+  max_phase1b_rounds : int;
+}
+
+let paper_params =
+  {
+    wmax = 20;
+    sla = Dtr_cost.Sla.default;
+    delay = Dtr_cost.Delay_model.default;
+    chi = 0.2;
+    z = 0.5;
+    q = 0.7;
+    tau = 30;
+    conv_threshold = 2.;
+    left_tail = 0.1;
+    min_samples = 10;
+    p1_rounds = 20;
+    p1_interval = 100;
+    p1_max_sweeps = 1_000_000;
+    p2_rounds = 10;
+    p2_interval = 30;
+    p2_max_sweeps = 1_000_000;
+    c_improvement = 0.001;
+    critical_fraction = 0.15;
+    max_phase1b_rounds = 50;
+  }
+
+let quick_params =
+  {
+    paper_params with
+    tau = 8;
+    min_samples = 4;
+    p1_rounds = 4;
+    p1_interval = 12;
+    p1_max_sweeps = 60;
+    p2_rounds = 3;
+    p2_interval = 8;
+    p2_max_sweeps = 30;
+    max_phase1b_rounds = 10;
+  }
+
+type t = {
+  graph : Graph.t;
+  rd : Matrix.t;
+  rt : Matrix.t;
+  params : params;
+}
+
+let validate_params p =
+  if p.wmax < 2 then invalid_arg "Scenario: wmax must be >= 2";
+  if p.chi < 0. then invalid_arg "Scenario: chi must be >= 0";
+  if p.z < 0. || p.z > 1. then invalid_arg "Scenario: z outside [0, 1]";
+  if p.q <= 0. || p.q >= 1. then invalid_arg "Scenario: q outside (0, 1)";
+  if p.left_tail <= 0. || p.left_tail > 1. then invalid_arg "Scenario: left_tail outside (0, 1]";
+  if p.critical_fraction <= 0. || p.critical_fraction > 1. then
+    invalid_arg "Scenario: critical_fraction outside (0, 1]";
+  if p.p1_rounds < 1 || p.p2_rounds < 1 || p.p1_interval < 1 || p.p2_interval < 1 then
+    invalid_arg "Scenario: search budgets must be positive"
+
+let make ~graph ~rd ~rt ~params =
+  validate_params params;
+  let n = Graph.num_nodes graph in
+  if Matrix.size rd <> n || Matrix.size rt <> n then
+    invalid_arg "Scenario.make: matrix size does not match the graph";
+  { graph; rd; rt; params }
+
+let with_sla t sla = { t with params = { t.params with sla } }
+let with_traffic t ~rd ~rt = make ~graph:t.graph ~rd ~rt ~params:t.params
+
+let num_arcs t = Graph.num_arcs t.graph
+let num_nodes t = Graph.num_nodes t.graph
+
+let random_instance ?(params = paper_params) ?(nodes = 30) ?(degree = 6.)
+    ?(avg_util = 0.43) rng kind =
+  let graph = Gen.generate rng kind ~nodes ~degree in
+  let n = Graph.num_nodes graph in
+  let rd, rt = Dtr_traffic.Gravity.pair rng ~nodes:n ~total:1000. in
+  let rd, rt =
+    Dtr_traffic.Scaling.calibrate graph ~rd ~rt
+      (Dtr_traffic.Scaling.Avg_utilization avg_util)
+  in
+  make ~graph ~rd ~rt ~params

@@ -1,0 +1,74 @@
+(** A traffic-engineering instance plus all heuristic parameters.
+
+    Bundles the inputs of the optimization problem — topology and the two
+    traffic matrices — together with the cost-model and search parameters of
+    Sections III–V, so every stage of the heuristic reads its knobs from one
+    place.  [paper_params] reproduces the published values; [quick_params]
+    shrinks only the search budgets (not the model) for tests and
+    reduced-scale benchmark runs. *)
+
+type params = {
+  wmax : int;  (** maximum weight value [w_max]; weights are in [1, wmax] *)
+  sla : Dtr_cost.Sla.params;  (** theta, B1, B2 *)
+  delay : Dtr_cost.Delay_model.params;  (** kappa, mu, linearisation *)
+  chi : float;  (** allowed normal-conditions degradation of Phi, Eq. (6); paper 0.2 *)
+  z : float;  (** Phase-1a sampling relaxation on Lambda (times B1); paper 0.5 *)
+  q : float;  (** failure-emulation threshold: both weights in [q*wmax, wmax]; paper 0.7 *)
+  tau : int;  (** samples-per-arc between convergence checks; paper 30 *)
+  conv_threshold : float;  (** rank-change convergence threshold [e]; paper 2 *)
+  left_tail : float;  (** left-tail fraction of Eqs. (8)-(9); paper 0.1 *)
+  min_samples : int;  (** minimum cost samples per arc before criticality is trusted *)
+  p1_rounds : int;  (** P1: diversifications of Phase 1; paper 20 *)
+  p1_interval : int;  (** Phase-1 diversification interval (stale sweeps); paper 100 *)
+  p1_max_sweeps : int;  (** hard sweep budget per Phase-1 round (paper: unbounded) *)
+  p2_rounds : int;  (** P2: diversifications of Phase 2; paper 10 *)
+  p2_interval : int;  (** Phase-2 diversification interval; paper 30 *)
+  p2_max_sweeps : int;  (** hard sweep budget per Phase-2 round *)
+  c_improvement : float;  (** stopping threshold c (relative); paper 0.001 = 0.1% *)
+  critical_fraction : float;  (** target |Ec| / |E|; paper default 0.15 *)
+  max_phase1b_rounds : int;  (** cap on Phase-1b sampling sweeps *)
+}
+
+val paper_params : params
+
+val quick_params : params
+(** Same model constants, reduced search budgets (P1=4, interval 12, P2=3,
+    interval 8, min_samples 4, tau 8): suitable for unit tests and for the
+    reduced-scale experiment harness. *)
+
+type t = {
+  graph : Dtr_topology.Graph.t;
+  rd : Dtr_traffic.Matrix.t;  (** delay-sensitive demands *)
+  rt : Dtr_traffic.Matrix.t;  (** throughput-sensitive demands *)
+  params : params;
+}
+
+val make :
+  graph:Dtr_topology.Graph.t ->
+  rd:Dtr_traffic.Matrix.t ->
+  rt:Dtr_traffic.Matrix.t ->
+  params:params ->
+  t
+(** @raise Invalid_argument if matrix sizes disagree with the graph or the
+    parameters are out of range. *)
+
+val with_sla : t -> Dtr_cost.Sla.params -> t
+(** Same instance under a different SLA bound (Table V sweeps theta). *)
+
+val with_traffic : t -> rd:Dtr_traffic.Matrix.t -> rt:Dtr_traffic.Matrix.t -> t
+(** Same topology and parameters, different (e.g. perturbed) matrices. *)
+
+val num_arcs : t -> int
+val num_nodes : t -> int
+
+val random_instance :
+  ?params:params ->
+  ?nodes:int ->
+  ?degree:float ->
+  ?avg_util:float ->
+  Dtr_util.Rng.t ->
+  Dtr_topology.Gen.kind ->
+  t
+(** Convenience constructor used by examples, tests and the bench harness:
+    generates the topology, draws a gravity matrix pair and calibrates it to
+    [avg_util] (default 0.43, the paper's Table I/II operating point). *)

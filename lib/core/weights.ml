@@ -1,0 +1,52 @@
+module Rng = Dtr_util.Rng
+
+type t = { wd : int array; wt : int array }
+
+let create ~num_arcs ~init =
+  if init < 1 then invalid_arg "Weights.create: weights start at 1";
+  { wd = Array.make num_arcs init; wt = Array.make num_arcs init }
+
+let random rng ~num_arcs ~wmax =
+  if wmax < 1 then invalid_arg "Weights.random: wmax must be >= 1";
+  {
+    wd = Array.init num_arcs (fun _ -> Rng.int_in rng 1 wmax);
+    wt = Array.init num_arcs (fun _ -> Rng.int_in rng 1 wmax);
+  }
+
+let copy t = { wd = Array.copy t.wd; wt = Array.copy t.wt }
+
+let equal a b = a.wd = b.wd && a.wt = b.wt
+
+let num_arcs t = Array.length t.wd
+
+let validate t ~wmax =
+  if Array.length t.wd <> Array.length t.wt then
+    invalid_arg "Weights.validate: class arrays differ in length";
+  let check w = if w < 1 || w > wmax then invalid_arg "Weights.validate: weight out of range" in
+  Array.iter check t.wd;
+  Array.iter check t.wt
+
+type saved = { arc : int; old_wd : int; old_wt : int }
+
+let save_arc t arc = { arc; old_wd = t.wd.(arc); old_wt = t.wt.(arc) }
+
+let restore_arc t s =
+  t.wd.(s.arc) <- s.old_wd;
+  t.wt.(s.arc) <- s.old_wt
+
+let set_arc t ~arc ~wd ~wt =
+  t.wd.(arc) <- wd;
+  t.wt.(arc) <- wt
+
+let perturb_arc rng t ~arc ~wmax =
+  t.wd.(arc) <- Rng.int_in rng 1 wmax;
+  t.wt.(arc) <- Rng.int_in rng 1 wmax
+
+let raise_arc rng t ~arc ~wmax ~q =
+  if q <= 0. || q >= 1. then invalid_arg "Weights.raise_arc: q outside (0, 1)";
+  let lo = max 1 (int_of_float (Float.ceil (q *. float_of_int wmax))) in
+  t.wd.(arc) <- Rng.int_in rng lo wmax;
+  t.wt.(arc) <- Rng.int_in rng lo wmax
+
+let delay_of t = t.wd
+let throughput_of t = t.wt

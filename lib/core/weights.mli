@@ -1,0 +1,50 @@
+(** Dual-topology weight settings.
+
+    A DTR configuration assigns every arc two positive integer weights: [wd]
+    routes the delay-sensitive class and [wt] the throughput-sensitive class
+    (the paper's [W = union over l of {WDl, WTl}]).  Weights live in
+    [1 .. wmax]. *)
+
+type t = { wd : int array; wt : int array }
+(** Indexed by arc id.  Treat as immutable outside this module; the search
+    mutates its own working copies through {!set_arc}/{!restore_arc}. *)
+
+val create : num_arcs:int -> init:int -> t
+(** Uniform setting. @raise Invalid_argument if [init < 1]. *)
+
+val random : Dtr_util.Rng.t -> num_arcs:int -> wmax:int -> t
+(** Independent uniform weights in [1, wmax] for both classes. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val num_arcs : t -> int
+
+val validate : t -> wmax:int -> unit
+(** @raise Invalid_argument if any weight is outside [1, wmax] or the two
+    arrays have different lengths. *)
+
+(** {1 Perturbation support} *)
+
+type saved = { arc : int; old_wd : int; old_wt : int }
+(** Saved weights of one arc, for O(1) undo. *)
+
+val save_arc : t -> int -> saved
+
+val restore_arc : t -> saved -> unit
+
+val set_arc : t -> arc:int -> wd:int -> wt:int -> unit
+
+val perturb_arc : Dtr_util.Rng.t -> t -> arc:int -> wmax:int -> unit
+(** Redraws both weights of [arc] uniformly in [1, wmax] (the paper's Phase-1
+    move: "both weights on each link are randomly perturbed"). *)
+
+val raise_arc : Dtr_util.Rng.t -> t -> arc:int -> wmax:int -> q:float -> unit
+(** Draws both weights of [arc] uniformly in [ceil (q * wmax), wmax] — the
+    failure-emulating perturbation used to gather cost samples. *)
+
+val delay_of : t -> int array
+(** The delay-class weight vector (shared, do not mutate). *)
+
+val throughput_of : t -> int array

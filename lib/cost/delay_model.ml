@@ -1,0 +1,40 @@
+module Graph = Dtr_topology.Graph
+
+type params = { kappa : float; mu : float; linearize_at : float }
+
+let default = { kappa = 1500. *. 8. /. 1e6; mu = 0.95; linearize_at = 0.99 }
+
+let queueing_delay p ~capacity ~load =
+  if capacity <= 0. then invalid_arg "Delay_model: non-positive capacity";
+  if load < 0. then invalid_arg "Delay_model: negative load";
+  let util = load /. capacity in
+  if util <= p.mu then 0.
+  else begin
+    let mm1 x = p.kappa /. capacity *. ((x /. (capacity -. x)) +. 1.) in
+    if util < p.linearize_at then mm1 load
+    else begin
+      (* Linear continuation matching the value and slope of the M/M/1 term
+         at the linearisation point (paper footnote 3). *)
+      let x0 = p.linearize_at *. capacity in
+      let v0 = mm1 x0 in
+      let slope = p.kappa /. ((capacity -. x0) *. (capacity -. x0)) in
+      v0 +. (slope *. (load -. x0))
+    end
+  end
+
+let arc_delay p ~capacity ~prop ~load = prop +. queueing_delay p ~capacity ~load
+
+let fill_arc_delays p g ~loads ~into =
+  let arcs = Graph.arcs g in
+  if Array.length loads <> Array.length arcs || Array.length into <> Array.length arcs
+  then invalid_arg "Delay_model.fill_arc_delays: length mismatch";
+  Array.iter
+    (fun a ->
+      into.(a.Graph.id) <-
+        arc_delay p ~capacity:a.Graph.capacity ~prop:a.Graph.delay ~load:loads.(a.Graph.id))
+    arcs
+
+let arc_delays p g ~loads =
+  let into = Array.make (Graph.num_arcs g) 0. in
+  fill_arc_delays p g ~loads ~into;
+  into

@@ -1,0 +1,41 @@
+(** Link delay model — Eq. (1) of the paper.
+
+    The delay of arc [l] carrying total traffic [x] on capacity [C] with
+    propagation delay [p] is
+
+    {v
+      D(x) = p                                   if x / C <= mu        (1a)
+      D(x) = kappa / C * (x / (C - x) + 1) + p   otherwise             (1b)
+    v}
+
+    i.e. queueing delay is neglected below the utilization threshold [mu]
+    (paper: 0.95, justified for high-speed backbones), and modelled as M/M/1
+    above it ([kappa] is the average packet size; the "+1" accounts for the
+    transmission time of the packet itself).  To avoid the singularity at
+    [x -> C], the M/M/1 term is continued linearly (value- and
+    slope-matched) above a utilization of 0.99, following the paper's
+    footnote 3. *)
+
+type params = {
+  kappa : float;  (** average packet size, Mbit (1500 B = 0.012 Mbit) *)
+  mu : float;  (** utilization threshold below which queueing is ignored *)
+  linearize_at : float;  (** utilization beyond which (1b) is linearised *)
+}
+
+val default : params
+(** Paper values: [kappa] = 1500 bytes, [mu] = 0.95, linearisation at 0.99. *)
+
+val arc_delay : params -> capacity:float -> prop:float -> load:float -> float
+(** Delay in seconds of one arc.  Total load (both classes) in Mb/s.
+    @raise Invalid_argument on non-positive capacity or negative load. *)
+
+val queueing_delay : params -> capacity:float -> load:float -> float
+(** The queueing component alone ([arc_delay] minus [prop]). *)
+
+val arc_delays :
+  params -> Dtr_topology.Graph.t -> loads:float array -> float array
+(** Per-arc delays for a whole load vector (indexed by arc id). *)
+
+val fill_arc_delays :
+  params -> Dtr_topology.Graph.t -> loads:float array -> into:float array -> unit
+(** Allocation-free variant for the optimizer's inner loop. *)

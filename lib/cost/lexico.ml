@@ -1,0 +1,31 @@
+type t = { lambda : float; phi : float }
+
+let make ~lambda ~phi = { lambda; phi }
+
+let lambda_tolerance = 1e-6
+
+let lambda_cmp a b =
+  if Float.abs (a -. b) <= lambda_tolerance then 0 else Float.compare a b
+
+let compare a b =
+  match lambda_cmp a.lambda b.lambda with
+  | 0 -> Float.compare a.phi b.phi
+  | c -> c
+
+let is_better a ~than = compare a than < 0
+
+let equal a b =
+  lambda_cmp a.lambda b.lambda = 0
+  && Float.abs (a.phi -. b.phi) <= 1e-9 *. Float.max 1. (Float.abs b.phi)
+
+let add a b = { lambda = a.lambda +. b.lambda; phi = a.phi +. b.phi }
+
+let zero = { lambda = 0.; phi = 0. }
+
+let improvement ~from ~to_ =
+  if not (is_better to_ ~than:from) then 0.
+  else if lambda_cmp from.lambda to_.lambda > 0 then
+    (from.lambda -. to_.lambda) /. Float.max from.lambda lambda_tolerance
+  else (from.phi -. to_.phi) /. Float.max from.phi 1e-12
+
+let pp ppf t = Format.fprintf ppf "<L=%.4f, Phi=%.4f>" t.lambda t.phi

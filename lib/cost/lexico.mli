@@ -1,0 +1,40 @@
+(** Lexicographic global cost [K = <Lambda, Phi>].
+
+    The paper gives precedence to delay-sensitive traffic: a routing is
+    better only if it lowers [Lambda] (the SLA penalty), or keeps [Lambda]
+    essentially equal and lowers [Phi] (the congestion cost).  Because
+    [Lambda] is built from the additive penalty [B1] plus small excess terms,
+    "essentially equal" is equality up to a small tolerance; all comparisons
+    below take it into account. *)
+
+type t = { lambda : float; phi : float }
+
+val make : lambda:float -> phi:float -> t
+
+val lambda_tolerance : float
+(** Absolute tolerance under which two [Lambda] values compare equal
+    (1e-6; [Lambda]'s natural granularity is [B1] = 100). *)
+
+val compare : t -> t -> int
+(** Lexicographic: [Lambda] first (with tolerance), then [Phi]. *)
+
+val is_better : t -> than:t -> bool
+(** Strictly smaller in the lexicographic order. *)
+
+val equal : t -> t -> bool
+(** Both components equal (with the [Lambda] tolerance; [Phi] compared with
+    a relative tolerance of 1e-9). *)
+
+val add : t -> t -> t
+(** Componentwise sum — used to compound costs over failure scenarios
+    ([Kfail] sums [Lambda_fail,l] and [Phi_fail,l] over scenarios). *)
+
+val zero : t
+
+val improvement : from:t -> to_:t -> float
+(** Relative improvement used by the stopping rule ("cost reductions are
+    less than c%"): the relative decrease of [Lambda] if [Lambda] changed
+    (beyond tolerance), otherwise the relative decrease of [Phi]; 0 when
+    [to_] is not better. *)
+
+val pp : Format.formatter -> t -> unit

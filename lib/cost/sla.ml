@@ -1,0 +1,16 @@
+type params = { theta : float; b1 : float; b2 : float }
+
+let default = { theta = 0.025; b1 = 100.; b2 = 1. }
+
+let with_theta theta =
+  if theta <= 0. then invalid_arg "Sla.with_theta: bound must be positive";
+  { default with theta }
+
+let is_violation p xi = xi > p.theta
+
+let unreachable_penalty p = p.b1 +. (p.b2 *. p.theta *. 1000.)
+
+let pair_penalty p xi =
+  if xi = Float.infinity then unreachable_penalty p
+  else if is_violation p xi then p.b1 +. (p.b2 *. (xi -. p.theta) *. 1000.)
+  else 0.

@@ -1,0 +1,41 @@
+(** SLA penalty for delay-sensitive traffic — Eq. (2) of the paper.
+
+    A source–destination pair with end-to-end delay [xi] against the SLA
+    bound [theta] incurs
+
+    {v
+      Lambda (s,t) = 0                                  if xi <= theta   (2a)
+      Lambda (s,t) = B1 + B2 * (xi - theta)             otherwise        (2b)
+    v}
+
+    with [B1 = 100] (fixed violation penalty) and [B2 = 1] per millisecond of
+    excess (the paper leaves the unit implicit; delays in its setting are
+    tens of milliseconds, so a per-ms excess makes the two terms
+    commensurate).  The network-wide cost [Lambda] is the sum over all pairs
+    carrying delay-sensitive traffic.
+
+    An SD pair disconnected by a failure is unconditionally a violation; we
+    charge it [B1 + B2 * theta] (see DESIGN.md). *)
+
+type params = {
+  theta : float;  (** SLA delay bound, seconds (paper default 25 ms) *)
+  b1 : float;  (** fixed violation penalty; paper 100 *)
+  b2 : float;  (** penalty per millisecond of excess; paper 1 *)
+}
+
+val default : params
+(** [theta] = 25 ms, [B1] = 100, [B2] = 1. *)
+
+val with_theta : float -> params
+(** Default penalties with a different bound (Table V sweeps theta). *)
+
+val is_violation : params -> float -> bool
+(** [true] when the delay (seconds; may be [Float.infinity]) exceeds
+    [theta]. *)
+
+val pair_penalty : params -> float -> float
+(** Penalty of one pair given its end-to-end delay; handles the
+    disconnected ([infinity]) case. *)
+
+val unreachable_penalty : params -> float
+(** [B1 + B2 * theta_ms], the charge for a disconnected pair. *)

@@ -1,0 +1,91 @@
+module Matrix = Dtr_traffic.Matrix
+
+let body_to_buffer buf m =
+  Buffer.add_string buf (Printf.sprintf "size %d\n" (Matrix.size m));
+  Matrix.iter m (fun ~src ~dst v ->
+      Buffer.add_string buf (Printf.sprintf "demand %d %d %.17g\n" src dst v))
+
+let to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# dtr traffic v1\n";
+  body_to_buffer buf m;
+  Buffer.contents buf
+
+let fail_line lineno msg = failwith (Printf.sprintf "Matrix_io: line %d: %s" lineno msg)
+
+(* Parses a sequence of (size, demand, class) records; [multi] allows the
+   [class] markers used by the pair format. *)
+let parse ~multi s =
+  let current = ref None in
+  let sections = ref [] in
+  let finish () = match !current with Some m -> sections := m :: !sections | None -> () in
+  let begin_section lineno n =
+    finish ();
+    match n with
+    | Some n when n > 0 -> current := Some (Matrix.create n)
+    | _ -> fail_line lineno "bad size"
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with Some j -> String.sub line 0 j | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "size"; n ] -> begin_section lineno (int_of_string_opt n)
+        | [ "class"; ("d" | "t") ] when multi -> ()
+        | [ "demand"; src; dst; v ] -> begin
+            match
+              (!current, int_of_string_opt src, int_of_string_opt dst, float_of_string_opt v)
+            with
+            | Some m, Some src, Some dst, Some v -> begin
+                try Matrix.set m ~src ~dst v
+                with Invalid_argument msg -> fail_line lineno msg
+              end
+            | None, _, _, _ -> fail_line lineno "demand before size"
+            | _ -> fail_line lineno "bad demand record"
+          end
+        | _ -> fail_line lineno "unrecognised record"
+      end)
+    (String.split_on_char '\n' s);
+  finish ();
+  List.rev !sections
+
+let of_string s =
+  match parse ~multi:false s with
+  | [ m ] -> m
+  | [] -> failwith "Matrix_io: empty document"
+  | _ -> failwith "Matrix_io: multiple matrices in a single-matrix document"
+
+let save m ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string m))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let pair_to_string ~rd ~rt =
+  if Matrix.size rd <> Matrix.size rt then
+    invalid_arg "Matrix_io.pair_to_string: size mismatch";
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "# dtr traffic v1 (two classes)\n";
+  Buffer.add_string buf "class d\n";
+  body_to_buffer buf rd;
+  Buffer.add_string buf "class t\n";
+  body_to_buffer buf rt;
+  Buffer.contents buf
+
+let pair_of_string s =
+  match parse ~multi:true s with
+  | [ rd; rt ] ->
+      if Matrix.size rd <> Matrix.size rt then
+        failwith "Matrix_io: class sections have different sizes";
+      (rd, rt)
+  | _ -> failwith "Matrix_io: expected exactly two class sections"

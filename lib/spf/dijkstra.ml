@@ -1,0 +1,65 @@
+module Graph = Dtr_topology.Graph
+module Heap = Dtr_util.Heap
+
+let infinity = max_int / 4
+
+let check g weights =
+  if Array.length weights <> Graph.num_arcs g then
+    invalid_arg "Dijkstra: weights length mismatch";
+  Array.iter (fun w -> if w <= 0 then invalid_arg "Dijkstra: weights must be positive") weights
+
+(* Standard Dijkstra with lazy deletion; [arcs_of] and [other_end] select the
+   direction (reverse arcs for distances-to-destination). *)
+let run g ~weights ~disabled ~start ~arcs_of ~other_end ~dist ~heap =
+  Array.fill dist 0 (Array.length dist) infinity;
+  Heap.clear heap;
+  dist.(start) <- 0;
+  Heap.push heap 0. start;
+  let arcs = Graph.arcs g in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (key, u) ->
+        if int_of_float key = dist.(u) then begin
+          let adjacent = arcs_of u in
+          for i = 0 to Array.length adjacent - 1 do
+            let id = adjacent.(i) in
+            let skip = match disabled with None -> false | Some mask -> mask.(id) in
+            if not skip then begin
+              let v = other_end arcs.(id) in
+              let alt = dist.(u) + weights.(id) in
+              if alt < dist.(v) then begin
+                dist.(v) <- alt;
+                Heap.push heap (float_of_int alt) v
+              end
+            end
+          done
+        end;
+        loop ()
+  in
+  loop ()
+
+let fill_to_destination g ~weights ~disabled ~dest ~dist ~heap =
+  check g weights;
+  if Array.length dist <> Graph.num_nodes g then
+    invalid_arg "Dijkstra: dist length mismatch";
+  run g ~weights ~disabled ~start:dest
+    ~arcs_of:(Graph.in_arcs_array g)
+    ~other_end:(fun a -> a.Graph.src)
+    ~dist ~heap
+
+let to_destination g ~weights ?disabled ~dest () =
+  let dist = Array.make (Graph.num_nodes g) infinity in
+  let heap = Heap.create ~capacity:(Graph.num_nodes g) () in
+  fill_to_destination g ~weights ~disabled ~dest ~dist ~heap;
+  dist
+
+let from_source g ~weights ?disabled ~src () =
+  check g weights;
+  let dist = Array.make (Graph.num_nodes g) infinity in
+  let heap = Heap.create ~capacity:(Graph.num_nodes g) () in
+  run g ~weights ~disabled ~start:src
+    ~arcs_of:(Graph.out_arcs_array g)
+    ~other_end:(fun a -> a.Graph.dst)
+    ~dist ~heap;
+  dist

@@ -1,0 +1,43 @@
+(** Single-source / single-destination shortest path distances.
+
+    IGP routing (OSPF/IS-IS, and their multi-topology extensions) forwards
+    along shortest paths w.r.t. configured integer arc weights.  Destination-
+    based forwarding means the natural primitive is the {e reverse} Dijkstra:
+    distances from every node {e to} a destination, computed over reversed
+    arcs.  Unreachable nodes get distance {!val:infinity}. *)
+
+val infinity : int
+(** Sentinel distance for unreachable nodes ([max_int / 4]; safe to add
+    weights to without overflow). *)
+
+val to_destination :
+  Dtr_topology.Graph.t ->
+  weights:int array ->
+  ?disabled:bool array ->
+  dest:Dtr_topology.Graph.node ->
+  unit ->
+  int array
+(** [to_destination g ~weights ~dest ()] is the array of shortest distances
+    from each node to [dest] along enabled arcs.  [weights] is indexed by arc
+    id and must be positive.
+    @raise Invalid_argument on size mismatches or non-positive weights. *)
+
+val from_source :
+  Dtr_topology.Graph.t ->
+  weights:int array ->
+  ?disabled:bool array ->
+  src:Dtr_topology.Graph.node ->
+  unit ->
+  int array
+(** Forward counterpart: distances from [src] to every node. *)
+
+val fill_to_destination :
+  Dtr_topology.Graph.t ->
+  weights:int array ->
+  disabled:bool array option ->
+  dest:Dtr_topology.Graph.node ->
+  dist:int array ->
+  heap:Dtr_topology.Graph.node Dtr_util.Heap.t ->
+  unit
+(** Allocation-free variant used by the optimizer's inner loop: writes into
+    [dist] and reuses [heap]. *)

@@ -1,0 +1,91 @@
+module Graph = Dtr_topology.Graph
+
+type path = {
+  arcs : Graph.arc_id list;
+  probability : float;
+  weight : int;
+  prop_delay : float;
+}
+
+type enumeration = { paths : path list; truncated : bool }
+
+let enumerate ?(limit = 1000) g routing ~src ~dst =
+  if limit < 1 then invalid_arg "Paths.enumerate: limit must be positive";
+  if src = dst || not (Routing.reachable routing ~src ~dst) then
+    { paths = []; truncated = false }
+  else begin
+    let truncated = ref false in
+    let found = ref 0 in
+    (* DFS over the ECMP DAG; next hops strictly decrease the remaining
+       distance, so the recursion terminates. *)
+    let rec walk node prob delay rev_arcs =
+      if !found >= limit then begin
+        truncated := true;
+        []
+      end
+      else if node = dst then begin
+        incr found;
+        [ { arcs = List.rev rev_arcs;
+            probability = prob;
+            weight = Routing.distance routing ~src ~dst;
+            prop_delay = delay;
+          } ]
+      end
+      else begin
+        let nh = Routing.next_hops routing ~dest:dst ~node in
+        let k = Array.length nh in
+        Array.to_list nh
+        |> List.concat_map (fun id ->
+               let a = Graph.arc g id in
+               walk a.Graph.dst
+                 (prob /. float_of_int k)
+                 (delay +. a.Graph.delay)
+                 (id :: rev_arcs))
+      end
+    in
+    let paths = walk src 1.0 0. [] in
+    let by_probability a b =
+      match Float.compare b.probability a.probability with
+      | 0 -> compare a.arcs b.arcs
+      | c -> c
+    in
+    { paths = List.sort by_probability paths; truncated = !truncated }
+  end
+
+let count g routing ~src ~dst =
+  if src = dst || not (Routing.reachable routing ~src ~dst) then 0
+  else begin
+    let n = Graph.num_nodes g in
+    let memo = Array.make n (-1) in
+    let cap = max_int / 2 in
+    let rec ways node =
+      if node = dst then 1
+      else if memo.(node) >= 0 then memo.(node)
+      else begin
+        let nh = Routing.next_hops routing ~dest:dst ~node in
+        let total =
+          Array.fold_left
+            (fun acc id ->
+              let v = ways (Graph.arc g id).Graph.dst in
+              if acc > cap - v then cap else acc + v)
+            0 nh
+        in
+        memo.(node) <- total;
+        total
+      end
+    in
+    ways src
+  end
+
+let nodes_of_path g p =
+  match p.arcs with
+  | [] -> []
+  | first :: _ ->
+      (Graph.arc g first).Graph.src
+      :: List.map (fun id -> (Graph.arc g id).Graph.dst) p.arcs
+
+let pp_path g ppf p =
+  let nodes = nodes_of_path g p in
+  Format.fprintf ppf "%s (p=%.4g, %.1f ms)"
+    (String.concat " -> " (List.map string_of_int nodes))
+    p.probability (p.prop_delay *. 1000.)

@@ -1,0 +1,217 @@
+module Graph = Dtr_topology.Graph
+module Heap = Dtr_util.Heap
+
+type t = {
+  graph : Graph.t;
+  dist : int array array; (* dist.(dest).(node) *)
+  hops : Graph.arc_id array array array; (* hops.(dest).(node) *)
+  order : Graph.node array array;
+      (* reachable nodes per destination, sorted by decreasing distance;
+         excludes the destination itself *)
+}
+
+let no_hops : Graph.arc_id array = [||]
+
+(* Per-destination routing state: distances, ECMP next hops, and the nodes
+   in decreasing-distance order (upstream nodes first, so load distribution
+   processes a node only after all its inflow is known). *)
+let compute_dest g ~weights ~disabled ~heap ~scratch dest =
+  let n = Graph.num_nodes g in
+  let arcs = Graph.arcs g in
+  let enabled id = match disabled with None -> true | Some m -> not m.(id) in
+  let d = Array.make n Dijkstra.infinity in
+  Dijkstra.fill_to_destination g ~weights ~disabled ~dest ~dist:d ~heap;
+  let h = Array.make n no_hops in
+  for u = 0 to n - 1 do
+    if u <> dest && d.(u) < Dijkstra.infinity then begin
+      let out = Graph.out_arcs_array g u in
+      (* Two passes over the out-arcs: count SPF arcs, then fill. *)
+      let count = ref 0 in
+      for i = 0 to Array.length out - 1 do
+        let id = out.(i) in
+        if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then incr count
+      done;
+      let nh = Array.make !count 0 in
+      let k = ref 0 in
+      for i = 0 to Array.length out - 1 do
+        let id = out.(i) in
+        if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then begin
+          nh.(!k) <- id;
+          incr k
+        end
+      done;
+      h.(u) <- nh
+    end
+  done;
+  let reachable = ref 0 in
+  for u = 0 to n - 1 do
+    if u <> dest && d.(u) < Dijkstra.infinity then begin
+      scratch.(!reachable) <- u;
+      incr reachable
+    end
+  done;
+  let ord = Array.sub scratch 0 !reachable in
+  Array.sort (fun a b -> compare d.(b) d.(a)) ord;
+  (d, h, ord)
+
+let compute g ~weights ?disabled () =
+  let n = Graph.num_nodes g in
+  let heap = Heap.create ~capacity:n () in
+  let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
+  let scratch = Array.make n 0 in
+  for dest = 0 to n - 1 do
+    let d, h, ord = compute_dest g ~weights ~disabled ~heap ~scratch dest in
+    dist.(dest) <- d;
+    hops.(dest) <- h;
+    order.(dest) <- ord
+  done;
+  { graph = g; dist; hops; order }
+
+let uses_arc t ~dest id =
+  let a = (Graph.arcs t.graph).(id) in
+  let d = t.dist.(dest) in
+  d.(a.Graph.src) < Dijkstra.infinity
+  &&
+  let nh = t.hops.(dest).(a.Graph.src) in
+  Array.exists (fun x -> x = id) nh
+
+let with_failed_arcs base ~weights ~disabled ~failed =
+  let g = base.graph in
+  let n = Graph.num_nodes g in
+  let heap = Heap.create ~capacity:n () in
+  let scratch = Array.make n 0 in
+  let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
+  for dest = 0 to n - 1 do
+    (* Arcs on no shortest path towards [dest] can be removed without
+       changing any shortest path, so the base state is reused verbatim. *)
+    if List.exists (fun id -> uses_arc base ~dest id) failed then begin
+      let d, h, ord = compute_dest g ~weights ~disabled:(Some disabled) ~heap ~scratch dest in
+      dist.(dest) <- d;
+      hops.(dest) <- h;
+      order.(dest) <- ord
+    end
+    else begin
+      dist.(dest) <- base.dist.(dest);
+      hops.(dest) <- base.hops.(dest);
+      order.(dest) <- base.order.(dest)
+    end
+  done;
+  { graph = g; dist; hops; order }
+
+let distance t ~src ~dst = t.dist.(dst).(src)
+let reachable t ~src ~dst = src = dst || t.dist.(dst).(src) < Dijkstra.infinity
+let next_hops t ~dest ~node = t.hops.(dest).(node)
+
+let add_loads t ~demands ~exclude_node ~into () =
+  let g = t.graph in
+  let n = Graph.num_nodes g in
+  if Array.length demands <> n then invalid_arg "Routing.add_loads: demands rows";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Routing.add_loads: demands cols")
+    demands;
+  if Array.length into <> Graph.num_arcs g then
+    invalid_arg "Routing.add_loads: load array length";
+  let excluded v = match exclude_node with None -> false | Some x -> x = v in
+  let node_flow = Array.make n 0. in
+  let unrouted = ref 0. in
+  for dest = 0 to n - 1 do
+    if not (excluded dest) then begin
+      Array.fill node_flow 0 n 0.;
+      let any = ref false in
+      for s = 0 to n - 1 do
+        let r = demands.(s).(dest) in
+        if r > 0. && s <> dest && not (excluded s) then begin
+          if t.dist.(dest).(s) < Dijkstra.infinity then begin
+            node_flow.(s) <- node_flow.(s) +. r;
+            any := true
+          end
+          else unrouted := !unrouted +. r
+        end
+      done;
+      if !any then begin
+        let hops = t.hops.(dest) in
+        let route u =
+          let flow = node_flow.(u) in
+          if flow > 0. then begin
+            let nh = hops.(u) in
+            let k = Array.length nh in
+            (* Reachable non-destination nodes always have >= 1 next hop. *)
+            let share = flow /. float_of_int k in
+            Array.iter
+              (fun id ->
+                into.(id) <- into.(id) +. share;
+                let v = (Graph.arc g id).Graph.dst in
+                if v <> dest then node_flow.(v) <- node_flow.(v) +. share)
+              nh
+          end
+        in
+        Array.iter route t.order.(dest)
+      end
+    end
+  done;
+  !unrouted
+
+let add_loads t ~demands ?exclude_node ~into () =
+  add_loads t ~demands ~exclude_node ~into ()
+
+let loads t ~graph ~demands ?exclude_node () =
+  let into = Array.make (Graph.num_arcs graph) 0. in
+  let unrouted = add_loads t ~demands ?exclude_node ~into () in
+  (into, unrouted)
+
+let delay_dp ~combine t ~arc_delay ~dest =
+  let g = t.graph in
+  let n = Graph.num_nodes g in
+  if Array.length arc_delay <> Graph.num_arcs g then
+    invalid_arg "Routing: arc_delay length mismatch";
+  let del = Array.make n Float.infinity in
+  del.(dest) <- 0.;
+  let ord = t.order.(dest) in
+  (* Increasing distance: each node's next hops are already resolved. *)
+  for i = Array.length ord - 1 downto 0 do
+    let u = ord.(i) in
+    del.(u) <- combine g t.hops.(dest).(u) arc_delay del
+  done;
+  del
+
+let expected_delays_to t ~arc_delay ~dest =
+  let combine g nh arc_delay del =
+    let total = ref 0. in
+    Array.iter
+      (fun id -> total := !total +. arc_delay.(id) +. del.((Graph.arc g id).Graph.dst))
+      nh;
+    !total /. float_of_int (Array.length nh)
+  in
+  delay_dp ~combine t ~arc_delay ~dest
+
+let max_delays_to t ~arc_delay ~dest =
+  let combine g nh arc_delay del =
+    Array.fold_left
+      (fun acc id ->
+        Float.max acc (arc_delay.(id) +. del.((Graph.arc g id).Graph.dst)))
+      Float.neg_infinity nh
+  in
+  delay_dp ~combine t ~arc_delay ~dest
+
+let bottleneck_to t ~arc_value ~dest =
+  let g = t.graph in
+  let n = Graph.num_nodes g in
+  if Array.length arc_value <> Graph.num_arcs g then
+    invalid_arg "Routing.bottleneck_to: arc_value length mismatch";
+  let bn = Array.make n Float.infinity in
+  bn.(dest) <- Float.neg_infinity;
+  let ord = t.order.(dest) in
+  for i = Array.length ord - 1 downto 0 do
+    let u = ord.(i) in
+    bn.(u) <-
+      Array.fold_left
+        (fun acc id ->
+          Float.max acc
+            (Float.max arc_value.(id) bn.((Graph.arc g id).Graph.dst)))
+        Float.neg_infinity
+        t.hops.(dest).(u)
+  done;
+  bn
+
+let pair_expected_delay t ~arc_delay ~src ~dst =
+  if src = dst then 0. else (expected_delays_to t ~arc_delay ~dest:dst).(src)

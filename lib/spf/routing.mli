@@ -1,0 +1,90 @@
+(** ECMP shortest-path routing: next-hop DAGs, load distribution and
+    end-to-end delays.
+
+    Given a weight assignment for one traffic class, this module computes the
+    routing state the cost functions need:
+
+    - per-destination shortest-path distances and the {e ECMP next-hop DAG}
+      (all outgoing arcs lying on some shortest path);
+    - arc loads under {e even splitting}: at every node, flow towards a
+      destination divides equally among the node's next hops — the standard
+      OSPF/IS-IS ECMP model, also used by Fortz–Thorup;
+    - per-SD-pair end-to-end delays over the ECMP DAG, given per-arc delays
+      from the delay model: the {e expected} delay under even per-packet
+      splitting (used to check SLAs, Eq. (2)) and the {e worst-path} delay.
+
+    Demands are dense [n x n] matrices [d.(s).(t)] in Mb/s. *)
+
+module Graph = Dtr_topology.Graph
+
+type t
+(** Routing state for one traffic class on one (possibly failure-reduced)
+    topology. *)
+
+val compute :
+  Graph.t -> weights:int array -> ?disabled:bool array -> unit -> t
+(** Runs one reverse Dijkstra per destination and derives the ECMP DAGs.
+    @raise Invalid_argument on malformed weights. *)
+
+val uses_arc : t -> dest:Graph.node -> Graph.arc_id -> bool
+(** Whether the arc lies on some shortest path towards [dest] (i.e. belongs
+    to the destination's ECMP DAG). *)
+
+val with_failed_arcs :
+  t -> weights:int array -> disabled:bool array -> failed:Graph.arc_id list -> t
+(** [with_failed_arcs base ~weights ~disabled ~failed] is the routing state
+    after the arcs in [failed] go down, computed incrementally from [base]
+    (the no-failure state for the same [weights]): destinations whose ECMP
+    DAG contains none of the failed arcs share [base]'s data unchanged —
+    removing arcs that lie on no shortest path cannot alter any shortest
+    path — and only the remaining destinations rerun Dijkstra.  [disabled]
+    must be the mask corresponding to [failed].  Single-failure sweeps, the
+    optimizer's dominant cost, become several times cheaper. *)
+
+val reachable : t -> src:Graph.node -> dst:Graph.node -> bool
+(** Whether the pair is connected in the routed (surviving) topology. *)
+
+val distance : t -> src:Graph.node -> dst:Graph.node -> int
+(** Shortest weight distance; {!Dijkstra.infinity} if unreachable. *)
+
+val next_hops : t -> dest:Graph.node -> node:Graph.node -> Graph.arc_id array
+(** Arcs leaving [node] on shortest paths towards [dest] (empty for the
+    destination itself and for unreachable nodes).  Do not mutate. *)
+
+val add_loads :
+  t -> demands:float array array -> ?exclude_node:Graph.node -> into:float array -> unit -> float
+(** [add_loads t ~demands ~into ()] accumulates the ECMP arc loads of
+    [demands] into [into] (indexed by arc id) and returns the total demand
+    volume that could {e not} be routed (unreachable pairs).  Demands sourced
+    or sunk at [exclude_node] are skipped (node-failure scenarios).
+    @raise Invalid_argument on dimension mismatches. *)
+
+val loads :
+  t -> graph:Graph.t -> demands:float array array -> ?exclude_node:Graph.node -> unit ->
+  float array * float
+(** Convenience wrapper: fresh load array plus unrouted volume. *)
+
+val expected_delays_to :
+  t -> arc_delay:float array -> dest:Graph.node -> float array
+(** [expected_delays_to t ~arc_delay ~dest] maps each node to its expected
+    end-to-end delay to [dest] over the ECMP DAG ([Float.infinity] when
+    unreachable; [0.] at the destination).  [arc_delay] is indexed by arc
+    id (seconds). *)
+
+val max_delays_to :
+  t -> arc_delay:float array -> dest:Graph.node -> float array
+(** Worst single shortest path delay instead of the even-split expectation. *)
+
+val bottleneck_to :
+  t -> arc_value:float array -> dest:Graph.node -> float array
+(** [bottleneck_to t ~arc_value ~dest] maps each node to the largest
+    [arc_value] found on any arc of its ECMP DAG towards [dest]
+    ([Float.neg_infinity] at the destination, [Float.infinity] when
+    unreachable).  With per-arc utilizations this yields the "maximum link
+    utilization experienced by an SD pair on its path" metric of the
+    paper's Table V. *)
+
+val pair_expected_delay :
+  t -> arc_delay:float array -> src:Graph.node -> dst:Graph.node -> float
+(** One-pair convenience over {!expected_delays_to} (recomputes the
+    destination's DP; prefer the bulk form in loops). *)

@@ -1,0 +1,71 @@
+(** Topology generators used in the paper's evaluation (Section V-A1).
+
+    Four families:
+    - {b RandTopo}: random connected graph of a given mean (undirected)
+      degree, nodes uniform in the unit square;
+    - {b NearTopo}: nodes connect to their closest neighbours — low path
+      diversity through the core, the paper's "outlier" topology;
+    - {b PLTopo}: power-law topology grown by Barabási–Albert preferential
+      attachment;
+    - {b ISP}: a fixed 16-node North-American backbone (the paper uses a real
+      ISP's proprietary topology; ours is a synthetic stand-in with PoPs at
+      real city coordinates and 35 bidirectional links — see DESIGN.md).
+
+    All generators produce bidirectional links (two arcs per edge), a uniform
+    capacity (paper: 500 Mb/s), and propagation delays derived from the
+    embedding, scaled into roughly the paper's 5–20 ms range. *)
+
+type options = {
+  capacity : float;  (** Mb/s per arc; default 500 *)
+  target_diameter : float;
+      (** seconds; the propagation-delay diameter the synthesized network is
+          scaled to.  The paper scales link delays "proportionally to ensure
+          a reasonable match between the target SLA bound theta and the
+          network diameter"; the default 25 ms matches the default theta
+          (U.S. coast-to-coast).  Link delays then come out roughly in the
+          paper's 5–20 ms range for RandTopo, shorter for NearTopo. *)
+  min_delay : float;  (** floor on a single link's delay; default 0.5 ms *)
+}
+
+val default_options : options
+
+val rand :
+  ?options:options -> Dtr_util.Rng.t -> nodes:int -> degree:float -> Graph.t
+(** Random connected graph: a uniform random spanning tree plus uniformly
+    random extra edges up to [round (nodes * degree / 2)] edges total.
+    [degree] is the mean undirected node degree (so a 30-node, degree-6 graph
+    has 90 edges = 180 arcs, the paper's "[30,180]").
+    @raise Invalid_argument if the requested edge count is below [nodes - 1]
+    or above the complete graph. *)
+
+val near :
+  ?options:options -> Dtr_util.Rng.t -> nodes:int -> degree:float -> Graph.t
+(** Nearest-neighbour graph: shortest non-edges are added first (so every
+    node ends up connected to its closest neighbours), patched to
+    connectivity, with exactly the same edge count as {!rand} for equal
+    parameters. *)
+
+val power_law :
+  ?options:options -> Dtr_util.Rng.t -> nodes:int -> m_attach:int -> Graph.t
+(** Barabási–Albert preferential attachment: an initial [m_attach + 1]-clique
+    and [m_attach] edges per subsequent node, giving
+    [C(m_attach+1, 2) + (nodes - m_attach - 1) * m_attach] edges.
+    @raise Invalid_argument if [nodes <= m_attach] or [m_attach < 1]. *)
+
+val isp_backbone : ?options:options -> unit -> Graph.t
+(** Fixed 16-node, 70-arc North-American backbone; propagation delays from
+    great-circle distances at 5 µs/km, floored at 2 ms.  Ignores the delay
+    scaling fields of [options]. *)
+
+(** {1 Named families for experiment drivers} *)
+
+type kind = Rand_topo | Near_topo | Pl_topo | Isp
+
+val kind_name : kind -> string
+(** "RandTopo", "NearTopo", "PLTopo", "ISP". *)
+
+val generate :
+  ?options:options -> Dtr_util.Rng.t -> kind -> nodes:int -> degree:float -> Graph.t
+(** Dispatch on [kind] with a uniform parameter interface.  For [Pl_topo],
+    [m_attach = max 1 (round (degree / 2))]; for [Isp], [nodes] and [degree]
+    are ignored. *)

@@ -1,0 +1,154 @@
+type node = int
+type arc_id = int
+
+type arc = {
+  id : arc_id;
+  src : node;
+  dst : node;
+  capacity : float;
+  delay : float;
+  rev : arc_id;
+}
+
+type t = {
+  n : int;
+  arcs : arc array;
+  out_arcs : arc_id list array;
+  in_arcs : arc_id list array;
+  out_arr : arc_id array array;
+  in_arr : arc_id array array;
+  coords : Geometry.point array option;
+}
+
+type edge_spec = { u : node; v : node; cap : float; prop : float }
+
+let of_edges ?coords ~n edges =
+  if n <= 0 then invalid_arg "Graph.of_edges: need at least one node";
+  (match coords with
+  | Some pts when Array.length pts <> n ->
+      invalid_arg "Graph.of_edges: coords length mismatch"
+  | _ -> ());
+  let seen = Hashtbl.create (2 * List.length edges) in
+  let check { u; v; cap; prop } =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg "Graph.of_edges: endpoint out of range";
+    if u = v then invalid_arg "Graph.of_edges: self-loop";
+    if cap <= 0. then invalid_arg "Graph.of_edges: non-positive capacity";
+    if prop <= 0. then invalid_arg "Graph.of_edges: non-positive delay";
+    let key = (min u v, max u v) in
+    if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+    Hashtbl.add seen key ()
+  in
+  List.iter check edges;
+  let m = List.length edges in
+  let arcs = Array.make (2 * m) { id = 0; src = 0; dst = 0; capacity = 1.; delay = 1.; rev = -1 } in
+  List.iteri
+    (fun k { u; v; cap; prop } ->
+      let fwd = 2 * k and bwd = (2 * k) + 1 in
+      arcs.(fwd) <- { id = fwd; src = u; dst = v; capacity = cap; delay = prop; rev = bwd };
+      arcs.(bwd) <- { id = bwd; src = v; dst = u; capacity = cap; delay = prop; rev = fwd })
+    edges;
+  let out_arcs = Array.make n [] and in_arcs = Array.make n [] in
+  (* Iterate in reverse so adjacency lists come out in increasing arc id. *)
+  for id = (2 * m) - 1 downto 0 do
+    let a = arcs.(id) in
+    out_arcs.(a.src) <- id :: out_arcs.(a.src);
+    in_arcs.(a.dst) <- id :: in_arcs.(a.dst)
+  done;
+  {
+    n;
+    arcs;
+    out_arcs;
+    in_arcs;
+    out_arr = Array.map Array.of_list out_arcs;
+    in_arr = Array.map Array.of_list in_arcs;
+    coords;
+  }
+
+let num_nodes g = g.n
+let num_arcs g = Array.length g.arcs
+
+let arc g id =
+  if id < 0 || id >= Array.length g.arcs then invalid_arg "Graph.arc: bad id";
+  g.arcs.(id)
+
+let arcs g = g.arcs
+let out_arcs g v = g.out_arcs.(v)
+let in_arcs g v = g.in_arcs.(v)
+let out_arcs_array g v = g.out_arr.(v)
+let in_arcs_array g v = g.in_arr.(v)
+
+let find_arc g src dst =
+  List.find_opt (fun id -> g.arcs.(id).dst = dst) g.out_arcs.(src)
+
+let coords g = g.coords
+
+let edge_count g =
+  Array.fold_left
+    (fun acc a -> if a.rev < 0 || a.id < a.rev then acc + 1 else acc)
+    0 g.arcs
+
+let mean_out_degree g = float_of_int (num_arcs g) /. float_of_int g.n
+
+let enabled disabled id =
+  match disabled with None -> true | Some mask -> not mask.(id)
+
+let reachable_from ?disabled g s =
+  let visited = Array.make g.n false in
+  let stack = ref [ s ] in
+  visited.(s) <- true;
+  let rec walk () =
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        let visit id =
+          if enabled disabled id then begin
+            let v = g.arcs.(id).dst in
+            if not visited.(v) then begin
+              visited.(v) <- true;
+              stack := v :: !stack
+            end
+          end
+        in
+        List.iter visit g.out_arcs.(u);
+        walk ()
+  in
+  walk ();
+  visited
+
+(* Strong connectivity via forward + backward reachability from node 0. *)
+let strongly_connected ?disabled g =
+  let fwd = reachable_from ?disabled g 0 in
+  if not (Array.for_all Fun.id fwd) then false
+  else begin
+    let visited = Array.make g.n false in
+    let stack = ref [ 0 ] in
+    visited.(0) <- true;
+    let rec walk () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+          stack := rest;
+          let visit id =
+            if enabled disabled id then begin
+              let v = g.arcs.(id).src in
+              if not visited.(v) then begin
+                visited.(v) <- true;
+                stack := v :: !stack
+              end
+            end
+          in
+          List.iter visit g.in_arcs.(u);
+          walk ()
+    in
+    walk ();
+    Array.for_all Fun.id visited
+  end
+
+let pp_summary ppf g =
+  let delays = Array.map (fun a -> a.delay) g.arcs in
+  let lo = Array.fold_left Float.min Float.infinity delays in
+  let hi = Array.fold_left Float.max Float.neg_infinity delays in
+  Format.fprintf ppf "graph: %d nodes, %d arcs (mean out-degree %.1f), delays %.1f-%.1f ms"
+    g.n (num_arcs g) (mean_out_degree g) (lo *. 1000.) (hi *. 1000.)

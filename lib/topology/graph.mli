@@ -1,0 +1,94 @@
+(** Directed network graph.
+
+    The paper models the network as a directed graph [G = (V, E)] where every
+    arc [l] has a capacity [Cl] and a propagation delay [pl], and carries two
+    configurable weights (one per traffic class).  Physical bidirectional
+    links are represented as two arcs that know each other through
+    {!val:rev}; failure scenarios and routing always operate at arc
+    granularity, exactly as in the paper's formulation
+    ([Kfail] sums over all arcs [l] in [E]).
+
+    Nodes are dense integers [0 .. num_nodes - 1]; arcs are dense integers
+    [0 .. num_arcs - 1], which lets every per-arc quantity in the library
+    (weights, loads, delays, criticalities) live in a flat array. *)
+
+type node = int
+type arc_id = int
+
+type arc = private {
+  id : arc_id;
+  src : node;
+  dst : node;
+  capacity : float;  (** Mb/s *)
+  delay : float;  (** propagation delay, seconds *)
+  rev : arc_id;  (** reverse arc of the same physical link, or -1 *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+type edge_spec = {
+  u : node;
+  v : node;
+  cap : float;  (** Mb/s, applied to both directions *)
+  prop : float;  (** seconds, applied to both directions *)
+}
+
+val of_edges : ?coords:Geometry.point array -> n:int -> edge_spec list -> t
+(** [of_edges ~n edges] builds a graph on [n] nodes from undirected edge
+    specs; each spec contributes the two arcs [(u,v)] and [(v,u)] linked via
+    [rev].  Arc ids follow list order: spec [k] yields arcs [2k] (u→v) and
+    [2k+1] (v→u).
+    @raise Invalid_argument on out-of-range endpoints, self-loops, duplicate
+    edges, or non-positive capacity/delay. *)
+
+(** {1 Accessors} *)
+
+val num_nodes : t -> int
+val num_arcs : t -> int
+
+val arc : t -> arc_id -> arc
+(** @raise Invalid_argument if the id is out of range. *)
+
+val arcs : t -> arc array
+(** All arcs, indexed by id.  Do not mutate. *)
+
+val out_arcs : t -> node -> arc_id list
+(** Arc ids leaving a node. *)
+
+val in_arcs : t -> node -> arc_id list
+(** Arc ids entering a node. *)
+
+val out_arcs_array : t -> node -> arc_id array
+(** Same as {!out_arcs} as a shared array — the routing hot path uses these
+    to avoid list traversal.  Do not mutate. *)
+
+val in_arcs_array : t -> node -> arc_id array
+(** Shared array counterpart of {!in_arcs}.  Do not mutate. *)
+
+val find_arc : t -> node -> node -> arc_id option
+(** First arc from [src] to [dst], if any. *)
+
+val coords : t -> Geometry.point array option
+(** Node positions when the graph was built from an embedding. *)
+
+val edge_count : t -> int
+(** Number of physical (undirected) links, i.e. pairs of mutually reverse
+    arcs; arcs without a reverse count as one each. *)
+
+val mean_out_degree : t -> float
+
+(** {1 Connectivity} *)
+
+val strongly_connected : ?disabled:bool array -> t -> bool
+(** [strongly_connected ?disabled g] ignores arcs whose id is marked [true]
+    in [disabled] (length [num_arcs]). *)
+
+val reachable_from : ?disabled:bool array -> t -> node -> bool array
+(** Forward reachability along enabled arcs. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: node/arc counts, mean degree, delay range. *)

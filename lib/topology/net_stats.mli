@@ -1,0 +1,35 @@
+(** Topology statistics.
+
+    The paper's explanation of {e when} robust optimization helps (Sections
+    V-B/V-C) rests on {e path diversity}: "the benefits that robust
+    optimization can offer are typically in proportion to the number of
+    paths it can explore".  This module quantifies that, along with the
+    usual degree/diameter statistics used to describe the evaluated
+    topologies. *)
+
+type degree_stats = {
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  (* out-degrees; in- and out-degrees coincide for bidirectional graphs *)
+}
+
+val degrees : Graph.t -> degree_stats
+
+val hop_diameter : Graph.t -> int
+(** Largest finite hop distance over ordered pairs (0 for a single node). *)
+
+val prop_diameter : Graph.t -> float
+(** Largest finite propagation delay of a delay-shortest path, seconds. *)
+
+val arc_disjoint_paths :
+  Graph.t ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  int
+(** Maximum number of arc-disjoint paths from [src] to [dst] (max-flow with
+    unit arc capacities, Edmonds–Karp); 0 when [src = dst] or disconnected. *)
+
+val mean_path_diversity : Graph.t -> float
+(** Mean of {!arc_disjoint_paths} over all ordered pairs — a single scalar
+    for "how many alternatives does robust optimization have to explore". *)

@@ -1,0 +1,114 @@
+type group = { id : int; label : string; edges : Graph.arc_id list }
+
+type t = { graph : Graph.t; groups : group list; of_arc : group option array }
+
+let groups t = t.groups
+let num_groups t = List.length t.groups
+
+let canonical g id =
+  let a = Graph.arc g id in
+  if a.Graph.rev >= 0 && a.Graph.rev < id then a.Graph.rev else id
+
+let build g named =
+  let m = Graph.num_arcs g in
+  let of_arc = Array.make m None in
+  let groups =
+    List.mapi
+      (fun gid (label, members) ->
+        if members = [] then invalid_arg "Srlg: empty group";
+        let edges = List.sort_uniq compare (List.map (canonical g) members) in
+        let grp = { id = gid; label; edges } in
+        List.iter
+          (fun e ->
+            let claim id =
+              match of_arc.(id) with
+              | Some _ -> invalid_arg "Srlg: link in two groups"
+              | None -> of_arc.(id) <- Some grp
+            in
+            claim e;
+            let rev = (Graph.arc g e).Graph.rev in
+            if rev >= 0 then claim rev)
+          edges;
+        grp)
+      named
+  in
+  { graph = g; groups; of_arc }
+
+let of_edge_groups g named =
+  List.iter
+    (fun (_, members) ->
+      List.iter
+        (fun id ->
+          if id < 0 || id >= Graph.num_arcs g then invalid_arg "Srlg: bad arc id")
+        members)
+    named;
+  build g named
+
+let geographic ?(radius = 0.15) g =
+  let pts =
+    match Graph.coords g with
+    | Some pts -> pts
+    | None -> invalid_arg "Srlg.geographic: graph has no coordinates"
+  in
+  let midpoint id =
+    let a = Graph.arc g id in
+    let u = pts.(a.Graph.src) and v = pts.(a.Graph.dst) in
+    Geometry.point ((u.Geometry.x +. v.Geometry.x) /. 2.) ((u.Geometry.y +. v.Geometry.y) /. 2.)
+  in
+  (* representative links in id order *)
+  let links =
+    Array.to_list (Graph.arcs g)
+    |> List.filter_map (fun a ->
+           if a.Graph.rev < 0 || a.Graph.id < a.Graph.rev then Some a.Graph.id else None)
+  in
+  (* greedy seeding: each link joins the first group whose seed midpoint is
+     within the radius, else starts a new group *)
+  let clusters = ref [] (* (seed midpoint, members ref) in reverse order *) in
+  List.iter
+    (fun id ->
+      let p = midpoint id in
+      let rec place = function
+        | [] -> clusters := (p, ref [ id ]) :: !clusters
+        | (seed, members) :: rest ->
+            if Geometry.distance seed p <= radius then members := id :: !members
+            else place rest
+      in
+      place (List.rev !clusters))
+    links;
+  let named =
+    List.rev !clusters
+    |> List.mapi (fun i (_, members) ->
+           (Printf.sprintf "conduit-%d" i, List.rev !members))
+  in
+  build g named
+
+let failures t =
+  List.map
+    (fun grp ->
+      (* both directions of every member link *)
+      let all =
+        List.concat_map
+          (fun e ->
+            let rev = (Graph.arc t.graph e).Graph.rev in
+            if rev >= 0 then [ e; rev ] else [ e ])
+          grp.edges
+      in
+      Failure.Arcs all)
+    t.groups
+
+let group_of_arc t id =
+  if id < 0 || id >= Array.length t.of_arc then None else t.of_arc.(id)
+
+let pp g ppf t =
+  List.iter
+    (fun grp ->
+      let members =
+        List.map
+          (fun e ->
+            let a = Graph.arc g e in
+            Printf.sprintf "%d<->%d" a.Graph.src a.Graph.dst)
+          grp.edges
+      in
+      Format.fprintf ppf "%s (%d links): %s@." grp.label (List.length grp.edges)
+        (String.concat ", " members))
+    t.groups

@@ -1,0 +1,47 @@
+(** Shared-risk link groups (SRLGs).
+
+    Real backbone links that share a conduit, a bridge crossing, or a PoP
+    riser fail together: a single fibre cut takes down every circuit in the
+    group.  An SRLG partitions (a subset of) the physical links into groups
+    that constitute joint failure scenarios — a natural generalisation of the
+    paper's single-link failures and of the "multiple link failures"
+    mentioned in Section V-F.  Because the robust optimizer (Phase 2) is
+    generic over failure scenarios, SRLG-robust routing falls out of the
+    existing machinery: feed it {!failures}. *)
+
+type group = {
+  id : int;
+  label : string;
+  edges : Graph.arc_id list;
+      (** representative (lower) arc id of each member link; a group failure
+          removes both directions of every member *)
+}
+
+type t
+
+val groups : t -> group list
+
+val num_groups : t -> int
+
+val of_edge_groups : Graph.t -> (string * Graph.arc_id list) list -> t
+(** Build an SRLG set from explicit member lists (arc ids may name either
+    direction of a link; they are normalised to the lower id).
+    @raise Invalid_argument on unknown ids, empty groups, or a link
+    appearing in two groups. *)
+
+val geographic : ?radius:float -> Graph.t -> t
+(** Cluster links whose geometric midpoints lie within [radius] (default
+    0.15 in unit-square coordinates) of a group seed: a simple model of
+    shared conduits in dense areas.  Links far from everything form
+    singleton groups, so the result always covers every link.
+    @raise Invalid_argument if the graph has no coordinates. *)
+
+val failures : t -> Failure.t list
+(** One joint failure scenario per group (both directions of all member
+    links). *)
+
+val group_of_arc : t -> Graph.arc_id -> group option
+(** The group containing the given arc (either direction), if any. *)
+
+val pp : Graph.t -> Format.formatter -> t -> unit
+(** One line per group: label, size, member endpoints. *)

@@ -1,0 +1,32 @@
+module Rng = Dtr_util.Rng
+
+type spec = { delay_share : float; sigma : float }
+
+let default_spec = { delay_share = 0.3; sigma = 0.5 }
+
+let single ?(sigma = default_spec.sigma) rng ~nodes ~total =
+  if nodes < 2 then invalid_arg "Gravity: need at least two nodes";
+  if total <= 0. then invalid_arg "Gravity: total volume must be positive";
+  let origin = Array.init nodes (fun _ -> Rng.log_normal rng ~mu:0. ~sigma) in
+  let dest = Array.init nodes (fun _ -> Rng.log_normal rng ~mu:0. ~sigma) in
+  let m = Matrix.create nodes in
+  let raw_total = ref 0. in
+  for s = 0 to nodes - 1 do
+    for t = 0 to nodes - 1 do
+      if s <> t then raw_total := !raw_total +. (origin.(s) *. dest.(t))
+    done
+  done;
+  let norm = total /. !raw_total in
+  for s = 0 to nodes - 1 do
+    for t = 0 to nodes - 1 do
+      if s <> t then Matrix.set m ~src:s ~dst:t (origin.(s) *. dest.(t) *. norm)
+    done
+  done;
+  m
+
+let pair ?(spec = default_spec) rng ~nodes ~total =
+  if spec.delay_share <= 0. || spec.delay_share >= 1. then
+    invalid_arg "Gravity: delay_share outside (0, 1)";
+  let rd = single ~sigma:spec.sigma rng ~nodes ~total:(spec.delay_share *. total) in
+  let rt = single ~sigma:spec.sigma rng ~nodes ~total:((1. -. spec.delay_share) *. total) in
+  (rd, rt)

@@ -1,0 +1,27 @@
+(** Gravity-model traffic generation.
+
+    The paper generates both traffic matrices with the model of its companion
+    work (Kwong et al., CoNEXT 2007): every node gets an origin mass and a
+    destination mass, the demand between [s] and [t] is proportional to the
+    product of [s]'s origin mass and [t]'s destination mass, every SD pair
+    carries delay-sensitive traffic, and the delay-sensitive class accounts
+    for a configurable share (default 30%) of the total volume.  Masses are
+    log-normal, giving the heterogeneous per-pair volumes of real networks. *)
+
+type spec = {
+  delay_share : float;  (** fraction of total volume that is delay-sensitive; default 0.3 *)
+  sigma : float;  (** log-normal shape of node masses; default 0.5 *)
+}
+
+val default_spec : spec
+
+val pair : ?spec:spec -> Dtr_util.Rng.t -> nodes:int -> total:float -> Matrix.t * Matrix.t
+(** [pair rng ~nodes ~total] draws [(rd, rt)]: the delay- and
+    throughput-sensitive matrices.  Both are full meshes (every off-diagonal
+    pair strictly positive); [total rd + total rt = total] up to rounding;
+    [total rd = delay_share *. total].
+    @raise Invalid_argument if [nodes < 2], [total <= 0], or [delay_share]
+    outside (0, 1). *)
+
+val single : ?sigma:float -> Dtr_util.Rng.t -> nodes:int -> total:float -> Matrix.t
+(** One gravity matrix normalised to the given total volume. *)

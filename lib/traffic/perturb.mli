@@ -1,0 +1,50 @@
+(** Traffic-uncertainty models (paper Section V-F).
+
+    Routing solutions are computed against {e base} matrices but evaluated
+    against {e actual} traffic.  Two models of the discrepancy:
+
+    - {b Gaussian fluctuation} (measurement error / random variation):
+      each demand becomes [r + N(0, eps * r)], clamped at zero;
+    - {b hot-spot surges}: a small set of server nodes is selected; each of a
+      larger set of client nodes is assigned to a server, and the demand of
+      the corresponding SD pair is multiplied by a factor drawn uniformly in
+      a given range — in the {e upload} direction (client to server) or the
+      {e download} direction (server to client). *)
+
+val gaussian : Dtr_util.Rng.t -> eps:float -> Matrix.t -> Matrix.t
+(** [gaussian rng ~eps m]: each non-zero demand [r] is redrawn as
+    [max 0 (r + N(0, eps * r))].  The paper uses [eps = 0.2] (±40% with
+    ~95% likelihood).  @raise Invalid_argument if [eps < 0]. *)
+
+type hotspot = {
+  server_fraction : float;  (** fraction of nodes acting as servers; paper 0.1 *)
+  client_fraction : float;  (** fraction of nodes acting as clients; paper 0.5 *)
+  factor_min : float;  (** lower end of the surge multiplier; paper 2 *)
+  factor_max : float;  (** upper end of the surge multiplier; paper 6 *)
+}
+
+val default_hotspot : hotspot
+
+type direction = Upload | Download
+
+type assignment = { servers : int array; client_server : (int * int) array }
+(** The drawn hot-spot structure: server nodes, and (client, server) pairs. *)
+
+val draw_assignment :
+  Dtr_util.Rng.t -> nodes:int -> hotspot -> assignment
+(** Draws servers and assigns each client a uniformly random server.
+    Clients are drawn among non-server nodes.
+    @raise Invalid_argument if the fractions leave no server or no client. *)
+
+val hotspot :
+  Dtr_util.Rng.t ->
+  ?spec:hotspot ->
+  direction:direction ->
+  rd:Matrix.t ->
+  rt:Matrix.t ->
+  unit ->
+  Matrix.t * Matrix.t
+(** Applies a freshly drawn assignment to both classes: for each
+    (client [i], server [j]) pair the affected demand — [r (i, j)] for
+    [Upload], [r (j, i)] for [Download] — is multiplied by an independent
+    uniform factor per class, as in the paper's ν and µ multipliers. *)

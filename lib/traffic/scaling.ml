@@ -1,0 +1,35 @@
+module Graph = Dtr_topology.Graph
+module Routing = Dtr_spf.Routing
+
+type target = Avg_utilization of float | Max_utilization of float
+
+let unit_weights g = Array.make (Graph.num_arcs g) 1
+
+let utilizations g ~loads =
+  Array.map (fun a -> loads.(a.Graph.id) /. a.Graph.capacity) (Graph.arcs g)
+
+let avg_utilization g ~loads =
+  let u = utilizations g ~loads in
+  Array.fold_left ( +. ) 0. u /. float_of_int (Array.length u)
+
+let max_utilization g ~loads =
+  Array.fold_left Float.max 0. (utilizations g ~loads)
+
+let calibrate g ?weights ~rd ~rt target =
+  let weights = match weights with Some w -> w | None -> unit_weights g in
+  let level, measure =
+    match target with
+    | Avg_utilization x -> (x, avg_utilization)
+    | Max_utilization x -> (x, max_utilization)
+  in
+  if level <= 0. then invalid_arg "Scaling.calibrate: non-positive target";
+  let routing = Routing.compute g ~weights () in
+  let loads = Array.make (Graph.num_arcs g) 0. in
+  let unrouted_d = Routing.add_loads routing ~demands:(Matrix.dense rd) ~into:loads () in
+  let unrouted_t = Routing.add_loads routing ~demands:(Matrix.dense rt) ~into:loads () in
+  if unrouted_d > 0. || unrouted_t > 0. then
+    invalid_arg "Scaling.calibrate: reference routing cannot place all demands";
+  let current = measure g ~loads in
+  if current <= 0. then invalid_arg "Scaling.calibrate: matrices carry no traffic";
+  let factor = level /. current in
+  (Matrix.scale rd factor, Matrix.scale rt factor)

@@ -1,0 +1,34 @@
+(** Calibration of traffic volume against a topology.
+
+    The paper's experiments are parameterised by load operating points
+    ("average link utilization 0.43", "maximum link utilization 0.9", ...)
+    measured under normal conditions.  Because arc loads are linear in the
+    demand volume for a fixed routing, a traffic matrix pair can be scaled to
+    any such operating point by routing it once under a reference routing
+    (unit weights, i.e. hop count) and rescaling. *)
+
+type target =
+  | Avg_utilization of float  (** mean of load/capacity over all arcs *)
+  | Max_utilization of float  (** max of load/capacity over all arcs *)
+
+val unit_weights : Dtr_topology.Graph.t -> int array
+(** All-ones weight vector (hop-count routing), the calibration reference. *)
+
+val utilizations : Dtr_topology.Graph.t -> loads:float array -> float array
+(** Per-arc load/capacity. *)
+
+val avg_utilization : Dtr_topology.Graph.t -> loads:float array -> float
+val max_utilization : Dtr_topology.Graph.t -> loads:float array -> float
+
+val calibrate :
+  Dtr_topology.Graph.t ->
+  ?weights:int array ->
+  rd:Matrix.t ->
+  rt:Matrix.t ->
+  target ->
+  Matrix.t * Matrix.t
+(** [calibrate g ~rd ~rt target] scales both matrices by the common factor
+    that realises [target] under routing with [weights] (default
+    {!unit_weights}).
+    @raise Invalid_argument if the matrices carry no traffic or the target
+    level is not positive. *)

@@ -1,0 +1,33 @@
+(** Binary min-heap keyed by floats.
+
+    The shortest-path substrate runs one Dijkstra per destination per traffic
+    class for every candidate weight setting, so the priority queue is the
+    single hottest data structure in the library.  This is a plain array-based
+    binary heap with lazy deletion (decrease-key is implemented by reinserting
+    and discarding stale entries on [pop]), which is both simple and fast at
+    the graph sizes of the paper (≤ a few hundred nodes). *)
+
+type 'a t
+(** Heap of values of type ['a] prioritised by a float key (smallest first). *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap.  [capacity] pre-sizes the backing array. *)
+
+val clear : 'a t -> unit
+(** Remove all entries, retaining the backing array. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of entries, counting stale duplicates that have not yet been
+    discarded. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key, or [None] if empty.
+    Ties are broken arbitrarily. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest entry without removing it. *)

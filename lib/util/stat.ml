@@ -1,0 +1,84 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Stat.mean" xs;
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stat.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let minimum xs =
+  check_nonempty "Stat.minimum" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  check_nonempty "Stat.maximum" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort Float.compare ys;
+  ys
+
+let percentile xs p =
+  check_nonempty "Stat.percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stat.percentile: p outside [0, 100]";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let tail_count n fraction =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Stat: tail fraction outside (0, 1]";
+  max 1 (int_of_float (Float.ceil (fraction *. float_of_int n)))
+
+let left_tail_mean xs ~fraction =
+  check_nonempty "Stat.left_tail_mean" xs;
+  let ys = sorted_copy xs in
+  let k = tail_count (Array.length ys) fraction in
+  mean (Array.sub ys 0 k)
+
+let right_tail_mean xs ~fraction =
+  check_nonempty "Stat.right_tail_mean" xs;
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let k = tail_count n fraction in
+  mean (Array.sub ys (n - k) k)
+
+let mean_std xs = (mean xs, stddev xs)
+
+module Acc = struct
+  type t = { mutable n : int; mutable m : float; mutable s : float }
+
+  let create () = { n = 0; m = 0.; s = 0. }
+
+  (* Welford's online algorithm. *)
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.m in
+    t.m <- t.m +. (delta /. float_of_int t.n);
+    t.s <- t.s +. (delta *. (x -. t.m))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.m
+
+  let stddev t =
+    if t.n < 2 then 0. else sqrt (t.s /. float_of_int (t.n - 1))
+end

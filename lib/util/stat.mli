@@ -1,0 +1,57 @@
+(** Descriptive statistics used throughout the evaluation.
+
+    The criticality metric of the paper (Eqs. (8)–(9)) is the difference
+    between the mean and the {e left-tail mean} (mean of the smallest 10%) of
+    a sample of post-failure network costs; the evaluation tables report means
+    and standard deviations over repeated runs, and several figures report
+    top-10% means over the worst failures.  This module provides exactly those
+    estimators, plus a small streaming accumulator. *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singleton samples.
+    @raise Invalid_argument on an empty array. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val minimum : float array -> float
+(** Smallest element.  @raise Invalid_argument on an empty array. *)
+
+val maximum : float array -> float
+(** Largest element.  @raise Invalid_argument on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]: linear interpolation between
+    closest ranks (the common "exclusive" definition).  Does not modify [xs].
+    @raise Invalid_argument on an empty array or [p] outside [0, 100]. *)
+
+val left_tail_mean : float array -> fraction:float -> float
+(** [left_tail_mean xs ~fraction] is the mean of the smallest
+    [ceil (fraction * n)] elements (at least one).  This is the paper's
+    left-tail estimator with its default [fraction = 0.1].
+    @raise Invalid_argument on an empty array or [fraction] outside (0, 1]. *)
+
+val right_tail_mean : float array -> fraction:float -> float
+(** Mean of the largest [ceil (fraction * n)] elements (at least one); used
+    for the "top-10% worst failures" rows of Tables II–IV. *)
+
+val mean_std : float array -> float * float
+(** [(mean, stddev)] in one call; convention used by every results table. *)
+
+(** Streaming accumulator (Welford) for mean/variance without retaining the
+    sample. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 if empty. *)
+
+  val stddev : t -> float
+  (** 0 if fewer than two observations. *)
+end

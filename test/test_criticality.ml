@@ -1,0 +1,216 @@
+(* Tests for Dtr_core.Sampler and Dtr_core.Criticality (Eqs. 8-9,
+   Algorithm 1, the convergence index). *)
+
+module Rng = Dtr_util.Rng
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Sampler = Dtr_core.Sampler
+module Criticality = Dtr_core.Criticality
+module Local_search = Dtr_core.Local_search
+module Lexico = Dtr_cost.Lexico
+
+let k l p = Lexico.make ~lambda:l ~phi:p
+
+(* Sampler *)
+
+let test_sampler_record_and_read () =
+  let scenario = Fixtures.diamond_scenario () in
+  let s = Sampler.create scenario in
+  Sampler.record s ~arc:2 (k 10. 100.);
+  Sampler.record s ~arc:2 (k 20. 200.);
+  Alcotest.(check int) "count" 2 (Sampler.count s 2);
+  Alcotest.(check int) "total" 2 (Sampler.total s);
+  Alcotest.(check int) "other arcs empty" 0 (Sampler.count s 0);
+  Alcotest.(check int) "min count" 0 (Sampler.min_count s);
+  let ls = Sampler.lambda_samples s 2 in
+  Array.sort compare ls;
+  Alcotest.(check (array (float 0.))) "lambda samples" [| 10.; 20. |] ls
+
+let test_sampler_failure_like () =
+  let scenario = Fixtures.diamond_scenario () in
+  (* q = 0.7, wmax = 20: failure band is [14, 20] *)
+  let s = Sampler.create scenario in
+  let w = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  Alcotest.(check bool) "low weights not failure-like" false (Sampler.is_failure_like s w ~arc:0);
+  Weights.set_arc w ~arc:0 ~wd:14 ~wt:20;
+  Alcotest.(check bool) "band weights failure-like" true (Sampler.is_failure_like s w ~arc:0);
+  Weights.set_arc w ~arc:0 ~wd:14 ~wt:13;
+  Alcotest.(check bool) "one class below band" false (Sampler.is_failure_like s w ~arc:0)
+
+let test_sampler_acceptability () =
+  let scenario = Fixtures.diamond_scenario () in
+  let s = Sampler.create scenario in
+  let best = k 100. 1000. in
+  (* z = 0.5, B1 = 100 -> lambda allowance +50; chi = 0.2 -> phi allowance x1.2 *)
+  Alcotest.(check bool) "within both" true (Sampler.is_acceptable s ~best (k 149. 1199.));
+  Alcotest.(check bool) "lambda too high" false (Sampler.is_acceptable s ~best (k 151. 1000.));
+  Alcotest.(check bool) "phi too high" false (Sampler.is_acceptable s ~best (k 100. 1201.))
+
+let test_sampler_observe () =
+  let scenario = Fixtures.diamond_scenario () in
+  let s = Sampler.create scenario in
+  let w = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  Weights.set_arc w ~arc:3 ~wd:18 ~wt:18;
+  let best = k 0. 1000. in
+  let obs accepted cost_after =
+    Local_search.
+      { arc = 3; weights = w; cost_before = k 0. 1000.; cost_after; accepted }
+  in
+  Alcotest.(check bool) "recorded" true (Sampler.observe s ~best (obs false (Some (k 5. 1100.))));
+  Alcotest.(check int) "sample stored" 1 (Sampler.count s 3);
+  (* unacceptable pre-move cost: rejected *)
+  let bad = Local_search.{ arc = 3; weights = w; cost_before = k 999. 1000.;
+                           cost_after = Some (k 5. 1100.); accepted = false } in
+  Alcotest.(check bool) "unacceptable start rejected" false (Sampler.observe s ~best bad);
+  (* non-failure-like arc: rejected *)
+  Weights.set_arc w ~arc:3 ~wd:2 ~wt:2;
+  Alcotest.(check bool) "non-failure-like rejected" false
+    (Sampler.observe s ~best (obs false (Some (k 5. 1100.))))
+
+(* Criticality from raw samples *)
+
+let test_rho_mean_minus_tail () =
+  (* arc 0: wide distribution; arc 1: narrow. *)
+  let lambda = [| [| 0.; 100.; 100.; 100.; 100.; 100.; 100.; 100.; 100.; 100. |];
+                  [| 50.; 50.; 50.; 50.; 50.; 50.; 50.; 50.; 50.; 50. |] |] in
+  let phi = [| Array.make 10 1.; Array.make 10 1. |] in
+  let c = Criticality.of_samples ~left_tail:0.1 ~lambda ~phi in
+  (* arc 0: mean 90, left-tail (smallest 10%) = 0 -> rho = 90 *)
+  Alcotest.(check (float 1e-9)) "wide arc rho" 90. c.Criticality.rho_lambda.(0);
+  Alcotest.(check (float 1e-9)) "narrow arc rho" 0. c.Criticality.rho_lambda.(1);
+  Alcotest.(check (float 1e-9)) "tail of wide arc" 0. c.Criticality.tail_lambda.(0);
+  Alcotest.(check bool) "wide more critical after normalisation" true
+    (c.Criticality.norm_lambda.(0) > c.Criticality.norm_lambda.(1))
+
+let test_empty_samples_zero () =
+  let c = Criticality.of_samples ~left_tail:0.1 ~lambda:[| [||] |] ~phi:[| [||] |] in
+  Alcotest.(check (float 0.)) "no samples, zero criticality" 0. c.Criticality.rho_lambda.(0)
+
+let test_ranking () =
+  let r = Criticality.ranking [| 1.; 5.; 3.; 5. |] in
+  (* descending, ties by id *)
+  Alcotest.(check (array int)) "ranking" [| 1; 3; 2; 0 |] r
+
+(* Algorithm 1 *)
+
+let test_select_size_and_content () =
+  let m = 10 in
+  let lambda = Array.init m (fun arc -> Array.make 5 (float_of_int arc)) in
+  (* make arc i's lambda distribution spread grow with i *)
+  Array.iteri (fun i row -> row.(0) <- 0.; ignore i) lambda;
+  let phi = Array.init m (fun _ -> Array.make 5 1.) in
+  let c = Criticality.of_samples ~left_tail:0.2 ~lambda ~phi in
+  let sel = Criticality.select c ~n:3 in
+  Alcotest.(check int) "size 3" 3 (List.length sel);
+  (* highest-lambda-criticality arcs are the largest ids *)
+  Alcotest.(check (list int)) "most critical arcs selected" [ 7; 8; 9 ] sel
+
+let test_select_full () =
+  let lambda = Array.init 5 (fun _ -> [| 0.; 1. |]) in
+  let phi = Array.init 5 (fun _ -> [| 0.; 1. |]) in
+  let c = Criticality.of_samples ~left_tail:0.5 ~lambda ~phi in
+  Alcotest.(check int) "n = |E| keeps everything" 5
+    (List.length (Criticality.select c ~n:5));
+  Alcotest.check_raises "n = 0 rejected" (Invalid_argument "Criticality.select: bad target size")
+    (fun () -> ignore (Criticality.select c ~n:0))
+
+let test_select_merges_two_classes () =
+  (* arc 0 critical for lambda only, arc 1 critical for phi only *)
+  let lambda = [| [| 0.; 100. |]; [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let phi = [| [| 1.; 1. |]; [| 0.; 100. |]; [| 1.; 1. |] |] in
+  let c = Criticality.of_samples ~left_tail:0.5 ~lambda ~phi in
+  let sel = Criticality.select c ~n:2 in
+  Alcotest.(check (list int)) "one from each class" [ 0; 1 ] sel
+
+(* Rank-change index *)
+
+let test_rank_change_zero_when_stable () =
+  let r = [| 3; 1; 0; 2 |] in
+  Alcotest.(check (float 0.)) "stable" 0. (Criticality.rank_change_index ~prev:r ~current:r)
+
+let test_rank_change_swap () =
+  (* swapping two adjacent arcs: S_l = 1 for both, gamma = 1/2 each -> S = 1 *)
+  let prev = [| 0; 1; 2 |] and current = [| 1; 0; 2 |] in
+  Alcotest.(check (float 1e-9)) "swap index" 1.
+    (Criticality.rank_change_index ~prev ~current)
+
+let test_rank_change_weighted () =
+  (* one arc moves 4, others shuffle by 1: big movers dominate *)
+  let prev = [| 0; 1; 2; 3; 4 |] and current = [| 1; 2; 3; 4; 0 |] in
+  (* S_l: arc0 moves 4, arcs 1-4 move 1 => S = (16+4)/(4+4) = 2.5 *)
+  Alcotest.(check (float 1e-9)) "weighted index" 2.5
+    (Criticality.rank_change_index ~prev ~current)
+
+(* Convergence tracker *)
+
+let test_convergence_tracker () =
+  let scenario = Fixtures.diamond_scenario () in
+  let tracker = Criticality.Convergence.create scenario in
+  let s = Sampler.create scenario in
+  (* deterministic identical samples: rankings are stable from the start *)
+  for arc = 0 to Scenario.num_arcs scenario - 1 do
+    for i = 0 to 9 do
+      Sampler.record s ~arc (k (float_of_int (arc * (1 + (i mod 2)))) 1.)
+    done
+  done;
+  Alcotest.(check bool) "first check never converges" false
+    (Criticality.Convergence.check tracker s);
+  Alcotest.(check bool) "second check with same data converges" true
+    (Criticality.Convergence.check tracker s);
+  Alcotest.(check bool) "criticality exposed" true
+    (Criticality.Convergence.last tracker <> None)
+
+(* Property: Algorithm 1 returns exactly n arcs whenever criticalities are
+   generic (no mass ties), and the kept error never exceeds the dropped
+   criticality mass of a smaller selection. *)
+let prop_select_size =
+  QCheck.Test.make ~name:"Algorithm 1 returns at most n distinct arcs" ~count:100
+    QCheck.(pair (int_range 2 30) (int_range 0 100000))
+    (fun (m, seed) ->
+      let rng = Dtr_util.Rng.create seed in
+      let sample () =
+        Array.init m (fun _ -> Array.init 6 (fun _ -> Dtr_util.Rng.float rng 100.))
+      in
+      let c = Criticality.of_samples ~left_tail:0.2 ~lambda:(sample ()) ~phi:(sample ()) in
+      let n = 1 + Dtr_util.Rng.int rng m in
+      let sel = Criticality.select c ~n in
+      List.length sel <= n
+      && List.length (List.sort_uniq compare sel) = List.length sel
+      && List.for_all (fun a -> a >= 0 && a < m) sel)
+
+let prop_select_monotone =
+  QCheck.Test.make ~name:"larger targets keep more criticality mass" ~count:50
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Dtr_util.Rng.create seed in
+      let m = 20 in
+      let sample () =
+        Array.init m (fun _ -> Array.init 6 (fun _ -> Dtr_util.Rng.float rng 100.))
+      in
+      let c = Criticality.of_samples ~left_tail:0.2 ~lambda:(sample ()) ~phi:(sample ()) in
+      let mass sel =
+        List.fold_left
+          (fun acc a -> acc +. c.Criticality.norm_lambda.(a) +. c.Criticality.norm_phi.(a))
+          0. sel
+      in
+      mass (Criticality.select c ~n:5) <= mass (Criticality.select c ~n:10) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "sampler record/read" `Quick test_sampler_record_and_read;
+    Alcotest.test_case "failure-like detection" `Quick test_sampler_failure_like;
+    Alcotest.test_case "acceptability relaxation" `Quick test_sampler_acceptability;
+    Alcotest.test_case "observation filtering" `Quick test_sampler_observe;
+    Alcotest.test_case "rho = mean - left tail" `Quick test_rho_mean_minus_tail;
+    Alcotest.test_case "empty samples" `Quick test_empty_samples_zero;
+    Alcotest.test_case "ranking order" `Quick test_ranking;
+    Alcotest.test_case "Algorithm 1 size and content" `Quick test_select_size_and_content;
+    Alcotest.test_case "Algorithm 1 full/degenerate" `Quick test_select_full;
+    Alcotest.test_case "Algorithm 1 merges both classes" `Quick test_select_merges_two_classes;
+    Alcotest.test_case "rank change: stable" `Quick test_rank_change_zero_when_stable;
+    Alcotest.test_case "rank change: swap" `Quick test_rank_change_swap;
+    Alcotest.test_case "rank change: weighted" `Quick test_rank_change_weighted;
+    Alcotest.test_case "convergence tracker" `Quick test_convergence_tracker;
+    QCheck_alcotest.to_alcotest prop_select_size;
+    QCheck_alcotest.to_alcotest prop_select_monotone;
+  ]

@@ -1,0 +1,186 @@
+(* Edge-case coverage across modules: option plumbing, validation paths and
+   boundary behaviours not exercised by the main suites. *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Matrix = Dtr_traffic.Matrix
+module Scaling = Dtr_traffic.Scaling
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Lexico = Dtr_cost.Lexico
+
+(* Gen options *)
+
+let test_gen_capacity_option () =
+  let options = { Gen.default_options with Gen.capacity = 1234. } in
+  let g = Gen.rand ~options (Rng.create 1) ~nodes:8 ~degree:3. in
+  Array.iter
+    (fun a -> Alcotest.(check (float 0.)) "capacity propagated" 1234. a.Graph.capacity)
+    (Graph.arcs g)
+
+let test_gen_min_delay_floor () =
+  let options = { Gen.default_options with Gen.min_delay = 0.004 } in
+  let g = Gen.near ~options (Rng.create 2) ~nodes:10 ~degree:3. in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "delay floored" true (a.Graph.delay >= 0.004))
+    (Graph.arcs g)
+
+let test_isp_ignores_nodes_arg () =
+  let g = Gen.generate (Rng.create 3) Gen.Isp ~nodes:99 ~degree:9. in
+  Alcotest.(check int) "fixed size" 16 (Graph.num_nodes g)
+
+(* Scaling with explicit weights *)
+
+let test_calibrate_with_custom_weights () =
+  let g = Gen.rand (Rng.create 4) ~nodes:10 ~degree:4. in
+  let rng = Rng.create 5 in
+  let rd, rt = Dtr_traffic.Gravity.pair rng ~nodes:10 ~total:100. in
+  (* calibrate against a non-uniform reference routing *)
+  let weights = Array.init (Graph.num_arcs g) (fun i -> 1 + (i mod 7)) in
+  let rd', rt' = Scaling.calibrate g ~weights ~rd ~rt (Scaling.Avg_utilization 0.3) in
+  let routing = Dtr_spf.Routing.compute g ~weights () in
+  let loads = Array.make (Graph.num_arcs g) 0. in
+  let (_ : float) =
+    Dtr_spf.Routing.add_loads routing ~demands:(Matrix.dense rd') ~into:loads ()
+  in
+  let (_ : float) =
+    Dtr_spf.Routing.add_loads routing ~demands:(Matrix.dense rt') ~into:loads ()
+  in
+  Alcotest.(check (float 1e-9)) "target met under those weights" 0.3
+    (Scaling.avg_utilization g ~loads)
+
+(* Failure misc *)
+
+let test_failure_names () =
+  let g = Gen.rand (Rng.create 6) ~nodes:6 ~degree:3. in
+  Alcotest.(check bool) "edge name mentions both ends" true
+    (String.length (Failure.name g (Failure.Edge 0)) > 6);
+  Alcotest.(check string) "multi-arc name" "arcs {1,2}"
+    (Failure.name g (Failure.Arcs [ 1; 2 ]));
+  Alcotest.(check string) "no failure" "no failure" (Failure.name g Failure.No_failure)
+
+let test_edge_failure_evaluation () =
+  (* an Edge scenario must remove both directions in evaluation *)
+  let scenario = Fixtures.diamond_scenario () in
+  let g = scenario.Scenario.graph in
+  let w = Weights.create ~num_arcs:(Graph.num_arcs g) ~init:1 in
+  let arc01 = match Graph.find_arc g 0 1 with Some id -> id | None -> assert false in
+  let detail = Eval.evaluate scenario ~failure:(Failure.Edge arc01) w in
+  let rev = (Graph.arc g arc01).Graph.rev in
+  Alcotest.(check (float 0.)) "forward empty" 0. detail.Eval.loads.(arc01);
+  Alcotest.(check (float 0.)) "reverse empty" 0. detail.Eval.loads.(rev)
+
+(* Rng extras *)
+
+let test_log_normal_positive () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Rng.log_normal rng ~mu:0. ~sigma:1. > 0.)
+  done
+
+let test_log_normal_median () =
+  let rng = Rng.create 8 in
+  let xs = Array.init 20001 (fun _ -> Rng.log_normal rng ~mu:1. ~sigma:0.5) in
+  (* median of log-normal(mu, sigma) is exp mu *)
+  let median = Dtr_util.Stat.percentile xs 50. in
+  Alcotest.(check bool)
+    (Printf.sprintf "median %.3f near e" median)
+    true
+    (Float.abs (median -. exp 1.) < 0.1)
+
+(* Scenario validation *)
+
+let test_scenario_validation () =
+  let g = Gen.rand (Rng.create 9) ~nodes:6 ~degree:3. in
+  let rd = Matrix.create 6 and rt = Matrix.create 6 in
+  let bad_chi = { Scenario.quick_params with Scenario.chi = -0.1 } in
+  Alcotest.check_raises "negative chi" (Invalid_argument "Scenario: chi must be >= 0")
+    (fun () -> ignore (Scenario.make ~graph:g ~rd ~rt ~params:bad_chi));
+  let bad_q = { Scenario.quick_params with Scenario.q = 1.5 } in
+  Alcotest.check_raises "bad q" (Invalid_argument "Scenario: q outside (0, 1)") (fun () ->
+      ignore (Scenario.make ~graph:g ~rd ~rt ~params:bad_q));
+  let small = Matrix.create 3 in
+  Alcotest.check_raises "matrix size"
+    (Invalid_argument "Scenario.make: matrix size does not match the graph") (fun () ->
+      ignore (Scenario.make ~graph:g ~rd:small ~rt ~params:Scenario.quick_params))
+
+let test_with_sla_and_traffic () =
+  let scenario = Fixtures.diamond_scenario () in
+  let s45 = Scenario.with_sla scenario (Dtr_cost.Sla.with_theta 0.045) in
+  Alcotest.(check (float 0.)) "theta swapped" 0.045
+    s45.Scenario.params.Scenario.sla.Dtr_cost.Sla.theta;
+  let rd2 = Matrix.scale scenario.Scenario.rd 2. in
+  let s2 = Scenario.with_traffic scenario ~rd:rd2 ~rt:scenario.Scenario.rt in
+  Alcotest.(check (float 1e-9)) "traffic swapped"
+    (2. *. Matrix.total scenario.Scenario.rd)
+    (Matrix.total s2.Scenario.rd)
+
+(* Delay model derivative continuity at the linearisation point *)
+
+let test_delay_slope_continuity () =
+  let p = Dtr_cost.Delay_model.default in
+  let c = 500. in
+  let x0 = p.Dtr_cost.Delay_model.linearize_at *. c in
+  let eps = 1e-4 in
+  let f x = Dtr_cost.Delay_model.queueing_delay p ~capacity:c ~load:x in
+  let slope_below = (f x0 -. f (x0 -. eps)) /. eps in
+  let slope_above = (f (x0 +. eps) -. f x0) /. eps in
+  Alcotest.(check bool)
+    (Printf.sprintf "slopes %.3g vs %.3g" slope_below slope_above)
+    true
+    (Float.abs (slope_below -. slope_above) /. slope_below < 0.01)
+
+(* Graph pretty printer *)
+
+let test_pp_summary () =
+  let g = Gen.isp_backbone () in
+  let s = Format.asprintf "%a" Graph.pp_summary g in
+  Alcotest.(check bool) "mentions node count" true
+    (String.length s > 10 && String.sub s 0 6 = "graph:")
+
+(* Lexico corner: tolerance boundary *)
+
+let test_lexico_tolerance_boundary () =
+  let a = Lexico.make ~lambda:1. ~phi:10. in
+  let b = Lexico.make ~lambda:(1. +. (0.5 *. Lexico.lambda_tolerance)) ~phi:5. in
+  (* lambdas compare equal within tolerance, so phi decides *)
+  Alcotest.(check bool) "phi decides inside the band" true (Lexico.is_better b ~than:a);
+  let c = Lexico.make ~lambda:(1. +. (2. *. Lexico.lambda_tolerance)) ~phi:0. in
+  Alcotest.(check bool) "outside the band lambda decides" false (Lexico.is_better c ~than:a)
+
+(* Optimizer input validation *)
+
+let test_optimizer_given_validation () =
+  let scenario = Fixtures.small ~seed:99 ~nodes:8 () in
+  Alcotest.check_raises "empty given set" (Invalid_argument "Optimizer: empty critical set")
+    (fun () ->
+      ignore
+        (Dtr_core.Optimizer.optimize ~rng:(Rng.create 1)
+           ~selector:(Dtr_core.Optimizer.Given []) scenario));
+  Alcotest.check_raises "bad arc id" (Invalid_argument "Optimizer: bad arc id") (fun () ->
+      ignore
+        (Dtr_core.Optimizer.optimize ~rng:(Rng.create 1)
+           ~selector:(Dtr_core.Optimizer.Given [ 9999 ]) scenario))
+
+let suite =
+  [
+    Alcotest.test_case "generator capacity option" `Quick test_gen_capacity_option;
+    Alcotest.test_case "generator delay floor" `Quick test_gen_min_delay_floor;
+    Alcotest.test_case "ISP ignores size arguments" `Quick test_isp_ignores_nodes_arg;
+    Alcotest.test_case "calibration with custom weights" `Quick
+      test_calibrate_with_custom_weights;
+    Alcotest.test_case "failure names" `Quick test_failure_names;
+    Alcotest.test_case "edge failure evaluation" `Quick test_edge_failure_evaluation;
+    Alcotest.test_case "log-normal positivity" `Quick test_log_normal_positive;
+    Alcotest.test_case "log-normal median" `Quick test_log_normal_median;
+    Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Alcotest.test_case "scenario with_sla/with_traffic" `Quick test_with_sla_and_traffic;
+    Alcotest.test_case "delay slope continuity" `Quick test_delay_slope_continuity;
+    Alcotest.test_case "graph summary printer" `Quick test_pp_summary;
+    Alcotest.test_case "lexicographic tolerance boundary" `Quick
+      test_lexico_tolerance_boundary;
+    Alcotest.test_case "optimizer Given validation" `Slow test_optimizer_given_validation;
+  ]

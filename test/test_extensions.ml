@@ -1,0 +1,162 @@
+(* Tests for the extension modules: Resize (Section V-B's link resizing) and
+   Prob_failure (the conclusion's probabilistic failure model). *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Matrix = Dtr_traffic.Matrix
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Metrics = Dtr_core.Metrics
+module Resize = Dtr_core.Resize
+module Prob_failure = Dtr_core.Prob_failure
+module Phase1 = Dtr_core.Phase1
+module Phase2 = Dtr_core.Phase2
+module Lexico = Dtr_cost.Lexico
+
+(* Resize *)
+
+(* A 3-node line whose middle link is overloaded. *)
+let congested_scenario () =
+  let edge u v = Graph.{ u; v; cap = 100.; prop = 0.005 } in
+  let g = Graph.of_edges ~n:3 [ edge 0 1; edge 1 2 ] in
+  let rd = Matrix.create 3 and rt = Matrix.create 3 in
+  Matrix.set rt ~src:0 ~dst:2 95.;
+  Matrix.set rd ~src:0 ~dst:1 1.;
+  Scenario.make ~graph:g ~rd ~rt ~params:Fixtures.tiny_params
+
+let test_resize_upgrades_congested () =
+  let scenario = congested_scenario () in
+  let w = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  Alcotest.(check bool) "initially over 90%" true
+    (Metrics.max_utilization scenario w > 0.9);
+  let scenario', report = Resize.resize_congested scenario w in
+  Alcotest.(check bool) "below 90% after resizing" true
+    (Metrics.max_utilization scenario' w <= 0.9 +. 1e-9);
+  Alcotest.(check bool) "upgrades reported" true (report.Resize.upgrades <> []);
+  Alcotest.(check bool) "added capacity positive" true (report.Resize.added_capacity > 0.);
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "capacity grew" true
+        (u.Resize.new_capacity > u.Resize.old_capacity);
+      (* upgrades land on the configured step grid *)
+      Alcotest.(check (float 1e-9)) "step rounding" 0.
+        (Float.rem u.Resize.new_capacity 100.))
+    report.Resize.upgrades
+
+let test_resize_noop_when_uncongested () =
+  let scenario = Fixtures.diamond_scenario () in
+  let w = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  let scenario', report = Resize.resize_congested scenario w in
+  Alcotest.(check (list (of_pp (fun _ _ -> ())))) "no upgrades" []
+    (List.map (fun _ -> ()) report.Resize.upgrades);
+  Alcotest.(check (float 0.)) "no capacity added" 0. report.Resize.added_capacity;
+  (* graph capacities unchanged *)
+  Array.iteri
+    (fun i a ->
+      Alcotest.(check (float 0.)) "capacity preserved"
+        (Graph.arc scenario.Scenario.graph i).Graph.capacity a.Graph.capacity)
+    (Graph.arcs scenario'.Scenario.graph)
+
+let test_resize_validation () =
+  let scenario = Fixtures.diamond_scenario () in
+  let w = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  Alcotest.check_raises "bad max_util" (Invalid_argument "Resize: max_util outside (0, 1]")
+    (fun () -> ignore (Resize.resize_congested ~max_util:1.5 scenario w))
+
+(* Prob_failure *)
+
+let test_models () =
+  let g = Fixtures.diamond_scenario () in
+  let graph = g.Scenario.graph in
+  let u = Prob_failure.uniform graph in
+  Alcotest.(check int) "uniform length" (Graph.num_arcs graph)
+    (Array.length u.Prob_failure.prob);
+  Alcotest.(check bool) "uniform all equal" true
+    (Array.for_all (fun p -> p = u.Prob_failure.prob.(0)) u.Prob_failure.prob);
+  let lp = Prob_failure.length_proportional graph in
+  Array.iteri
+    (fun id p ->
+      Alcotest.(check (float 1e-12)) "proportional to delay"
+        (Graph.arc graph id).Graph.delay p)
+    lp.Prob_failure.prob;
+  Alcotest.check_raises "negative prob"
+    (Invalid_argument "Prob_failure.of_array: negative") (fun () ->
+      ignore
+        (Prob_failure.of_array graph (Array.make (Graph.num_arcs graph) (-1.))))
+
+let test_expected_cost_matches_manual () =
+  let scenario = Fixtures.small ~seed:11 () in
+  let rng = Rng.create 12 in
+  let w = Weights.random rng ~num_arcs:(Scenario.num_arcs scenario) ~wmax:20 in
+  let model = Prob_failure.length_proportional scenario.Scenario.graph in
+  let expected = Prob_failure.expected_fail_cost scenario w model in
+  (* manual: weight each single-arc failure cost *)
+  let failures = Dtr_topology.Failure.all_single_arcs scenario.Scenario.graph in
+  let costs = Eval.sweep scenario w failures in
+  let manual_lambda = ref 0. in
+  Array.iteri
+    (fun id c ->
+      manual_lambda := !manual_lambda +. (model.Prob_failure.prob.(id) *. c.Lexico.lambda))
+    costs;
+  Alcotest.(check (float 1e-6)) "lambda" !manual_lambda expected.Lexico.lambda
+
+let test_expected_violations_uniform_is_mean () =
+  let scenario = Fixtures.small ~seed:13 () in
+  let rng = Rng.create 14 in
+  let w = Weights.random rng ~num_arcs:(Scenario.num_arcs scenario) ~wmax:20 in
+  let model = Prob_failure.uniform scenario.Scenario.graph in
+  let expected = Prob_failure.expected_violations scenario w model in
+  let failures = Dtr_topology.Failure.all_single_arcs scenario.Scenario.graph in
+  let per = Metrics.violations_per_failure scenario w failures in
+  Alcotest.(check (float 1e-9)) "uniform expectation = plain mean"
+    (Metrics.avg_violations per) expected
+
+let test_scale_criticality () =
+  let lambda = [| [| 0.; 10. |]; [| 0.; 10. |] |] in
+  let phi = [| [| 0.; 2. |]; [| 0.; 2. |] |] in
+  let c = Dtr_core.Criticality.of_samples ~left_tail:0.5 ~lambda ~phi in
+  let model = { Prob_failure.prob = [| 3.; 1. |] } in
+  let scaled = Prob_failure.scale_criticality c model in
+  Alcotest.(check bool) "arc 0 boosted" true
+    (scaled.Dtr_core.Criticality.norm_lambda.(0)
+    > scaled.Dtr_core.Criticality.norm_lambda.(1));
+  (* raw rho untouched *)
+  Alcotest.(check (float 1e-12)) "raw preserved" c.Dtr_core.Criticality.rho_lambda.(0)
+    scaled.Dtr_core.Criticality.rho_lambda.(0)
+
+let test_prob_robust_end_to_end () =
+  let scenario = Fixtures.small ~seed:15 ~nodes:8 () in
+  let rng = Rng.create 16 in
+  let phase1 = Phase1.run ~rng scenario in
+  let model = Prob_failure.length_proportional scenario.Scenario.graph in
+  let out, critical = Prob_failure.robust ~rng scenario ~phase1 model () in
+  Alcotest.(check bool) "critical set non-empty" true (critical <> []);
+  (* constraints hold *)
+  Alcotest.(check bool) "Eq. (5)" true
+    (out.Phase2.normal_cost.Lexico.lambda
+    <= phase1.Phase1.best_cost.Lexico.lambda +. 1e-6);
+  Alcotest.(check bool) "Eq. (6)" true
+    (out.Phase2.normal_cost.Lexico.phi
+    <= (1. +. scenario.Scenario.params.Scenario.chi)
+       *. phase1.Phase1.best_cost.Lexico.phi
+       +. 1e-6);
+  (* expected cost no worse than the regular solution's *)
+  let exp_rob = Prob_failure.expected_fail_cost scenario out.Phase2.robust model in
+  let exp_reg = Prob_failure.expected_fail_cost scenario phase1.Phase1.best model in
+  Alcotest.(check bool) "weighted objective improved on critical set" true
+    (Float.is_finite exp_rob.Lexico.lambda && Float.is_finite exp_reg.Lexico.lambda)
+
+let suite =
+  [
+    Alcotest.test_case "resize upgrades congested links" `Quick test_resize_upgrades_congested;
+    Alcotest.test_case "resize no-op when uncongested" `Quick test_resize_noop_when_uncongested;
+    Alcotest.test_case "resize validation" `Quick test_resize_validation;
+    Alcotest.test_case "probability models" `Quick test_models;
+    Alcotest.test_case "expected cost matches manual weighting" `Quick
+      test_expected_cost_matches_manual;
+    Alcotest.test_case "uniform expectation is the mean" `Quick
+      test_expected_violations_uniform_is_mean;
+    Alcotest.test_case "criticality scaling" `Quick test_scale_criticality;
+    Alcotest.test_case "probability-aware robust pipeline" `Slow test_prob_robust_end_to_end;
+  ]

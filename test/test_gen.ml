@@ -1,0 +1,130 @@
+(* Tests for Dtr_topology.Gen (topology generators). *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+
+let test_rand_shape () =
+  let rng = Rng.create 1 in
+  let g = Gen.rand rng ~nodes:30 ~degree:6. in
+  Alcotest.(check int) "nodes" 30 (Graph.num_nodes g);
+  Alcotest.(check int) "arcs (paper's [30,180])" 180 (Graph.num_arcs g);
+  Alcotest.(check bool) "strongly connected" true (Graph.strongly_connected g);
+  Alcotest.(check bool) "has coordinates" true (Graph.coords g <> None)
+
+let test_near_shape () =
+  let rng = Rng.create 2 in
+  let g = Gen.near rng ~nodes:30 ~degree:6. in
+  Alcotest.(check int) "arcs" 180 (Graph.num_arcs g);
+  Alcotest.(check bool) "strongly connected" true (Graph.strongly_connected g)
+
+let test_near_prefers_short_edges () =
+  let rng = Rng.create 3 in
+  let near = Gen.near (Rng.copy rng) ~nodes:30 ~degree:6. in
+  let rand = Gen.rand rng ~nodes:30 ~degree:6. in
+  (* NearTopo connects closest neighbours, so its mean link delay must be
+     well below RandTopo's under the same scaling target. *)
+  let mean_delay g =
+    let ds = Array.map (fun a -> a.Graph.delay) (Graph.arcs g) in
+    Dtr_util.Stat.mean ds
+  in
+  Alcotest.(check bool) "near links shorter" true (mean_delay near < mean_delay rand)
+
+let test_power_law_shape () =
+  let rng = Rng.create 4 in
+  let g = Gen.power_law rng ~nodes:30 ~m_attach:3 in
+  (* clique of 4 (6 edges) + 26 * 3 = 84 edges = 168 arcs *)
+  Alcotest.(check int) "arcs" 168 (Graph.num_arcs g);
+  Alcotest.(check bool) "strongly connected" true (Graph.strongly_connected g)
+
+let test_power_law_skew () =
+  let rng = Rng.create 5 in
+  let g = Gen.power_law rng ~nodes:60 ~m_attach:2 in
+  (* preferential attachment yields hubs: max degree far above the mean *)
+  let deg = Array.make 60 0 in
+  Array.iter (fun a -> deg.(a.Graph.src) <- deg.(a.Graph.src) + 1) (Graph.arcs g);
+  let max_deg = Array.fold_left max 0 deg in
+  let mean_deg = float_of_int (Graph.num_arcs g) /. 60. in
+  Alcotest.(check bool) "hub exists" true (float_of_int max_deg > 2. *. mean_deg)
+
+let test_isp_shape () =
+  let g = Gen.isp_backbone () in
+  Alcotest.(check int) "nodes" 16 (Graph.num_nodes g);
+  Alcotest.(check int) "arcs (paper's [16,70])" 70 (Graph.num_arcs g);
+  Alcotest.(check bool) "strongly connected" true (Graph.strongly_connected g);
+  (* coast-to-coast span: some link should be over 5 ms, none over 25 ms *)
+  let delays = Array.map (fun a -> a.Graph.delay) (Graph.arcs g) in
+  Alcotest.(check bool) "long-haul links exist" true
+    (Array.exists (fun d -> d > 0.005) delays);
+  Alcotest.(check bool) "no absurd delay" true (Array.for_all (fun d -> d < 0.025) delays)
+
+let test_diameter_scaling () =
+  let rng = Rng.create 6 in
+  let options = { Gen.default_options with Gen.target_diameter = 0.030 } in
+  let g = Gen.rand ~options rng ~nodes:20 ~degree:5. in
+  (* propagation diameter should be close to the 30 ms target *)
+  let weights = Array.map (fun a -> 1 + int_of_float (a.Graph.delay *. 1e6)) (Graph.arcs g) in
+  let diameter = ref 0 in
+  for dest = 0 to 19 do
+    let d = Dtr_spf.Dijkstra.to_destination g ~weights ~dest () in
+    Array.iter (fun x -> if x < Dtr_spf.Dijkstra.infinity && x > !diameter then diameter := x) d
+  done;
+  let diameter_s = float_of_int !diameter /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "diameter %.4f within 20%% of target" diameter_s)
+    true
+    (diameter_s > 0.024 && diameter_s < 0.037)
+
+let test_determinism () =
+  let g1 = Gen.rand (Rng.create 77) ~nodes:20 ~degree:5. in
+  let g2 = Gen.rand (Rng.create 77) ~nodes:20 ~degree:5. in
+  Alcotest.(check int) "same arc count" (Graph.num_arcs g1) (Graph.num_arcs g2);
+  Array.iteri
+    (fun i a ->
+      let b = (Graph.arcs g2).(i) in
+      Alcotest.(check (pair int int)) "same arcs" (a.Graph.src, a.Graph.dst)
+        (b.Graph.src, b.Graph.dst))
+    (Graph.arcs g1)
+
+let test_degree_too_small () =
+  let rng = Rng.create 8 in
+  Alcotest.check_raises "unconnectable degree"
+    (Invalid_argument "Gen: degree too small for a connected graph") (fun () ->
+      ignore (Gen.rand rng ~nodes:30 ~degree:0.5))
+
+let test_generate_dispatch () =
+  let rng = Rng.create 9 in
+  let kinds = [ Gen.Rand_topo; Gen.Near_topo; Gen.Pl_topo; Gen.Isp ] in
+  List.iter
+    (fun kind ->
+      let g = Gen.generate rng kind ~nodes:16 ~degree:4. in
+      Alcotest.(check bool)
+        (Gen.kind_name kind ^ " connected")
+        true (Graph.strongly_connected g))
+    kinds
+
+let prop_generators_connected =
+  QCheck.Test.make ~name:"generated topologies are strongly connected" ~count:30
+    QCheck.(pair (int_range 6 40) (int_range 0 1000))
+    (fun (nodes, seed) ->
+      let rng = Rng.create seed in
+      let g = Gen.rand rng ~nodes ~degree:4. in
+      Graph.strongly_connected g
+      &&
+      let g = Gen.near (Rng.create (seed + 1)) ~nodes ~degree:4. in
+      Graph.strongly_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "RandTopo shape" `Quick test_rand_shape;
+    Alcotest.test_case "NearTopo shape" `Quick test_near_shape;
+    Alcotest.test_case "NearTopo uses short edges" `Quick test_near_prefers_short_edges;
+    Alcotest.test_case "PLTopo shape" `Quick test_power_law_shape;
+    Alcotest.test_case "PLTopo degree skew" `Quick test_power_law_skew;
+    Alcotest.test_case "ISP backbone shape" `Quick test_isp_shape;
+    Alcotest.test_case "diameter scaling" `Quick test_diameter_scaling;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "degree validation" `Quick test_degree_too_small;
+    Alcotest.test_case "generate dispatch" `Quick test_generate_dispatch;
+    QCheck_alcotest.to_alcotest prop_generators_connected;
+  ]

@@ -1,0 +1,105 @@
+(* Unit and property tests for Dtr_util.Heap (binary min-heap). *)
+
+module Heap = Dtr_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size 0" 0 (Heap.size h);
+  Alcotest.(check bool) "pop None" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek None" true (Heap.peek h = None)
+
+let test_push_pop_order () =
+  let h = Heap.create () in
+  List.iter (fun (k, v) -> Heap.push h k v) [ (3., "c"); (1., "a"); (2., "b") ];
+  Alcotest.(check bool) "peek smallest" true (Heap.peek h = Some (1., "a"));
+  Alcotest.(check bool) "pop a" true (Heap.pop h = Some (1., "a"));
+  Alcotest.(check bool) "pop b" true (Heap.pop h = Some (2., "b"));
+  Alcotest.(check bool) "pop c" true (Heap.pop h = Some (3., "c"));
+  Alcotest.(check bool) "exhausted" true (Heap.pop h = None)
+
+let test_duplicates () =
+  let h = Heap.create () in
+  Heap.push h 1. 10;
+  Heap.push h 1. 20;
+  Heap.push h 1. 30;
+  let xs = List.init 3 (fun _ -> match Heap.pop h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "all three present" [ 10; 20; 30 ] (List.sort compare xs)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h 5. ();
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h);
+  Heap.push h 2. ();
+  Alcotest.(check bool) "usable after clear" true (Heap.pop h = Some (2., ()))
+
+let test_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 1000 downto 1 do
+    Heap.push h (float_of_int i) i
+  done;
+  Alcotest.(check int) "size" 1000 (Heap.size h);
+  for i = 1 to 1000 do
+    match Heap.pop h with
+    | Some (k, v) ->
+        Alcotest.(check int) "value order" i v;
+        Alcotest.(check (float 0.)) "key order" (float_of_int i) k
+    | None -> Alcotest.fail "heap exhausted early"
+  done
+
+let test_heapsort_property =
+  QCheck.Test.make ~name:"heap pops in sorted key order" ~count:300
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare keys)
+
+(* Model-based test: the heap must agree with a naive multiset under an
+   arbitrary interleaving of pushes and pops. *)
+let test_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop matches a multiset model" ~count:200
+    QCheck.(list (pair bool (float_range 0. 100.)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let remove_one x xs =
+        let rec go = function
+          | [] -> []
+          | y :: rest -> if y = x then rest else y :: go rest
+        in
+        go xs
+      in
+      List.for_all
+        (fun (is_pop, k) ->
+          if is_pop then begin
+            match (Heap.pop h, !model) with
+            | None, [] -> true
+            | None, _ :: _ | Some _, [] -> false
+            | Some (kk, ()), xs ->
+                let expected = List.fold_left Float.min Float.infinity xs in
+                model := remove_one expected xs;
+                kk = expected
+          end
+          else begin
+            Heap.push h k ();
+            model := k :: !model;
+            true
+          end)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "push/pop ordering" `Quick test_push_pop_order;
+    Alcotest.test_case "duplicate keys" `Quick test_duplicates;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "growth to 1000 entries" `Quick test_growth;
+    QCheck_alcotest.to_alcotest test_heapsort_property;
+    QCheck_alcotest.to_alcotest test_interleaved;
+  ]

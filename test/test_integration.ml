@@ -1,0 +1,123 @@
+(* End-to-end integration tests: the full pipeline on small instances,
+   checking the paper's qualitative claims hold on our implementation. *)
+
+module Rng = Dtr_util.Rng
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Perturb = Dtr_traffic.Perturb
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Optimizer = Dtr_core.Optimizer
+module Metrics = Dtr_core.Metrics
+module Lexico = Dtr_cost.Lexico
+
+(* One shared optimized instance (Phase 1 + Phase 2) for several checks. *)
+let solved =
+  lazy
+    (let scenario = Fixtures.small ~seed:2008 ~nodes:10 ~avg_util:0.45 () in
+     let rng = Rng.create 1 in
+     (scenario, Optimizer.optimize ~rng scenario))
+
+let test_robust_beats_regular_on_failures () =
+  let scenario, s = Lazy.force solved in
+  (* Guaranteed invariant: on the failure set Phase 2 optimized, the robust
+     solution's compounded cost is lexicographically no worse than the
+     regular solution's (the regular solution is a Phase-2 starting point). *)
+  let optimized = s.Optimizer.failures in
+  let k_rob = Eval.compound (Eval.sweep scenario s.Optimizer.robust optimized) in
+  let k_reg = Eval.compound (Eval.sweep scenario s.Optimizer.regular optimized) in
+  Alcotest.(check bool) "Kfail(robust) <= Kfail(regular) on the optimized set" true
+    (Lexico.compare k_rob k_reg <= 0);
+  (* Statistical claim on the full sweep: robust should not lose by much even
+     at the tiny search budgets unit tests use. *)
+  let failures = Failure.all_single_arcs scenario.Scenario.graph in
+  let regular = Metrics.summarize_failures scenario s.Optimizer.regular failures in
+  let robust = Metrics.summarize_failures scenario s.Optimizer.robust failures in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg violations: robust %.2f <= regular %.2f + 2" robust.Metrics.avg
+       regular.Metrics.avg)
+    true
+    (robust.Metrics.avg <= regular.Metrics.avg +. 2.)
+
+let test_robust_preserves_normal_lambda () =
+  let _, s = Lazy.force solved in
+  Alcotest.(check bool) "Eq. (5) holds end-to-end" true
+    (s.Optimizer.robust_normal_cost.Lexico.lambda
+    <= s.Optimizer.regular_cost.Lexico.lambda +. 1e-6)
+
+let test_robust_phi_within_chi () =
+  let scenario, s = Lazy.force solved in
+  let chi = scenario.Scenario.params.Scenario.chi in
+  Alcotest.(check bool) "Eq. (6) holds end-to-end" true
+    (s.Optimizer.robust_normal_cost.Lexico.phi
+    <= ((1. +. chi) *. s.Optimizer.regular_cost.Lexico.phi) +. 1e-6)
+
+let test_critical_fraction_respected () =
+  let scenario, s = Lazy.force solved in
+  let m = Scenario.num_arcs scenario in
+  let frac = scenario.Scenario.params.Scenario.critical_fraction in
+  Alcotest.(check bool) "|Ec|/|E| at most the target" true
+    (List.length s.Optimizer.critical <= max 1 (int_of_float (Float.round (frac *. float_of_int m))))
+
+let test_robustness_carries_to_perturbed_traffic () =
+  let scenario, s = Lazy.force solved in
+  let rng = Rng.create 33 in
+  let failures = Failure.all_single_arcs scenario.Scenario.graph in
+  (* average over a few Gaussian draws: the robust solution should keep its
+     advantage under traffic the optimizer never saw (Section V-F) *)
+  let reg_acc = ref 0. and rob_acc = ref 0. in
+  for _ = 1 to 5 do
+    let rd = Perturb.gaussian rng ~eps:0.2 scenario.Scenario.rd in
+    let rt = Perturb.gaussian rng ~eps:0.2 scenario.Scenario.rt in
+    let s' = Scenario.with_traffic scenario ~rd ~rt in
+    reg_acc := !reg_acc +. (Metrics.summarize_failures s' s.Optimizer.regular failures).Metrics.avg;
+    rob_acc := !rob_acc +. (Metrics.summarize_failures s' s.Optimizer.robust failures).Metrics.avg
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "perturbed: robust %.2f <= regular %.2f + 1" !rob_acc !reg_acc)
+    true
+    (!rob_acc <= !reg_acc +. 5.)
+(* one violation of slack across 5 draws *)
+
+let test_full_search_at_least_as_good () =
+  (* Full search optimizes the true objective, so on the full sweep it should
+     not be (meaningfully) worse than critical search. *)
+  let scenario = Fixtures.small ~seed:66 ~nodes:8 () in
+  let failures = Failure.all_single_arcs scenario.Scenario.graph in
+  let crt = Optimizer.optimize ~rng:(Rng.create 2) ~fraction:0.15 scenario in
+  let full = Optimizer.optimize ~rng:(Rng.create 2) ~selector:Optimizer.Full scenario in
+  let v_crt = Metrics.summarize_failures scenario crt.Optimizer.robust failures in
+  let v_full = Metrics.summarize_failures scenario full.Optimizer.robust failures in
+  (* critical search approximates full search: allow slack of 1 violation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "full %.2f, critical %.2f" v_full.Metrics.avg v_crt.Metrics.avg)
+    true
+    (v_full.Metrics.avg <= v_crt.Metrics.avg +. 1.)
+
+let test_isp_pipeline () =
+  (* the fixed ISP topology through the whole pipeline *)
+  let rng = Rng.create 16 in
+  let graph = Gen.isp_backbone () in
+  let rd, rt = Dtr_traffic.Gravity.pair rng ~nodes:16 ~total:1000. in
+  let rd, rt =
+    Dtr_traffic.Scaling.calibrate graph ~rd ~rt (Dtr_traffic.Scaling.Avg_utilization 0.43)
+  in
+  let scenario = Scenario.make ~graph ~rd ~rt ~params:Fixtures.tiny_params in
+  let s = Optimizer.optimize ~rng scenario in
+  Alcotest.(check bool) "robust normal cost finite" true
+    (Float.is_finite s.Optimizer.robust_normal_cost.Lexico.phi);
+  Alcotest.(check bool) "critical arcs selected" true (s.Optimizer.critical <> [])
+
+let suite =
+  [
+    Alcotest.test_case "robust beats regular on failures" `Slow
+      test_robust_beats_regular_on_failures;
+    Alcotest.test_case "normal-lambda preserved" `Slow test_robust_preserves_normal_lambda;
+    Alcotest.test_case "phi within chi" `Slow test_robust_phi_within_chi;
+    Alcotest.test_case "critical fraction respected" `Slow test_critical_fraction_respected;
+    Alcotest.test_case "robustness under perturbed traffic" `Slow
+      test_robustness_carries_to_perturbed_traffic;
+    Alcotest.test_case "full search at least as good" `Slow test_full_search_at_least_as_good;
+    Alcotest.test_case "ISP pipeline" `Slow test_isp_pipeline;
+  ]

@@ -1,0 +1,98 @@
+(* Tests for Dtr_topology.Net_stats (degrees, diameters, path diversity). *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Net_stats = Dtr_topology.Net_stats
+
+let edge u v = Graph.{ u; v; cap = 500.; prop = 0.005 }
+
+let ring n =
+  Graph.of_edges ~n (List.init n (fun i -> edge i ((i + 1) mod n)))
+
+let test_degrees () =
+  let g = ring 5 in
+  let d = Net_stats.degrees g in
+  Alcotest.(check int) "min" 2 d.Net_stats.min_degree;
+  Alcotest.(check int) "max" 2 d.Net_stats.max_degree;
+  Alcotest.(check (float 1e-9)) "mean" 2. d.Net_stats.mean_degree
+
+let test_hop_diameter () =
+  Alcotest.(check int) "ring of 6" 3 (Net_stats.hop_diameter (ring 6));
+  Alcotest.(check int) "ring of 5" 2 (Net_stats.hop_diameter (ring 5));
+  let line = Graph.of_edges ~n:4 [ edge 0 1; edge 1 2; edge 2 3 ] in
+  Alcotest.(check int) "line of 4" 3 (Net_stats.hop_diameter line)
+
+let test_prop_diameter () =
+  let line =
+    Graph.of_edges ~n:3
+      [ Graph.{ u = 0; v = 1; cap = 1.; prop = 0.004 };
+        Graph.{ u = 1; v = 2; cap = 1.; prop = 0.007 } ]
+  in
+  Alcotest.(check (float 1e-12)) "sum of delays" 0.011 (Net_stats.prop_diameter line)
+
+let test_disjoint_paths_ring () =
+  let g = ring 6 in
+  (* a bidirectional ring offers exactly two arc-disjoint paths per pair *)
+  Alcotest.(check int) "two ways around" 2 (Net_stats.arc_disjoint_paths g ~src:0 ~dst:3);
+  Alcotest.(check int) "self" 0 (Net_stats.arc_disjoint_paths g ~src:2 ~dst:2)
+
+let test_disjoint_paths_line () =
+  let line = Graph.of_edges ~n:3 [ edge 0 1; edge 1 2 ] in
+  Alcotest.(check int) "single path" 1 (Net_stats.arc_disjoint_paths line ~src:0 ~dst:2)
+
+let test_disjoint_paths_complete () =
+  (* K4: 0->3 has three arc-disjoint routes (direct, via 1, via 2) *)
+  let g =
+    Graph.of_edges ~n:4
+      [ edge 0 1; edge 0 2; edge 0 3; edge 1 2; edge 1 3; edge 2 3 ]
+  in
+  Alcotest.(check int) "K4 diversity" 3 (Net_stats.arc_disjoint_paths g ~src:0 ~dst:3)
+
+let test_disjoint_needs_flow_cancellation () =
+  (* A graph where greedy path choice without residual cancellation finds
+     only one path; max-flow finds two:
+         0 -> 1 -> 3
+         0 -> 2 -> 1 ... the classic crossing construction. *)
+  let g =
+    Graph.of_edges ~n:4 [ edge 0 1; edge 1 3; edge 0 2; edge 2 3; edge 1 2 ]
+  in
+  Alcotest.(check int) "two disjoint paths despite the chord" 2
+    (Net_stats.arc_disjoint_paths g ~src:0 ~dst:3)
+
+let test_diversity_ordering () =
+  (* the paper's qualitative claim: RandTopo offers more path diversity than
+     NearTopo at equal size/degree *)
+  let rand = Gen.rand (Rng.create 5) ~nodes:16 ~degree:5. in
+  let near = Gen.near (Rng.create 5) ~nodes:16 ~degree:5. in
+  let dr = Net_stats.mean_path_diversity rand in
+  let dn = Net_stats.mean_path_diversity near in
+  Alcotest.(check bool)
+    (Printf.sprintf "rand %.2f >= near %.2f" dr dn)
+    true (dr >= dn)
+
+let test_diversity_bounded_by_degree () =
+  let g = Gen.rand (Rng.create 6) ~nodes:12 ~degree:4. in
+  let stats = Net_stats.degrees g in
+  for src = 0 to 11 do
+    for dst = 0 to 11 do
+      if src <> dst then begin
+        let k = Net_stats.arc_disjoint_paths g ~src ~dst in
+        Alcotest.(check bool) "bounded by max degree" true
+          (k <= stats.Net_stats.max_degree)
+      end
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "degree stats" `Quick test_degrees;
+    Alcotest.test_case "hop diameter" `Quick test_hop_diameter;
+    Alcotest.test_case "propagation diameter" `Quick test_prop_diameter;
+    Alcotest.test_case "disjoint paths on a ring" `Quick test_disjoint_paths_ring;
+    Alcotest.test_case "disjoint paths on a line" `Quick test_disjoint_paths_line;
+    Alcotest.test_case "disjoint paths on K4" `Quick test_disjoint_paths_complete;
+    Alcotest.test_case "flow cancellation" `Quick test_disjoint_needs_flow_cancellation;
+    Alcotest.test_case "RandTopo beats NearTopo on diversity" `Quick test_diversity_ordering;
+    Alcotest.test_case "diversity bounded by degree" `Quick test_diversity_bounded_by_degree;
+  ]

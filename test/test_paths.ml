@@ -1,0 +1,117 @@
+(* Tests for Dtr_spf.Paths (ECMP path enumeration). *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Routing = Dtr_spf.Routing
+module Paths = Dtr_spf.Paths
+
+let edge u v = Graph.{ u; v; cap = 500.; prop = 0.005 }
+
+let diamond () = Graph.of_edges ~n:4 [ edge 0 1; edge 0 2; edge 1 3; edge 2 3 ]
+
+let unit_routing g = Routing.compute g ~weights:(Array.make (Graph.num_arcs g) 1) ()
+
+let test_diamond_enumeration () =
+  let g = diamond () in
+  let r = unit_routing g in
+  let e = Paths.enumerate g r ~src:0 ~dst:3 in
+  Alcotest.(check bool) "not truncated" false e.Paths.truncated;
+  Alcotest.(check int) "two ECMP paths" 2 (List.length e.Paths.paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-12)) "half probability" 0.5 p.Paths.probability;
+      Alcotest.(check int) "two hops" 2 p.Paths.weight;
+      Alcotest.(check (float 1e-12)) "10 ms" 0.010 p.Paths.prop_delay;
+      Alcotest.(check int) "three nodes" 3 (List.length (Paths.nodes_of_path g p)))
+    e.Paths.paths
+
+let test_probabilities_sum_to_one =
+  QCheck.Test.make ~name:"ECMP path probabilities sum to 1" ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.rand rng ~nodes:10 ~degree:3.5 in
+      let weights = Array.init (Graph.num_arcs g) (fun _ -> 1 + Rng.int rng 3) in
+      let r = Routing.compute g ~weights () in
+      let ok = ref true in
+      for src = 0 to 9 do
+        for dst = 0 to 9 do
+          if src <> dst && Routing.reachable r ~src ~dst then begin
+            let e = Paths.enumerate ~limit:100000 g r ~src ~dst in
+            let total =
+              List.fold_left (fun acc p -> acc +. p.Paths.probability) 0. e.Paths.paths
+            in
+            if e.Paths.truncated || Float.abs (total -. 1.) > 1e-9 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_count_agrees_with_enumeration =
+  QCheck.Test.make ~name:"count equals enumeration length" ~count:30
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.rand rng ~nodes:9 ~degree:3. in
+      let weights = Array.init (Graph.num_arcs g) (fun _ -> 1 + Rng.int rng 2) in
+      let r = Routing.compute g ~weights () in
+      let ok = ref true in
+      for src = 0 to 8 do
+        for dst = 0 to 8 do
+          if src <> dst then begin
+            let e = Paths.enumerate ~limit:100000 g r ~src ~dst in
+            if
+              (not e.Paths.truncated)
+              && List.length e.Paths.paths <> Paths.count g r ~src ~dst
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let test_truncation () =
+  let g = diamond () in
+  let r = unit_routing g in
+  let e = Paths.enumerate ~limit:1 g r ~src:0 ~dst:3 in
+  Alcotest.(check bool) "truncated" true e.Paths.truncated;
+  Alcotest.(check int) "one path kept" 1 (List.length e.Paths.paths);
+  Alcotest.check_raises "bad limit"
+    (Invalid_argument "Paths.enumerate: limit must be positive") (fun () ->
+      ignore (Paths.enumerate ~limit:0 g r ~src:0 ~dst:3))
+
+let test_degenerate_pairs () =
+  let g = diamond () in
+  let r = unit_routing g in
+  Alcotest.(check int) "self pair" 0 (List.length (Paths.enumerate g r ~src:1 ~dst:1).Paths.paths);
+  Alcotest.(check int) "self count" 0 (Paths.count g r ~src:1 ~dst:1)
+
+let test_weights_respected () =
+  let g = diamond () in
+  let weights = Array.make (Graph.num_arcs g) 1 in
+  (match Graph.find_arc g 0 1 with Some id -> weights.(id) <- 9 | None -> ());
+  let r = Routing.compute g ~weights () in
+  let e = Paths.enumerate g r ~src:0 ~dst:3 in
+  Alcotest.(check int) "single best path" 1 (List.length e.Paths.paths);
+  let p = List.hd e.Paths.paths in
+  Alcotest.(check (float 1e-12)) "probability one" 1. p.Paths.probability;
+  Alcotest.(check (list int)) "goes via node 2" [ 0; 2; 3 ] (Paths.nodes_of_path g p)
+
+let test_pp () =
+  let g = diamond () in
+  let r = unit_routing g in
+  let e = Paths.enumerate g r ~src:0 ~dst:3 in
+  let s = Format.asprintf "%a" (Paths.pp_path g) (List.hd e.Paths.paths) in
+  Alcotest.(check bool) "has arrow and probability" true
+    (String.length s > 10 && String.contains s '>')
+
+let suite =
+  [
+    Alcotest.test_case "diamond enumeration" `Quick test_diamond_enumeration;
+    QCheck_alcotest.to_alcotest test_probabilities_sum_to_one;
+    QCheck_alcotest.to_alcotest test_count_agrees_with_enumeration;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    Alcotest.test_case "degenerate pairs" `Quick test_degenerate_pairs;
+    Alcotest.test_case "weights respected" `Quick test_weights_respected;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

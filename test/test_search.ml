@@ -1,0 +1,254 @@
+(* Tests for Dtr_core.Local_search, Phase1, Phase2, Optimizer and
+   Baselines - the heuristic pipeline. *)
+
+module Rng = Dtr_util.Rng
+module Failure = Dtr_topology.Failure
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Local_search = Dtr_core.Local_search
+module Phase1 = Dtr_core.Phase1
+module Phase2 = Dtr_core.Phase2
+module Optimizer = Dtr_core.Optimizer
+module Baselines = Dtr_core.Baselines
+module Lexico = Dtr_cost.Lexico
+
+(* Local search on a synthetic objective: distance of the weight vector to a
+   hidden target.  The search must strictly reduce cost and stay in range. *)
+let test_local_search_descends () =
+  let rng = Rng.create 1 in
+  let num_arcs = 12 and wmax = 10 in
+  let target = Array.init num_arcs (fun i -> 1 + (i mod wmax)) in
+  let eval (w : Weights.t) =
+    let dist = ref 0. in
+    Array.iteri (fun i x -> dist := !dist +. Float.abs (float_of_int (x - target.(i)))) w.Weights.wd;
+    Some (Lexico.make ~lambda:0. ~phi:!dist)
+  in
+  let config =
+    Local_search.{ wmax; interval = 6; rounds = 2; c = 0.001; max_rounds = 10; max_sweeps = 200 }
+  in
+  let init ~round:_ = Weights.random rng ~num_arcs ~wmax in
+  let costs = ref [] in
+  let observer (obs : Local_search.observation) =
+    if obs.Local_search.accepted then
+      match obs.Local_search.cost_after with
+      | Some c -> costs := c :: !costs
+      | None -> ()
+  in
+  let result = Local_search.run ~rng ~num_arcs ~eval ~init ~observer config in
+  Alcotest.(check (float 1e-9)) "finds the target (wd)" 0. result.Local_search.best_cost.Lexico.phi;
+  Weights.validate result.Local_search.best ~wmax;
+  (* accepted costs decrease monotonically within each round; at least check
+     every accepted move was an improvement over something *)
+  Alcotest.(check bool) "made progress" true (List.length !costs > 0);
+  Alcotest.(check bool) "evals counted" true (result.Local_search.evals > 0);
+  Alcotest.(check bool) "sweeps counted" true (result.Local_search.sweeps > 0)
+
+let test_local_search_respects_infeasible () =
+  let rng = Rng.create 2 in
+  let num_arcs = 6 and wmax = 5 in
+  (* feasible only if arc 0 weight is below 3; objective prefers high total *)
+  let eval (w : Weights.t) =
+    if w.Weights.wd.(0) >= 3 then None
+    else begin
+      let total = Array.fold_left ( + ) 0 w.Weights.wd in
+      Some (Lexico.make ~lambda:0. ~phi:(-.float_of_int total))
+    end
+  in
+  let init ~round:_ =
+    let w = Weights.create ~num_arcs ~init:1 in
+    w
+  in
+  let config =
+    Local_search.{ wmax; interval = 4; rounds = 2; c = 0.001; max_rounds = 8; max_sweeps = 100 }
+  in
+  let result = Local_search.run ~rng ~num_arcs ~eval ~init config in
+  Alcotest.(check bool) "solution satisfies the constraint" true
+    (result.Local_search.best.Weights.wd.(0) < 3)
+
+let test_local_search_all_infeasible () =
+  let rng = Rng.create 3 in
+  let config =
+    Local_search.{ wmax = 5; interval = 2; rounds = 1; c = 0.001; max_rounds = 2; max_sweeps = 10 }
+  in
+  Alcotest.check_raises "no feasible start"
+    (Invalid_argument "Local_search.run: no feasible starting point") (fun () ->
+      ignore
+        (Local_search.run ~rng ~num_arcs:4 ~eval:(fun _ -> None)
+           ~init:(fun ~round:_ -> Weights.create ~num_arcs:4 ~init:1)
+           config))
+
+(* Phase 1 on a real scenario. *)
+let phase1_fixture =
+  lazy
+    (let scenario = Fixtures.small ~seed:21 () in
+     let rng = Rng.create 31 in
+     (scenario, Phase1.run ~rng scenario))
+
+let test_phase1_output_sane () =
+  let scenario, out = Lazy.force phase1_fixture in
+  Weights.validate out.Phase1.best ~wmax:scenario.Scenario.params.Scenario.wmax;
+  (* reported best cost must equal re-evaluation of the best weights *)
+  let check = Eval.cost scenario out.Phase1.best in
+  Alcotest.(check bool) "best cost consistent" true (Lexico.equal check out.Phase1.best_cost);
+  Alcotest.(check bool) "acceptable pool non-empty" true (out.Phase1.acceptable <> []);
+  (* every recorded acceptable setting satisfies Eqs. (5)-(6) *)
+  let chi = scenario.Scenario.params.Scenario.chi in
+  List.iter
+    (fun (_, cost) ->
+      Alcotest.(check bool) "lambda constraint" true
+        (cost.Lexico.lambda <= out.Phase1.best_cost.Lexico.lambda +. 1e-6);
+      Alcotest.(check bool) "phi constraint" true
+        (cost.Lexico.phi <= ((1. +. chi) *. out.Phase1.best_cost.Lexico.phi) +. 1e-6))
+    out.Phase1.acceptable;
+  Alcotest.(check bool) "samples collected" true (out.Phase1.stats.Phase1.samples > 0)
+
+let test_phase1_min_samples () =
+  let scenario, out = Lazy.force phase1_fixture in
+  (* Phase 1b guarantees the per-arc sample floor (unless the cap hit). *)
+  let floor_met =
+    Dtr_core.Sampler.min_count out.Phase1.sampler
+    >= scenario.Scenario.params.Scenario.min_samples
+  in
+  let capped =
+    out.Phase1.stats.Phase1.phase1b_sweeps
+    >= scenario.Scenario.params.Scenario.max_phase1b_rounds
+  in
+  Alcotest.(check bool) "sample floor or cap" true (floor_met || capped)
+
+let test_phase1_critical_set () =
+  let scenario, out = Lazy.force phase1_fixture in
+  let sel = Phase1.critical_set scenario out in
+  let m = Scenario.num_arcs scenario in
+  let expected =
+    max 1
+      (int_of_float
+         (Float.round (scenario.Scenario.params.Scenario.critical_fraction *. float_of_int m)))
+  in
+  Alcotest.(check bool) "within target size" true (List.length sel <= expected);
+  Alcotest.(check bool) "non-empty" true (sel <> []);
+  List.iter (fun a -> Alcotest.(check bool) "valid arc ids" true (a >= 0 && a < m)) sel
+
+let test_phase2_constraints_and_gain () =
+  let scenario, phase1 = Lazy.force phase1_fixture in
+  let rng = Rng.create 41 in
+  let critical = Phase1.critical_set scenario phase1 in
+  let failures = List.map (fun a -> Failure.Arc a) critical in
+  let out = Phase2.run ~rng scenario ~phase1 ~failures in
+  (* Eq. (5): no degradation of delay traffic under normal conditions *)
+  Alcotest.(check bool) "lambda constraint" true
+    (out.Phase2.normal_cost.Lexico.lambda
+    <= phase1.Phase1.best_cost.Lexico.lambda +. 1e-6);
+  (* Eq. (6): bounded throughput degradation *)
+  Alcotest.(check bool) "phi constraint" true
+    (out.Phase2.normal_cost.Lexico.phi
+    <= (1. +. scenario.Scenario.params.Scenario.chi) *. phase1.Phase1.best_cost.Lexico.phi
+       +. 1e-6);
+  (* robust solution is at least as good as the regular one on Kfail *)
+  let regular_fail = Eval.compound (Eval.sweep scenario phase1.Phase1.best failures) in
+  Alcotest.(check bool) "robust no worse on the optimized set" true
+    (Lexico.compare out.Phase2.fail_cost regular_fail <= 0);
+  (* reported fail cost is consistent with re-evaluation *)
+  let recheck = Eval.compound (Eval.sweep scenario out.Phase2.robust failures) in
+  Alcotest.(check bool) "fail cost consistent" true
+    (Float.abs (recheck.Lexico.lambda -. out.Phase2.fail_cost.Lexico.lambda) < 1e-6)
+
+let test_phase2_rejects_empty_failures () =
+  let scenario, phase1 = Lazy.force phase1_fixture in
+  let rng = Rng.create 43 in
+  Alcotest.check_raises "no scenarios" (Invalid_argument "Phase2.run: no failure scenarios")
+    (fun () -> ignore (Phase2.run ~rng scenario ~phase1 ~failures:[]))
+
+(* Optimizer end-to-end. *)
+
+let test_optimize_determinism () =
+  let scenario = Fixtures.small ~seed:51 () in
+  let s1 = Optimizer.optimize ~rng:(Rng.create 5) scenario in
+  let s2 = Optimizer.optimize ~rng:(Rng.create 5) scenario in
+  Alcotest.(check bool) "same robust weights" true
+    (Weights.equal s1.Optimizer.robust s2.Optimizer.robust);
+  Alcotest.(check bool) "same critical set" true
+    (s1.Optimizer.critical = s2.Optimizer.critical)
+
+let test_optimize_selectors () =
+  let scenario = Fixtures.small ~seed:52 () in
+  let m = Scenario.num_arcs scenario in
+  let check_selector selector =
+    let s = Optimizer.optimize ~rng:(Rng.create 6) ~selector ~fraction:0.2 scenario in
+    Alcotest.(check bool) "critical set non-empty" true (s.Optimizer.critical <> []);
+    List.iter
+      (fun a -> Alcotest.(check bool) "arc ids valid" true (a >= 0 && a < m))
+      s.Optimizer.critical;
+    s
+  in
+  let ours = check_selector Optimizer.Ours in
+  Alcotest.(check bool) "fraction respected" true
+    (List.length ours.Optimizer.critical <= max 1 (int_of_float (Float.round (0.2 *. float_of_int m))));
+  let full = check_selector Optimizer.Full in
+  Alcotest.(check int) "full search covers all arcs" m (List.length full.Optimizer.critical);
+  ignore (check_selector Optimizer.Random_selection);
+  ignore (check_selector Optimizer.Load_based);
+  ignore (check_selector Optimizer.Fluctuation_based);
+  let given = check_selector (Optimizer.Given [ 0; 1; 2 ]) in
+  Alcotest.(check (list int)) "given set" [ 0; 1; 2 ] given.Optimizer.critical
+
+let test_optimize_node_failures () =
+  let scenario = Fixtures.small ~seed:53 () in
+  let s =
+    Optimizer.optimize ~rng:(Rng.create 7) ~failure_model:Optimizer.Node_failures scenario
+  in
+  Alcotest.(check int) "one scenario per node"
+    (Scenario.num_nodes scenario)
+    (List.length s.Optimizer.failures);
+  Alcotest.(check (list int)) "no critical arcs for node model" [] s.Optimizer.critical
+
+(* Baseline selectors. *)
+
+let test_select_random () =
+  let rng = Rng.create 8 in
+  let sel = Baselines.select_random rng ~num_arcs:20 ~n:5 in
+  Alcotest.(check int) "size" 5 (List.length sel);
+  Alcotest.(check bool) "sorted distinct" true (List.sort_uniq compare sel = sel)
+
+let test_select_load_based () =
+  let scenario, phase1 = Lazy.force phase1_fixture in
+  let sel = Baselines.select_load_based scenario ~phase1 ~n:4 in
+  Alcotest.(check int) "size" 4 (List.length sel);
+  (* selected arcs are the highest-utilization ones under the best setting *)
+  let detail = Eval.evaluate scenario phase1.Phase1.best in
+  let g = scenario.Scenario.graph in
+  let util id =
+    detail.Eval.loads.(id) /. (Dtr_topology.Graph.arc g id).Dtr_topology.Graph.capacity
+  in
+  let min_sel = List.fold_left (fun acc a -> Float.min acc (util a)) Float.infinity sel in
+  let m = Scenario.num_arcs scenario in
+  let better = ref 0 in
+  for id = 0 to m - 1 do
+    if (not (List.mem id sel)) && util id > min_sel +. 1e-12 then incr better
+  done;
+  Alcotest.(check int) "no unselected arc beats the selection" 0 !better
+
+let test_select_fluctuation () =
+  let scenario, phase1 = Lazy.force phase1_fixture in
+  let sel = Baselines.select_fluctuation scenario ~phase1 ~n:4 in
+  Alcotest.(check int) "size" 4 (List.length sel)
+
+let suite =
+  [
+    Alcotest.test_case "local search descends to target" `Quick test_local_search_descends;
+    Alcotest.test_case "local search respects infeasibility" `Quick
+      test_local_search_respects_infeasible;
+    Alcotest.test_case "local search with no feasible start" `Quick
+      test_local_search_all_infeasible;
+    Alcotest.test_case "phase 1 output invariants" `Slow test_phase1_output_sane;
+    Alcotest.test_case "phase 1 sample floor" `Slow test_phase1_min_samples;
+    Alcotest.test_case "phase 1c critical set" `Slow test_phase1_critical_set;
+    Alcotest.test_case "phase 2 constraints and gain" `Slow test_phase2_constraints_and_gain;
+    Alcotest.test_case "phase 2 input validation" `Slow test_phase2_rejects_empty_failures;
+    Alcotest.test_case "optimizer determinism" `Slow test_optimize_determinism;
+    Alcotest.test_case "optimizer selectors" `Slow test_optimize_selectors;
+    Alcotest.test_case "optimizer node-failure model" `Slow test_optimize_node_failures;
+    Alcotest.test_case "random selection" `Quick test_select_random;
+    Alcotest.test_case "load-based selection" `Slow test_select_load_based;
+    Alcotest.test_case "fluctuation-based selection" `Slow test_select_fluctuation;
+  ]

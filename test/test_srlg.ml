@@ -1,0 +1,123 @@
+(* Tests for Dtr_topology.Srlg (shared-risk link groups). *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Srlg = Dtr_topology.Srlg
+
+let edge u v = Graph.{ u; v; cap = 500.; prop = 0.005 }
+
+let square () = Graph.of_edges ~n:4 [ edge 0 1; edge 1 2; edge 2 3; edge 3 0 ]
+
+let test_explicit_groups () =
+  let g = square () in
+  (* edges: 0-1 arcs {0,1}; 1-2 {2,3}; 2-3 {4,5}; 3-0 {6,7} *)
+  let s = Srlg.of_edge_groups g [ ("west", [ 0; 4 ]); ("east", [ 2 ]) ] in
+  Alcotest.(check int) "two groups" 2 (Srlg.num_groups s);
+  (match Srlg.groups s with
+  | [ west; east ] ->
+      Alcotest.(check string) "label" "west" west.Srlg.label;
+      Alcotest.(check (list int)) "west members" [ 0; 4 ] west.Srlg.edges;
+      Alcotest.(check (list int)) "east members" [ 2 ] east.Srlg.edges
+  | _ -> Alcotest.fail "expected two groups");
+  (* either direction maps to the group *)
+  (match Srlg.group_of_arc s 1 with
+  | Some grp -> Alcotest.(check string) "reverse maps too" "west" grp.Srlg.label
+  | None -> Alcotest.fail "reverse arc not covered");
+  Alcotest.(check bool) "uncovered arc" true (Srlg.group_of_arc s 6 = None)
+
+let test_normalisation () =
+  let g = square () in
+  (* naming the reverse arc (id 1) lands on the canonical edge (id 0) *)
+  let s = Srlg.of_edge_groups g [ ("x", [ 1 ]) ] in
+  (match Srlg.groups s with
+  | [ grp ] -> Alcotest.(check (list int)) "canonical id" [ 0 ] grp.Srlg.edges
+  | _ -> Alcotest.fail "one group expected")
+
+let test_validation () =
+  let g = square () in
+  Alcotest.check_raises "empty group" (Invalid_argument "Srlg: empty group") (fun () ->
+      ignore (Srlg.of_edge_groups g [ ("x", []) ]));
+  Alcotest.check_raises "duplicate membership"
+    (Invalid_argument "Srlg: link in two groups") (fun () ->
+      ignore (Srlg.of_edge_groups g [ ("x", [ 0 ]); ("y", [ 1 ]) ]));
+  Alcotest.check_raises "bad id" (Invalid_argument "Srlg: bad arc id") (fun () ->
+      ignore (Srlg.of_edge_groups g [ ("x", [ 99 ]) ]))
+
+let test_failures_cover_both_directions () =
+  let g = square () in
+  let s = Srlg.of_edge_groups g [ ("x", [ 0; 4 ]) ] in
+  match Srlg.failures s with
+  | [ f ] ->
+      let mask = Failure.mask g f in
+      Alcotest.(check (list bool)) "all four arcs down"
+        [ true; true; false; false; true; true; false; false ]
+        (Array.to_list mask)
+  | _ -> Alcotest.fail "one scenario expected"
+
+let test_geographic_covers_everything () =
+  let g = Gen.rand (Rng.create 9) ~nodes:14 ~degree:4. in
+  let s = Srlg.geographic ~radius:0.2 g in
+  Alcotest.(check bool) "at least one group" true (Srlg.num_groups s >= 1);
+  (* every link belongs to exactly one group *)
+  Array.iter
+    (fun a ->
+      match Srlg.group_of_arc s a.Graph.id with
+      | Some _ -> ()
+      | None -> Alcotest.fail "uncovered link")
+    (Graph.arcs g);
+  (* total membership equals the link count *)
+  let total =
+    List.fold_left (fun acc grp -> acc + List.length grp.Srlg.edges) 0 (Srlg.groups s)
+  in
+  Alcotest.(check int) "partition" (Graph.edge_count g) total
+
+let test_geographic_radius_monotone () =
+  let g = Gen.rand (Rng.create 10) ~nodes:14 ~degree:4. in
+  let small = Srlg.geographic ~radius:0.05 g in
+  let large = Srlg.geographic ~radius:0.6 g in
+  Alcotest.(check bool)
+    (Printf.sprintf "larger radius, fewer groups (%d vs %d)" (Srlg.num_groups large)
+       (Srlg.num_groups small))
+    true
+    (Srlg.num_groups large <= Srlg.num_groups small)
+
+let test_geographic_requires_coords () =
+  let g = square () in
+  (* hand-built graphs carry no embedding *)
+  Alcotest.check_raises "no coordinates"
+    (Invalid_argument "Srlg.geographic: graph has no coordinates") (fun () ->
+      ignore (Srlg.geographic g))
+
+let test_srlg_robust_integration () =
+  (* Phase 2 over SRLG scenarios through the existing optimizer machinery. *)
+  let scenario = Fixtures.small ~seed:71 ~nodes:10 () in
+  let g = scenario.Dtr_core.Scenario.graph in
+  let s = Srlg.geographic ~radius:0.25 g in
+  let rng = Rng.create 72 in
+  let phase1 = Dtr_core.Phase1.run ~rng scenario in
+  let out = Dtr_core.Phase2.run ~rng scenario ~phase1 ~failures:(Srlg.failures s) in
+  (* compounded SRLG cost of the robust solution is no worse than the
+     regular solution's (the regular solution seeds the search) *)
+  let compound w =
+    Dtr_core.Eval.compound (Dtr_core.Eval.sweep scenario w (Srlg.failures s))
+  in
+  Alcotest.(check bool) "SRLG-robust no worse" true
+    (Dtr_cost.Lexico.compare (compound out.Dtr_core.Phase2.robust)
+       (compound phase1.Dtr_core.Phase1.best)
+    <= 0)
+
+let suite =
+  [
+    Alcotest.test_case "explicit groups" `Quick test_explicit_groups;
+    Alcotest.test_case "direction normalisation" `Quick test_normalisation;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "failures cover both directions" `Quick
+      test_failures_cover_both_directions;
+    Alcotest.test_case "geographic clustering covers all links" `Quick
+      test_geographic_covers_everything;
+    Alcotest.test_case "radius monotonicity" `Quick test_geographic_radius_monotone;
+    Alcotest.test_case "geographic needs coordinates" `Quick test_geographic_requires_coords;
+    Alcotest.test_case "SRLG-robust optimization" `Slow test_srlg_robust_integration;
+  ]

@@ -1,0 +1,117 @@
+(* Unit and property tests for Dtr_util.Stat. *)
+
+module Stat = Dtr_util.Stat
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_f name expected actual =
+  Alcotest.(check bool) name true (feq expected actual)
+
+let test_mean () =
+  check_f "mean" 2.5 (Stat.mean [| 1.; 2.; 3.; 4. |]);
+  check_f "singleton" 7. (Stat.mean [| 7. |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stat.mean: empty sample") (fun () ->
+      ignore (Stat.mean [||]))
+
+let test_variance () =
+  (* sample variance of 1..5 is 2.5 *)
+  check_f "variance 1..5" 2.5 (Stat.variance [| 1.; 2.; 3.; 4.; 5. |]);
+  check_f "singleton variance" 0. (Stat.variance [| 42. |])
+
+let test_stddev () = check_f "stddev" (sqrt 2.5) (Stat.stddev [| 1.; 2.; 3.; 4.; 5. |])
+
+let test_min_max () =
+  check_f "min" (-3.) (Stat.minimum [| 2.; -3.; 5. |]);
+  check_f "max" 5. (Stat.maximum [| 2.; -3.; 5. |])
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_f "p0" 1. (Stat.percentile xs 0.);
+  check_f "p50" 3. (Stat.percentile xs 50.);
+  check_f "p100" 5. (Stat.percentile xs 100.);
+  check_f "p25" 2. (Stat.percentile xs 25.);
+  (* interpolation *)
+  check_f "p10 interpolated" 1.4 (Stat.percentile xs 10.)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  let _ = Stat.percentile xs 50. in
+  Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let test_left_tail_mean () =
+  let xs = [| 5.; 1.; 4.; 2.; 3.; 10.; 9.; 8.; 7.; 6. |] in
+  (* smallest 10% of 10 values = the single smallest *)
+  check_f "tail 0.1" 1. (Stat.left_tail_mean xs ~fraction:0.1);
+  (* smallest 30% = {1,2,3} *)
+  check_f "tail 0.3" 2. (Stat.left_tail_mean xs ~fraction:0.3);
+  check_f "tail 1.0 = mean" (Stat.mean xs) (Stat.left_tail_mean xs ~fraction:1.0);
+  (* fewer elements than the fraction implies still uses at least one *)
+  check_f "tiny sample" 2. (Stat.left_tail_mean [| 3.; 2. |] ~fraction:0.1)
+
+let test_right_tail_mean () =
+  let xs = [| 5.; 1.; 4.; 2.; 3.; 10.; 9.; 8.; 7.; 6. |] in
+  check_f "top 10%" 10. (Stat.right_tail_mean xs ~fraction:0.1);
+  check_f "top 20%" 9.5 (Stat.right_tail_mean xs ~fraction:0.2)
+
+let test_tail_mean_le_mean =
+  QCheck.Test.make ~name:"left tail mean <= mean <= right tail mean" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 40) (float_range (-100.) 100.)) (float_range 0.05 1.))
+    (fun (xs, frac) ->
+      let a = Array.of_list xs in
+      Stat.left_tail_mean a ~fraction:frac <= Stat.mean a +. 1e-9
+      && Stat.mean a <= Stat.right_tail_mean a ~fraction:frac +. 1e-9)
+
+let test_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-50.) 50.))
+    (fun xs -> Stat.variance (Array.of_list xs) >= 0.)
+
+let test_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 30) (float_range (-50.) 50.))
+        (float_range 0. 100.) (float_range 0. 100.))
+    (fun (xs, p1, p2) ->
+      let a = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stat.percentile a lo <= Stat.percentile a hi +. 1e-9)
+
+let test_acc_matches_batch () =
+  let xs = [| 1.5; -2.; 3.25; 0.; 8.; -1. |] in
+  let acc = Stat.Acc.create () in
+  Array.iter (Stat.Acc.add acc) xs;
+  Alcotest.(check int) "count" 6 (Stat.Acc.count acc);
+  check_f "acc mean" (Stat.mean xs) (Stat.Acc.mean acc);
+  check_f "acc stddev" (Stat.stddev xs) (Stat.Acc.stddev acc)
+
+let test_acc_empty () =
+  let acc = Stat.Acc.create () in
+  check_f "empty mean 0" 0. (Stat.Acc.mean acc);
+  check_f "empty stddev 0" 0. (Stat.Acc.stddev acc)
+
+let test_mean_std () =
+  let m, s = Stat.mean_std [| 1.; 2.; 3. |] in
+  check_f "mean part" 2. m;
+  check_f "std part" 1. s
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean on empty raises" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile preserves input" `Quick test_percentile_does_not_mutate;
+    Alcotest.test_case "left tail mean" `Quick test_left_tail_mean;
+    Alcotest.test_case "right tail mean" `Quick test_right_tail_mean;
+    QCheck_alcotest.to_alcotest test_tail_mean_le_mean;
+    QCheck_alcotest.to_alcotest test_variance_nonneg;
+    QCheck_alcotest.to_alcotest test_percentile_monotone;
+    Alcotest.test_case "streaming accumulator" `Quick test_acc_matches_batch;
+    Alcotest.test_case "empty accumulator" `Quick test_acc_empty;
+    Alcotest.test_case "mean_std" `Quick test_mean_std;
+  ]

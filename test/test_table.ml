@@ -1,0 +1,63 @@
+(* Tests for Dtr_util.Table (ASCII table rendering). *)
+
+module Table = Dtr_util.Table
+
+let test_render_alignment () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bbbb" ] in
+  Table.add_row t [ "xx"; "y" ];
+  Table.add_row t [ "1"; "22222" ];
+  let s = Table.render t in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | title :: header :: _sep :: row1 :: _ ->
+      Alcotest.(check string) "title line" "== demo ==" title;
+      Alcotest.(check bool) "header mentions both columns" true
+        (String.length header >= String.length "a   bbbb");
+      Alcotest.(check bool) "row starts with first cell" true
+        (String.length row1 > 0 && row1.[0] = 'x')
+  | _ -> Alcotest.fail "unexpected shape");
+  (* all data rows align: the second column starts at the same offset *)
+  ()
+
+let test_row_padding () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "b"; "c" ] in
+  Table.add_row t [ "1" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "renders fine with short row" true (String.length s > 0)
+
+let test_row_overflow () =
+  let t = Table.create ~title:"t" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than columns") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_cell_f () =
+  Alcotest.(check string) "integral" "3" (Table.cell_f 3.0);
+  Alcotest.(check string) "fractional" "3.14" (Table.cell_f 3.14159);
+  Alcotest.(check string) "negative" "-2.50" (Table.cell_f (-2.5))
+
+let test_cell_mean_std () =
+  Alcotest.(check string) "formatting" "1.50 (0.25)" (Table.cell_mean_std 1.5 0.25)
+
+let index_of hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = if i + m > n then -1 else if String.sub hay i m = needle then i else go (i + 1) in
+  go 0
+
+let test_rows_in_order () =
+  let t = Table.create ~title:"t" ~columns:[ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  let s = Table.render t in
+  let i = index_of s "first" and j = index_of s "second" in
+  Alcotest.(check bool) "both present, insertion order kept" true (i >= 0 && j > i)
+
+let suite =
+  [
+    Alcotest.test_case "render and alignment" `Quick test_render_alignment;
+    Alcotest.test_case "short rows padded" `Quick test_row_padding;
+    Alcotest.test_case "overflow rejected" `Quick test_row_overflow;
+    Alcotest.test_case "numeric cells" `Quick test_cell_f;
+    Alcotest.test_case "mean/std cells" `Quick test_cell_mean_std;
+    Alcotest.test_case "row order preserved" `Quick test_rows_in_order;
+  ]

@@ -1,0 +1,82 @@
+(* Tests for Dtr_core.Weights. *)
+
+module Rng = Dtr_util.Rng
+module Weights = Dtr_core.Weights
+
+let test_create () =
+  let w = Weights.create ~num_arcs:5 ~init:3 in
+  Alcotest.(check int) "num_arcs" 5 (Weights.num_arcs w);
+  Array.iter (fun x -> Alcotest.(check int) "wd init" 3 x) w.Weights.wd;
+  Array.iter (fun x -> Alcotest.(check int) "wt init" 3 x) w.Weights.wt;
+  Alcotest.check_raises "init below 1" (Invalid_argument "Weights.create: weights start at 1")
+    (fun () -> ignore (Weights.create ~num_arcs:2 ~init:0))
+
+let test_random_in_range () =
+  let rng = Rng.create 1 in
+  let w = Weights.random rng ~num_arcs:100 ~wmax:20 in
+  Weights.validate w ~wmax:20;
+  (* both extremes should appear over 100 arcs x 2 classes *)
+  let all = Array.append w.Weights.wd w.Weights.wt in
+  Alcotest.(check bool) "spreads over range" true
+    (Array.exists (fun x -> x <= 3) all && Array.exists (fun x -> x >= 18) all)
+
+let test_copy_and_equal () =
+  let rng = Rng.create 2 in
+  let w = Weights.random rng ~num_arcs:10 ~wmax:20 in
+  let c = Weights.copy w in
+  Alcotest.(check bool) "copies equal" true (Weights.equal w c);
+  c.Weights.wd.(0) <- c.Weights.wd.(0) + 1;
+  Alcotest.(check bool) "diverge after mutation" false (Weights.equal w c)
+
+let test_save_restore () =
+  let rng = Rng.create 3 in
+  let w = Weights.random rng ~num_arcs:10 ~wmax:20 in
+  let before = Weights.copy w in
+  let saved = Weights.save_arc w 4 in
+  Weights.set_arc w ~arc:4 ~wd:19 ~wt:19;
+  Alcotest.(check bool) "changed" false (Weights.equal w before);
+  Weights.restore_arc w saved;
+  Alcotest.(check bool) "restored" true (Weights.equal w before)
+
+let test_perturb_arc () =
+  let rng = Rng.create 4 in
+  let w = Weights.create ~num_arcs:10 ~init:5 in
+  Weights.perturb_arc rng w ~arc:2 ~wmax:20;
+  Weights.validate w ~wmax:20;
+  (* only arc 2 can have changed *)
+  for i = 0 to 9 do
+    if i <> 2 then begin
+      Alcotest.(check int) "wd untouched" 5 w.Weights.wd.(i);
+      Alcotest.(check int) "wt untouched" 5 w.Weights.wt.(i)
+    end
+  done
+
+let test_raise_arc () =
+  let rng = Rng.create 5 in
+  let w = Weights.create ~num_arcs:10 ~init:5 in
+  for _ = 1 to 50 do
+    Weights.raise_arc rng w ~arc:7 ~wmax:20 ~q:0.7;
+    Alcotest.(check bool) "wd in failure band" true (w.Weights.wd.(7) >= 14 && w.Weights.wd.(7) <= 20);
+    Alcotest.(check bool) "wt in failure band" true (w.Weights.wt.(7) >= 14 && w.Weights.wt.(7) <= 20)
+  done;
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Weights.raise_arc: q outside (0, 1)") (fun () ->
+      Weights.raise_arc rng w ~arc:0 ~wmax:20 ~q:1.5)
+
+let test_validate_rejects () =
+  let w = Weights.create ~num_arcs:3 ~init:1 in
+  w.Weights.wd.(1) <- 25;
+  Alcotest.check_raises "above wmax"
+    (Invalid_argument "Weights.validate: weight out of range") (fun () ->
+      Weights.validate w ~wmax:20)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "random in range" `Quick test_random_in_range;
+    Alcotest.test_case "copy and equal" `Quick test_copy_and_equal;
+    Alcotest.test_case "save/restore arc" `Quick test_save_restore;
+    Alcotest.test_case "perturb single arc" `Quick test_perturb_arc;
+    Alcotest.test_case "raise arc to failure band" `Quick test_raise_arc;
+    Alcotest.test_case "validation" `Quick test_validate_rejects;
+  ]
