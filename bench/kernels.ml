@@ -12,6 +12,8 @@ module Failure = Dtr_topology.Failure
 module Scenario = Dtr_core.Scenario
 module Weights = Dtr_core.Weights
 module Eval = Dtr_core.Eval
+module Eval_incr = Dtr_core.Eval_incr
+module Lexico = Dtr_cost.Lexico
 
 let tests () =
   let rng = Rng.create 99 in
@@ -41,10 +43,62 @@ let tests () =
   in
   Test.make_grouped ~name:"kernels" [ dijkstra; routing; eval; sweep ]
 
-let run () =
-  Harness.section "Kernel micro-benchmarks (bechamel)";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
-  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (tests ()) in
+(* Full vs incremental pricing of a single-arc move — the local search's
+   innermost operation.  Each call perturbs one arc (cycling over all arcs,
+   both weights changed), prices the move, and undoes it, so the full path
+   pays a complete [Eval.cost] and the incremental path a try/rollback pair
+   on a warm engine. *)
+let incremental_pair ~nodes =
+  let rng = Rng.create (1000 + nodes) in
+  let scenario =
+    Scenario.random_instance ~params:Scenario.quick_params ~nodes ~degree:6. rng
+      Gen.Rand_topo
+  in
+  let m = Scenario.num_arcs scenario in
+  let w = Weights.random rng ~num_arcs:m ~wmax:20 in
+  let flip old = 1 + (old mod 20) in
+  let trial price =
+    let arc = ref 0 in
+    fun () ->
+      let a = !arc in
+      arc := (a + 1) mod m;
+      let saved = Weights.save_arc w a in
+      Weights.set_arc w ~arc:a ~wd:(flip saved.Weights.old_wd)
+        ~wt:(flip saved.Weights.old_wt);
+      let cost = price a in
+      Weights.restore_arc w saved;
+      cost
+  in
+  let full =
+    Test.make
+      ~name:(Printf.sprintf "full move (%dn)" nodes)
+      (Staged.stage (trial (fun _ -> Eval.cost scenario w)))
+  in
+  let engine = Eval_incr.create scenario in
+  let (_ : Lexico.t) = Eval_incr.anchor engine w in
+  let incr =
+    Test.make
+      ~name:(Printf.sprintf "incremental move (%dn)" nodes)
+      (Staged.stage
+         (trial (fun a ->
+              let cost = Eval_incr.try_arc engine w ~arc:a in
+              Eval_incr.rollback engine;
+              cost)))
+  in
+  (full, incr)
+
+let incremental_tests () =
+  let f30, i30 = incremental_pair ~nodes:30 in
+  let f180, i180 = incremental_pair ~nodes:180 in
+  Test.make_grouped ~name:"incremental_eval" [ f30; i30; f180; i180 ]
+
+let pretty ns =
+  if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let measure cfg tests =
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
   let results =
     Analyze.all
       (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
@@ -58,16 +112,48 @@ let run () =
       in
       rows := (name, ns) :: !rows)
     results;
+  List.sort compare !rows
+
+let run () =
+  Harness.section "Kernel micro-benchmarks (bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let rows = measure cfg (tests ()) @ measure cfg (incremental_tests ()) in
   let t =
     Dtr_util.Table.create ~title:"estimated time per call"
       ~columns:[ "kernel"; "time" ]
   in
-  let pretty ns =
-    if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-    else Printf.sprintf "%.0f ns" ns
+  List.iter (fun (name, ns) -> Dtr_util.Table.add_row t [ name; pretty ns ]) rows;
+  Dtr_util.Table.print t;
+  (* Speedup of the incremental engine over full re-evaluation, per size. *)
+  let find sub =
+    List.fold_left
+      (fun acc (name, ns) ->
+        let contains =
+          let ln = String.length name and ls = String.length sub in
+          let rec scan i = i + ls <= ln && (String.sub name i ls = sub || scan (i + 1)) in
+          scan 0
+        in
+        if contains then Some ns else acc)
+      None rows
+  in
+  let s =
+    Dtr_util.Table.create ~title:"incremental_eval: single-arc move pricing"
+      ~columns:[ "size"; "full"; "incremental"; "speedup" ]
   in
   List.iter
-    (fun (name, ns) -> Dtr_util.Table.add_row t [ name; pretty ns ])
-    (List.sort compare !rows);
-  Dtr_util.Table.print t
+    (fun nodes ->
+      match
+        ( find (Printf.sprintf "full move (%dn)" nodes),
+          find (Printf.sprintf "incremental move (%dn)" nodes) )
+      with
+      | Some f, Some i when i > 0. ->
+          Dtr_util.Table.add_row s
+            [
+              Printf.sprintf "%dn" nodes;
+              pretty f;
+              pretty i;
+              Printf.sprintf "%.1fx" (f /. i);
+            ]
+      | _ -> ())
+    [ 30; 180 ];
+  Dtr_util.Table.print s

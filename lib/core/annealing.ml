@@ -41,11 +41,11 @@ let validate config =
 let energy config cost =
   (config.lambda_weight *. cost.Lexico.lambda) +. cost.Lexico.phi
 
-let minimize ~rng ~eval ~init config =
+let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
   validate config;
   let current = Weights.copy init in
   let current_cost =
-    match eval current with
+    match engine.Local_search.start current with
     | Some c -> ref c
     | None -> invalid_arg "Annealing: infeasible starting point"
   in
@@ -59,8 +59,10 @@ let minimize ~rng ~eval ~init config =
       let arc = Rng.int rng num_arcs in
       let saved = Weights.save_arc current arc in
       Weights.perturb_arc rng current ~arc ~wmax:config.wmax;
-      match eval current with
-      | None -> Weights.restore_arc current saved
+      match engine.Local_search.try_arc current ~arc with
+      | None ->
+          engine.Local_search.rollback ();
+          Weights.restore_arc current saved
       | Some cost ->
           let delta = energy config cost -. energy config !current_cost in
           let take =
@@ -68,6 +70,7 @@ let minimize ~rng ~eval ~init config =
             else Rng.float rng 1. < exp (-.delta /. !temperature)
           in
           if take then begin
+            engine.Local_search.commit ();
             incr accepted;
             if delta > 0. then incr uphill;
             current_cost := cost;
@@ -76,7 +79,10 @@ let minimize ~rng ~eval ~init config =
               best_cost := cost
             end
           end
-          else Weights.restore_arc current saved
+          else begin
+            engine.Local_search.rollback ();
+            Weights.restore_arc current saved
+          end
     done;
     temperature := !temperature *. config.cooling
   done;
@@ -87,3 +93,19 @@ let minimize ~rng ~eval ~init config =
     accepted = !accepted;
     uphill = !uphill;
   }
+
+let minimize ~rng ~eval ~init config =
+  minimize_engine ~rng ~engine:(Local_search.eval_engine eval) ~init config
+
+let minimize_incremental ~rng (scenario : Scenario.t) ~init config =
+  let e = Eval_incr.create scenario in
+  let engine =
+    Local_search.
+      {
+        start = (fun w -> Some (Eval_incr.anchor e w));
+        try_arc = (fun w ~arc -> Some (Eval_incr.try_arc e w ~arc));
+        commit = (fun () -> Eval_incr.commit e);
+        rollback = (fun () -> Eval_incr.rollback e);
+      }
+  in
+  minimize_engine ~rng ~engine ~init config

@@ -45,3 +45,23 @@ val minimize :
     return [Some]).  Infeasible proposals are always rejected.  The returned
     [best] is the best feasible setting ever visited, not the final state.
     @raise Invalid_argument on a bad configuration or infeasible [init]. *)
+
+val minimize_engine :
+  rng:Dtr_util.Rng.t ->
+  engine:Local_search.engine ->
+  init:Weights.t ->
+  config ->
+  result
+(** {!minimize} over an explicit {!Local_search.engine}: every proposal is a
+    single-arc move, priced by [try_arc] and settled with exactly one
+    [commit] (move taken) or [rollback].  {!minimize} is this applied to
+    {!Local_search.eval_engine}; both consume the same RNG stream. *)
+
+val minimize_incremental :
+  rng:Dtr_util.Rng.t ->
+  Scenario.t ->
+  init:Weights.t ->
+  config ->
+  result
+(** {!minimize_engine} over a fresh {!Eval_incr} engine for the scenario's
+    normal-conditions cost — the fast path for annealing on [Knormal]. *)

@@ -16,20 +16,69 @@ type detail = {
   pair_delays : (int * int * float) array;
 }
 
+(* One destination's SLA penalty subtotal: expected-delay DP over the ECMP
+   DAG, then a left fold (from 0, in source order) of the pair penalties.
+   Keeping the fold per-destination lets the incremental engine cache the
+   subtotal and re-sum destination subtotals bit-identically (0. + x = x, so
+   a fold of per-destination folds equals the flat fold). *)
+let dest_sla (scenario : Scenario.t) ~routing_d ~arc_delay ~dense_rd ~excluded ~dest
+    ~on_pair =
+  let sla = scenario.Scenario.params.Scenario.sla in
+  let n = Array.length dense_rd in
+  let del = Routing.expected_delays_to routing_d ~arc_delay ~dest in
+  let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
+  for src = 0 to n - 1 do
+    if src <> dest && (not (excluded src)) && dense_rd.(src).(dest) > 0. then begin
+      let xi = del.(src) in
+      lambda := !lambda +. Sla.pair_penalty sla xi;
+      if xi = Float.infinity then begin
+        incr unreachable;
+        incr violations
+      end
+      else if Sla.is_violation sla xi then incr violations;
+      on_pair src dest xi
+    end
+  done;
+  (!lambda, !violations, !unreachable)
+
+let no_pair = fun _ _ _ -> ()
+
+(* Dense views + delay-sink flags: the scenario's own matrices come with
+   cached ones; overrides (perturbed traffic) fall back to a local scan. *)
+let dense_inputs (scenario : Scenario.t) ~rd ~rt =
+  let dense_rd, sinks =
+    if rd == scenario.Scenario.rd then
+      (scenario.Scenario.dense_rd, scenario.Scenario.delay_sinks)
+    else begin
+      let dense = Matrix.dense rd in
+      let n = Array.length dense in
+      let sinks = Array.make n false in
+      for src = 0 to n - 1 do
+        for dest = 0 to n - 1 do
+          if src <> dest && dense.(src).(dest) > 0. then sinks.(dest) <- true
+        done
+      done;
+      (dense, sinks)
+    end
+  in
+  let dense_rt =
+    if rt == scenario.Scenario.rt then scenario.Scenario.dense_rt else Matrix.dense rt
+  in
+  (dense_rd, dense_rt, sinks)
+
 (* Cost computation given already-computed per-class routing states. *)
-let assess (scenario : Scenario.t) ~routing_d ~routing_t ~exclude_node ~rd ~rt
-    ~want_pair_delays =
+let assess (scenario : Scenario.t) ~routing_d ~routing_t ~exclude_node ~dense_rd
+    ~dense_rt ~sinks ~want_pair_delays =
   let g = scenario.Scenario.graph in
   let params = scenario.Scenario.params in
   let num_arcs = Graph.num_arcs g in
   let throughput_loads = Array.make num_arcs 0. in
   let (_ : float) =
-    Routing.add_loads routing_t ~demands:(Matrix.dense rt) ?exclude_node
-      ~into:throughput_loads ()
+    Routing.add_loads routing_t ~demands:dense_rt ?exclude_node ~into:throughput_loads ()
   in
   let loads = Array.copy throughput_loads in
   let (_ : float) =
-    Routing.add_loads routing_d ~demands:(Matrix.dense rd) ?exclude_node ~into:loads ()
+    Routing.add_loads routing_d ~demands:dense_rd ?exclude_node ~into:loads ()
   in
   let arc_delay = Delay_model.arc_delays params.Scenario.delay g ~loads in
   (* Lambda: one expected-delay DP per destination that sinks delay traffic. *)
@@ -37,29 +86,18 @@ let assess (scenario : Scenario.t) ~routing_d ~routing_t ~exclude_node ~rd ~rt
   let excluded v = match exclude_node with None -> false | Some x -> x = v in
   let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
   let delays_out = ref [] in
-  let dense_rd = Matrix.dense rd in
+  let on_pair =
+    if want_pair_delays then fun src dest xi -> delays_out := (src, dest, xi) :: !delays_out
+    else no_pair
+  in
   for dest = 0 to n - 1 do
-    if not (excluded dest) then begin
-      let sinks_delay_traffic = ref false in
-      for src = 0 to n - 1 do
-        if src <> dest && (not (excluded src)) && dense_rd.(src).(dest) > 0. then
-          sinks_delay_traffic := true
-      done;
-      if !sinks_delay_traffic then begin
-        let del = Routing.expected_delays_to routing_d ~arc_delay ~dest in
-        for src = 0 to n - 1 do
-          if src <> dest && (not (excluded src)) && dense_rd.(src).(dest) > 0. then begin
-            let xi = del.(src) in
-            lambda := !lambda +. Sla.pair_penalty params.Scenario.sla xi;
-            if xi = Float.infinity then begin
-              incr unreachable;
-              incr violations
-            end
-            else if Sla.is_violation params.Scenario.sla xi then incr violations;
-            if want_pair_delays then delays_out := (src, dest, xi) :: !delays_out
-          end
-        done
-      end
+    if sinks.(dest) && not (excluded dest) then begin
+      let lam, viol, unreach =
+        dest_sla scenario ~routing_d ~arc_delay ~dense_rd ~excluded ~dest ~on_pair
+      in
+      lambda := !lambda +. lam;
+      violations := !violations + viol;
+      unreachable := !unreachable + unreach
     end
   done;
   let carries_throughput id = throughput_loads.(id) > 1e-9 in
@@ -82,76 +120,103 @@ let evaluate (scenario : Scenario.t) ?failure ?rd ?rt ?(want_pair_delays = false
   let g = scenario.Scenario.graph in
   let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
   let rt = match rt with Some m -> m | None -> scenario.Scenario.rt in
+  let dense_rd, dense_rt, sinks = dense_inputs scenario ~rd ~rt in
   let disabled, exclude_node =
     match failure with
     | None -> (None, None)
     | Some f -> (Some (Failure.mask g f), Failure.excluded_node f)
   in
-  let routing_d = Routing.compute g ~weights:(Weights.delay_of w) ?disabled () in
-  let routing_t = Routing.compute g ~weights:(Weights.throughput_of w) ?disabled () in
-  assess scenario ~routing_d ~routing_t ~exclude_node ~rd ~rt ~want_pair_delays
+  let buffers = Routing.make_buffers g in
+  let routing_d = Routing.compute g ~weights:(Weights.delay_of w) ~buffers ?disabled () in
+  let routing_t =
+    Routing.compute g ~weights:(Weights.throughput_of w) ~buffers ?disabled ()
+  in
+  assess scenario ~routing_d ~routing_t ~exclude_node ~dense_rd ~dense_rt ~sinks
+    ~want_pair_delays
 
 let cost scenario ?failure w = (evaluate scenario ?failure w).cost
 
 (* Failure sweeps compute the no-failure routing once and re-route only the
-   destinations whose ECMP DAG lost an arc (see Routing.with_failed_arcs). *)
+   destinations whose ECMP DAG lost an arc (see Routing.with_failed_arcs);
+   one shared buffer set serves every per-failure recomputation. *)
 let sweep_details (scenario : Scenario.t) ?rd ?rt w failures =
   let g = scenario.Scenario.graph in
   let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
   let rt = match rt with Some m -> m | None -> scenario.Scenario.rt in
-  let base_d = Routing.compute g ~weights:(Weights.delay_of w) () in
-  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) () in
+  let dense_rd, dense_rt, sinks = dense_inputs scenario ~rd ~rt in
+  let buffers = Routing.make_buffers g in
+  let base_d = Routing.compute g ~weights:(Weights.delay_of w) ~buffers () in
+  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) ~buffers () in
   let mask = Array.make (Graph.num_arcs g) false in
   List.map
     (fun f ->
       Failure.set_mask g f mask;
       let failed = failed_arcs_of_mask mask in
       let routing_d =
-        Routing.with_failed_arcs base_d ~weights:(Weights.delay_of w) ~disabled:mask ~failed
+        Routing.with_failed_arcs ~buffers base_d ~weights:(Weights.delay_of w)
+          ~disabled:mask ~failed
       in
       let routing_t =
-        Routing.with_failed_arcs base_t ~weights:(Weights.throughput_of w) ~disabled:mask
-          ~failed
+        Routing.with_failed_arcs ~buffers base_t ~weights:(Weights.throughput_of w)
+          ~disabled:mask ~failed
       in
-      assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f) ~rd ~rt
-        ~want_pair_delays:false)
+      assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f)
+        ~dense_rd ~dense_rt ~sinks ~want_pair_delays:false)
     failures
 
 let sweep scenario w failures =
   Array.of_list (List.map (fun d -> d.cost) (sweep_details scenario w failures))
 
+(* Compound failure cost starting from already-computed no-failure routing
+   bases — shared by [normal_and_sweep] and the Phase-2 incremental path,
+   where the bases come out of the evaluation engine's cache. *)
+let compound_sweep_from (scenario : Scenario.t) ~routing_d ~routing_t w ~failures =
+  let g = scenario.Scenario.graph in
+  let dense_rd = scenario.Scenario.dense_rd
+  and dense_rt = scenario.Scenario.dense_rt
+  and sinks = scenario.Scenario.delay_sinks in
+  let buffers = Routing.make_buffers g in
+  let mask = Array.make (Graph.num_arcs g) false in
+  let total = ref Lexico.zero in
+  List.iter
+    (fun f ->
+      Failure.set_mask g f mask;
+      let failed = failed_arcs_of_mask mask in
+      let fail_d =
+        Routing.with_failed_arcs ~buffers routing_d ~weights:(Weights.delay_of w)
+          ~disabled:mask ~failed
+      in
+      let fail_t =
+        Routing.with_failed_arcs ~buffers routing_t ~weights:(Weights.throughput_of w)
+          ~disabled:mask ~failed
+      in
+      let d =
+        assess scenario ~routing_d:fail_d ~routing_t:fail_t
+          ~exclude_node:(Failure.excluded_node f) ~dense_rd ~dense_rt ~sinks
+          ~want_pair_delays:false
+      in
+      total := Lexico.add !total d.cost)
+    failures;
+  !total
+
 let normal_and_sweep (scenario : Scenario.t) w ~failures ~feasible =
   let g = scenario.Scenario.graph in
-  let rd = scenario.Scenario.rd and rt = scenario.Scenario.rt in
-  let base_d = Routing.compute g ~weights:(Weights.delay_of w) () in
-  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) () in
+  let dense_rd = scenario.Scenario.dense_rd
+  and dense_rt = scenario.Scenario.dense_rt
+  and sinks = scenario.Scenario.delay_sinks in
+  let buffers = Routing.make_buffers g in
+  let base_d = Routing.compute g ~weights:(Weights.delay_of w) ~buffers () in
+  let base_t = Routing.compute g ~weights:(Weights.throughput_of w) ~buffers () in
   let normal =
-    assess scenario ~routing_d:base_d ~routing_t:base_t ~exclude_node:None ~rd ~rt
-      ~want_pair_delays:false
+    assess scenario ~routing_d:base_d ~routing_t:base_t ~exclude_node:None ~dense_rd
+      ~dense_rt ~sinks ~want_pair_delays:false
   in
   if not (feasible normal.cost) then (normal.cost, None)
-  else begin
-    let mask = Array.make (Graph.num_arcs g) false in
-    let total = ref Lexico.zero in
-    List.iter
-      (fun f ->
-        Failure.set_mask g f mask;
-        let failed = failed_arcs_of_mask mask in
-        let routing_d =
-          Routing.with_failed_arcs base_d ~weights:(Weights.delay_of w) ~disabled:mask
-            ~failed
-        in
-        let routing_t =
-          Routing.with_failed_arcs base_t ~weights:(Weights.throughput_of w) ~disabled:mask
-            ~failed
-        in
-        let d =
-          assess scenario ~routing_d ~routing_t
-            ~exclude_node:(Failure.excluded_node f) ~rd ~rt ~want_pair_delays:false
-        in
-        total := Lexico.add !total d.cost)
-      failures;
-    (normal.cost, Some !total)
-  end
+  else
+    (normal.cost, Some (compound_sweep_from scenario ~routing_d:base_d ~routing_t:base_t w ~failures))
 
 let compound costs = Array.fold_left Lexico.add Lexico.zero costs
+
+module Internal = struct
+  let dest_sla = dest_sla
+end

@@ -73,6 +73,40 @@ val normal_and_sweep :
     failure sweep, reusing the normal routing state for both steps.
     Returns [(normal cost, compounded failure cost if feasible)]. *)
 
+val compound_sweep_from :
+  Scenario.t ->
+  routing_d:Dtr_spf.Routing.t ->
+  routing_t:Dtr_spf.Routing.t ->
+  Weights.t ->
+  failures:Failure.t list ->
+  Lexico.t
+(** Compounded failure-sweep cost of [w] starting from already-computed
+    no-failure routing bases for both classes (the scenario's own traffic
+    matrices).  {!normal_and_sweep} is this plus the normal assessment; the
+    Phase-2 incremental path calls it directly with the evaluation engine's
+    cached bases, so a single-arc move never recomputes the no-failure
+    routing from scratch. *)
+
 val compound : Lexico.t array -> Lexico.t
 (** Componentwise sum over scenarios — [Kfail] of Eq. (4) (or its
     critical-set restriction, Eq. (7)). *)
+
+(**/**)
+
+(** Shared internals of the full and incremental evaluations.  [Eval_incr]
+    must produce bit-identical costs, so the per-destination SLA subtotal is
+    single-sourced here rather than duplicated. *)
+module Internal : sig
+  val dest_sla :
+    Scenario.t ->
+    routing_d:Dtr_spf.Routing.t ->
+    arc_delay:float array ->
+    dense_rd:float array array ->
+    excluded:(int -> bool) ->
+    dest:int ->
+    on_pair:(int -> int -> float -> unit) ->
+    float * int * int
+  (** One destination's SLA penalty: a left fold (from [0.], in source
+      order) of the pair penalties over the expected-delay DP, plus the
+      violation and unreachable-pair counts. *)
+end

@@ -1,0 +1,331 @@
+module Graph = Dtr_topology.Graph
+module Routing = Dtr_spf.Routing
+module Lexico = Dtr_cost.Lexico
+module Delay_model = Dtr_cost.Delay_model
+module Congestion = Dtr_cost.Congestion
+
+(* The engine caches, per traffic class, the routing state and each
+   destination's arc-load contribution, plus each destination's SLA subtotal.
+   A single-arc trial recomputes only what the move can affect:
+
+   - routing: [Routing.with_changed_arc] reruns Dijkstra only for the
+     destinations whose shortest paths the new weight can alter;
+   - loads: only affected destinations re-route their demand; totals are
+     re-summed from the per-destination contributions in destination order,
+     which reproduces the full evaluation's float summation bit-for-bit
+     (each arc receives at most one addition per destination);
+   - Lambda: a destination's SLA subtotal is recomputed only if its routing
+     changed or some arc of its ECMP DAG changed delay; everything else
+     reuses the cached subtotal, and the total is again a destination-order
+     re-sum.
+
+   The trial result is staged in [pending] and only installed by [commit];
+   [rollback] simply drops it, mirroring [Weights.save_arc]/[restore_arc] on
+   the caller's side. *)
+
+type pending = {
+  p_arc : int;
+  p_wd : int;
+  p_wt : int;
+  p_routing_d : Routing.t;
+  p_routing_t : Routing.t;
+  p_rows_d : (int * float array) list;
+  p_rows_t : (int * float array) list;
+  p_tloads : float array;
+  p_loads : float array;
+  p_arc_delay : float array;
+  p_sla : (int * (float * int * int)) list;
+  p_lambda : float;
+  p_phi : float;
+  p_violations : int;
+  p_unreachable : int;
+  p_cost : Lexico.t;
+}
+
+type t = {
+  scenario : Scenario.t;
+  committed : Weights.t;  (** weight setting of the committed state *)
+  buffers : Routing.buffers;
+  mutable routing_d : Routing.t;
+  mutable routing_t : Routing.t;
+  contrib_d : float array array;  (** per-destination delay-class arc loads *)
+  contrib_t : float array array;
+  mutable tloads : float array;
+  mutable loads : float array;
+  mutable arc_delay : float array;
+  lambda_dest : float array;  (** per-destination SLA subtotals *)
+  viol_dest : int array;
+  unreach_dest : int array;
+  mutable lambda : float;
+  mutable phi : float;
+  mutable violations : int;
+  mutable unreachable : int;
+  mutable cost : Lexico.t;
+  mutable pending : pending option;
+  delay_changed : bool array;  (** scratch: arcs whose delay moved this trial *)
+}
+
+let scenario t = t.scenario
+
+let not_excluded = fun _ -> false
+let no_pair = fun _ _ _ -> ()
+
+(* Totals are always rebuilt as a destination-order left fold over the
+   per-destination rows so they match [Routing.add_loads]'s accumulation
+   exactly (adding a row's zeros is a bitwise no-op). *)
+let fold_rows ~into ~rows ~replaced =
+  let m = Array.length into in
+  let n = Array.length rows in
+  for dest = 0 to n - 1 do
+    let row =
+      match List.assoc_opt dest replaced with Some r -> r | None -> rows.(dest)
+    in
+    for i = 0 to m - 1 do
+      into.(i) <- into.(i) +. row.(i)
+    done
+  done;
+  into
+
+let sla_values t ~routing_d ~arc_delay ~dest =
+  if t.scenario.Scenario.delay_sinks.(dest) then
+    Eval.Internal.dest_sla t.scenario ~routing_d ~arc_delay
+      ~dense_rd:t.scenario.Scenario.dense_rd ~excluded:not_excluded ~dest
+      ~on_pair:no_pair
+  else (0., 0, 0)
+
+(* Totals from the per-destination caches, honouring staged replacements. *)
+let finish_cost t ~sla_rows =
+  let n = Array.length t.lambda_dest in
+  let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
+  for dest = 0 to n - 1 do
+    let lam, viol, unreach =
+      match List.assoc_opt dest sla_rows with
+      | Some v -> v
+      | None -> (t.lambda_dest.(dest), t.viol_dest.(dest), t.unreach_dest.(dest))
+    in
+    lambda := !lambda +. lam;
+    violations := !violations + viol;
+    unreachable := !unreachable + unreach
+  done;
+  (!lambda, !violations, !unreachable)
+
+let phi_of t ~tloads ~loads =
+  Congestion.total t.scenario.Scenario.graph ~loads ~carries_throughput:(fun id ->
+      tloads.(id) > 1e-9)
+
+let anchor t w =
+  let g = t.scenario.Scenario.graph in
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  if Weights.num_arcs w <> m then invalid_arg "Eval_incr.anchor: weight vector size";
+  t.pending <- None;
+  Array.blit w.Weights.wd 0 t.committed.Weights.wd 0 m;
+  Array.blit w.Weights.wt 0 t.committed.Weights.wt 0 m;
+  t.routing_d <-
+    Routing.compute g ~weights:(Weights.delay_of t.committed) ~buffers:t.buffers ();
+  t.routing_t <-
+    Routing.compute g ~weights:(Weights.throughput_of t.committed) ~buffers:t.buffers ();
+  for dest = 0 to n - 1 do
+    Array.fill t.contrib_d.(dest) 0 m 0.;
+    Array.fill t.contrib_t.(dest) 0 m 0.;
+    let (_ : float) =
+      Routing.add_loads_dest t.routing_d ~demands:t.scenario.Scenario.dense_rd ~dest
+        ~into:t.contrib_d.(dest)
+    in
+    let (_ : float) =
+      Routing.add_loads_dest t.routing_t ~demands:t.scenario.Scenario.dense_rt ~dest
+        ~into:t.contrib_t.(dest)
+    in
+    ()
+  done;
+  t.tloads <- fold_rows ~into:(Array.make m 0.) ~rows:t.contrib_t ~replaced:[];
+  t.loads <- fold_rows ~into:(Array.copy t.tloads) ~rows:t.contrib_d ~replaced:[];
+  t.arc_delay <-
+    Delay_model.arc_delays t.scenario.Scenario.params.Scenario.delay g ~loads:t.loads;
+  for dest = 0 to n - 1 do
+    let lam, viol, unreach =
+      sla_values t ~routing_d:t.routing_d ~arc_delay:t.arc_delay ~dest
+    in
+    t.lambda_dest.(dest) <- lam;
+    t.viol_dest.(dest) <- viol;
+    t.unreach_dest.(dest) <- unreach
+  done;
+  let lambda, violations, unreachable = finish_cost t ~sla_rows:[] in
+  t.lambda <- lambda;
+  t.violations <- violations;
+  t.unreachable <- unreachable;
+  t.phi <- phi_of t ~tloads:t.tloads ~loads:t.loads;
+  t.cost <- Lexico.make ~lambda ~phi:t.phi;
+  t.cost
+
+let create (scenario : Scenario.t) =
+  let g = scenario.Scenario.graph in
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  let t =
+    {
+      scenario;
+      committed = Weights.create ~num_arcs:m ~init:1;
+      buffers = Routing.make_buffers g;
+      routing_d = Routing.compute g ~weights:(Array.make m 1) ();
+      routing_t = Routing.compute g ~weights:(Array.make m 1) ();
+      contrib_d = Array.init n (fun _ -> Array.make m 0.);
+      contrib_t = Array.init n (fun _ -> Array.make m 0.);
+      tloads = Array.make m 0.;
+      loads = Array.make m 0.;
+      arc_delay = Array.make m 0.;
+      lambda_dest = Array.make n 0.;
+      viol_dest = Array.make n 0;
+      unreach_dest = Array.make n 0;
+      lambda = 0.;
+      phi = 0.;
+      violations = 0;
+      unreachable = 0;
+      cost = Lexico.zero;
+      pending = None;
+      delay_changed = Array.make m false;
+    }
+  in
+  let (_ : Lexico.t) = anchor t t.committed in
+  t
+
+let try_arc t w ~arc =
+  if t.pending <> None then invalid_arg "Eval_incr.try_arc: a trial is already pending";
+  let g = t.scenario.Scenario.graph in
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  if Weights.num_arcs w <> m then invalid_arg "Eval_incr.try_arc: weight vector size";
+  if arc < 0 || arc >= m then invalid_arg "Eval_incr.try_arc: bad arc id";
+  let old_wd = t.committed.Weights.wd.(arc) and old_wt = t.committed.Weights.wt.(arc) in
+  let new_wd = w.Weights.wd.(arc) and new_wt = w.Weights.wt.(arc) in
+  let routing_d, aff_d =
+    if new_wd = old_wd then (t.routing_d, [])
+    else
+      Routing.with_changed_arc ~buffers:t.buffers t.routing_d
+        ~weights:(Weights.delay_of w) ~arc ~old_weight:old_wd
+  in
+  let routing_t, aff_t =
+    if new_wt = old_wt then (t.routing_t, [])
+    else
+      Routing.with_changed_arc ~buffers:t.buffers t.routing_t
+        ~weights:(Weights.throughput_of w) ~arc ~old_weight:old_wt
+  in
+  let reroute routing demands dests =
+    List.map
+      (fun dest ->
+        let row = Array.make m 0. in
+        let (_ : float) = Routing.add_loads_dest routing ~demands ~dest ~into:row in
+        (dest, row))
+      dests
+  in
+  let rows_d = reroute routing_d t.scenario.Scenario.dense_rd aff_d in
+  let rows_t = reroute routing_t t.scenario.Scenario.dense_rt aff_t in
+  let tloads =
+    if rows_t = [] then t.tloads
+    else fold_rows ~into:(Array.make m 0.) ~rows:t.contrib_t ~replaced:rows_t
+  in
+  let loads =
+    if rows_t = [] && rows_d = [] then t.loads
+    else fold_rows ~into:(Array.copy tloads) ~rows:t.contrib_d ~replaced:rows_d
+  in
+  let arc_delay =
+    if loads == t.loads then t.arc_delay
+    else Delay_model.arc_delays t.scenario.Scenario.params.Scenario.delay g ~loads
+  in
+  let sla_rows, lambda, violations, unreachable =
+    if arc_delay == t.arc_delay && aff_d = [] then
+      ([], t.lambda, t.violations, t.unreachable)
+    else begin
+      (* Flag the arcs whose delay moved; any destination whose DAG avoids
+         all of them (and whose routing is untouched) keeps its subtotal. *)
+      let delay_any = ref false in
+      if arc_delay != t.arc_delay then
+        for i = 0 to m - 1 do
+          let changed = arc_delay.(i) <> t.arc_delay.(i) in
+          t.delay_changed.(i) <- changed;
+          if changed then delay_any := true
+        done;
+      let sla_rows = ref [] in
+      for dest = n - 1 downto 0 do
+        if t.scenario.Scenario.delay_sinks.(dest) then begin
+          let needs =
+            List.mem dest aff_d
+            || (!delay_any
+               && Routing.exists_dag_arc routing_d ~dest (fun id -> t.delay_changed.(id)))
+          in
+          if needs then
+            sla_rows := (dest, sla_values t ~routing_d ~arc_delay ~dest) :: !sla_rows
+        end
+      done;
+      let lambda, violations, unreachable = finish_cost t ~sla_rows:!sla_rows in
+      (!sla_rows, lambda, violations, unreachable)
+    end
+  in
+  let phi = if loads == t.loads then t.phi else phi_of t ~tloads ~loads in
+  let cost = Lexico.make ~lambda ~phi in
+  t.pending <-
+    Some
+      {
+        p_arc = arc;
+        p_wd = new_wd;
+        p_wt = new_wt;
+        p_routing_d = routing_d;
+        p_routing_t = routing_t;
+        p_rows_d = rows_d;
+        p_rows_t = rows_t;
+        p_tloads = tloads;
+        p_loads = loads;
+        p_arc_delay = arc_delay;
+        p_sla = sla_rows;
+        p_lambda = lambda;
+        p_phi = phi;
+        p_violations = violations;
+        p_unreachable = unreachable;
+        p_cost = cost;
+      };
+  cost
+
+let commit t =
+  match t.pending with
+  | None -> invalid_arg "Eval_incr.commit: no pending trial"
+  | Some p ->
+      t.routing_d <- p.p_routing_d;
+      t.routing_t <- p.p_routing_t;
+      List.iter (fun (dest, row) -> t.contrib_d.(dest) <- row) p.p_rows_d;
+      List.iter (fun (dest, row) -> t.contrib_t.(dest) <- row) p.p_rows_t;
+      t.tloads <- p.p_tloads;
+      t.loads <- p.p_loads;
+      t.arc_delay <- p.p_arc_delay;
+      List.iter
+        (fun (dest, (lam, viol, unreach)) ->
+          t.lambda_dest.(dest) <- lam;
+          t.viol_dest.(dest) <- viol;
+          t.unreach_dest.(dest) <- unreach)
+        p.p_sla;
+      t.lambda <- p.p_lambda;
+      t.phi <- p.p_phi;
+      t.violations <- p.p_violations;
+      t.unreachable <- p.p_unreachable;
+      t.cost <- p.p_cost;
+      t.committed.Weights.wd.(p.p_arc) <- p.p_wd;
+      t.committed.Weights.wt.(p.p_arc) <- p.p_wt;
+      t.pending <- None
+
+let rollback t =
+  match t.pending with
+  | None -> invalid_arg "Eval_incr.rollback: no pending trial"
+  | Some _ -> t.pending <- None
+
+let cost t = match t.pending with Some p -> p.p_cost | None -> t.cost
+
+let violations t = match t.pending with Some p -> p.p_violations | None -> t.violations
+
+let unreachable_pairs t =
+  match t.pending with Some p -> p.p_unreachable | None -> t.unreachable
+
+let loads t = Array.copy (match t.pending with Some p -> p.p_loads | None -> t.loads)
+
+let throughput_loads t =
+  Array.copy (match t.pending with Some p -> p.p_tloads | None -> t.tloads)
+
+let current_routing t =
+  match t.pending with
+  | Some p -> (p.p_routing_d, p.p_routing_t)
+  | None -> (t.routing_d, t.routing_t)

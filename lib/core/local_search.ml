@@ -26,7 +26,22 @@ type result = {
   rounds_run : int;
 }
 
-let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
+type engine = {
+  start : Weights.t -> Lexico.t option;
+  try_arc : Weights.t -> arc:int -> Lexico.t option;
+  commit : unit -> unit;
+  rollback : unit -> unit;
+}
+
+let eval_engine eval =
+  {
+    start = eval;
+    try_arc = (fun w ~arc:_ -> eval w);
+    commit = (fun () -> ());
+    rollback = (fun () -> ());
+  }
+
+let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
   if config.interval < 1 || config.rounds < 1 then
     invalid_arg "Local_search.run: interval and rounds must be positive";
   let best = ref None in
@@ -51,7 +66,7 @@ let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
   (* One diversification round: local search until [interval] stale sweeps. *)
   let run_round ~round =
     let w = Weights.copy (init ~round) in
-    match eval w with
+    match engine.start w with
     | None -> None
     | Some start_cost ->
         incr evals;
@@ -69,7 +84,7 @@ let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
               if saved.Weights.old_wd = w.Weights.wd.(arc) && saved.Weights.old_wt = w.Weights.wt.(arc)
               then ()
               else begin
-                let verdict = eval w in
+                let verdict = engine.try_arc w ~arc in
                 incr evals;
                 let accepted =
                   match verdict with
@@ -79,6 +94,7 @@ let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
                 observe
                   { arc; weights = w; cost_before = !current; cost_after = verdict; accepted };
                 if accepted then begin
+                  engine.commit ();
                   (match verdict with
                   | Some cost ->
                       current := cost;
@@ -86,7 +102,10 @@ let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
                   | None -> assert false);
                   sweep_improved := true
                 end
-                else Weights.restore_arc w saved
+                else begin
+                  engine.rollback ();
+                  Weights.restore_arc w saved
+                end
               end)
             order;
           if !sweep_improved then stale := 0 else incr stale
@@ -107,3 +126,7 @@ let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
   | None -> invalid_arg "Local_search.run: no feasible starting point"
   | Some (w, cost) ->
       { best = w; best_cost = cost; sweeps = !sweeps; evals = !evals; rounds_run = !rounds_run }
+
+let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
+  run_engine ~rng ~num_arcs ~engine:(eval_engine eval) ~init ?observer ?on_improvement
+    config

@@ -46,10 +46,29 @@ type result = {
   rounds_run : int;
 }
 
-val run :
+type engine = {
+  start : Weights.t -> Lexico.t option;
+      (** full (re-)evaluation at a round's starting setting; [None] marks
+          it infeasible and skips the round *)
+  try_arc : Weights.t -> arc:int -> Lexico.t option;
+      (** cost of [w], which differs from the last committed setting only on
+          [arc]; may stage internal state for the trial *)
+  commit : unit -> unit;  (** install the staged trial (the move was kept) *)
+  rollback : unit -> unit;  (** discard the staged trial (move rejected) *)
+}
+(** Evaluation protocol of the search.  Every {!field-try_arc} call is
+    followed by exactly one {!field-commit} or {!field-rollback} — stateful
+    engines ({!Eval_incr}) patch cached state instead of re-evaluating from
+    scratch; the cost sequence must be identical either way. *)
+
+val eval_engine : (Weights.t -> Lexico.t option) -> engine
+(** Stateless engine from a plain evaluation function ([commit]/[rollback]
+    are no-ops). *)
+
+val run_engine :
   rng:Dtr_util.Rng.t ->
   num_arcs:int ->
-  eval:(Weights.t -> Lexico.t option) ->
+  engine:engine ->
   init:(round:int -> Weights.t) ->
   ?observer:(observation -> unit) ->
   ?on_improvement:(Weights.t -> Lexico.t -> unit) ->
@@ -61,3 +80,17 @@ val run :
     [on_improvement] fires whenever the {e round-local} cost improves —
     Phase 1 uses it to record constraint-satisfying settings.
     @raise Invalid_argument if every starting point is infeasible. *)
+
+val run :
+  rng:Dtr_util.Rng.t ->
+  num_arcs:int ->
+  eval:(Weights.t -> Lexico.t option) ->
+  init:(round:int -> Weights.t) ->
+  ?observer:(observation -> unit) ->
+  ?on_improvement:(Weights.t -> Lexico.t -> unit) ->
+  config ->
+  result
+(** {!run_engine} over {!eval_engine}[ eval] — same search, one full
+    evaluation per attempted move.  Consumes the same RNG stream as
+    {!run_engine}, so a stateful engine returning bit-identical costs yields
+    the exact same trajectory. *)

@@ -31,7 +31,8 @@ let timed f =
   let x = f () in
   (x, Sys.time () -. start)
 
-let regular_only ~rng scenario = timed (fun () -> Phase1.run ~rng scenario)
+let regular_only ~rng ?(incremental = true) scenario =
+  timed (fun () -> Phase1.run ~rng ~incremental scenario)
 
 let target_size (scenario : Scenario.t) fraction =
   let m = Scenario.num_arcs scenario in
@@ -75,14 +76,15 @@ let assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical 
     phase2_seconds;
   }
 
-let robust_with ~rng scenario ~phase1 ~failures ~critical =
+let robust_with ~rng ?(incremental = true) scenario ~phase1 ~failures ~critical =
   let phase2, phase2_seconds =
-    timed (fun () -> Phase2.run ~rng scenario ~phase1 ~failures)
+    timed (fun () -> Phase2.run ~rng ~incremental scenario ~phase1 ~failures)
   in
   assemble scenario ~phase1 ~phase1_seconds:0. ~phase2 ~phase2_seconds ~critical ~failures
 
-let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction scenario =
-  let phase1, phase1_seconds = regular_only ~rng scenario in
+let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
+    ?(incremental = true) scenario =
+  let phase1, phase1_seconds = regular_only ~rng ~incremental scenario in
   let critical, failures =
     match failure_model with
     | Link_failures ->
@@ -91,6 +93,6 @@ let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction 
     | Node_failures -> ([], Failure.all_single_nodes scenario.Scenario.graph)
   in
   let phase2, phase2_seconds =
-    timed (fun () -> Phase2.run ~rng scenario ~phase1 ~failures)
+    timed (fun () -> Phase2.run ~rng ~incremental scenario ~phase1 ~failures)
   in
   assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical ~failures

@@ -43,18 +43,23 @@ val optimize :
   ?selector:selector ->
   ?failure_model:failure_model ->
   ?fraction:float ->
+  ?incremental:bool ->
   Scenario.t ->
   solution
 (** Defaults: [selector = Ours], [failure_model = Link_failures], [fraction]
-    = the scenario's [critical_fraction].  [fraction] overrides the target
+    = the scenario's [critical_fraction], [incremental = true] (price
+    single-arc moves with the {!Eval_incr} engine — bit-identical results,
+    see {!Phase1.run}/{!Phase2.run}).  [fraction] overrides the target
     [|Ec| / |E|] for this call. *)
 
-val regular_only : rng:Dtr_util.Rng.t -> Scenario.t -> Phase1.output * float
+val regular_only :
+  rng:Dtr_util.Rng.t -> ?incremental:bool -> Scenario.t -> Phase1.output * float
 (** Phase 1 alone (the "no robust" routing of the evaluation) and its
     wall-clock seconds. *)
 
 val robust_with :
   rng:Dtr_util.Rng.t ->
+  ?incremental:bool ->
   Scenario.t ->
   phase1:Phase1.output ->
   failures:Failure.t list ->

@@ -37,7 +37,7 @@ module Pool = struct
   let finalize t = List.sort compare_entries t.entries
 end
 
-let run ~rng (scenario : Scenario.t) =
+let run ~rng ?(incremental = true) (scenario : Scenario.t) =
   let p = scenario.Scenario.params in
   let num_arcs = Scenario.num_arcs scenario in
   let sampler = Sampler.create scenario in
@@ -65,7 +65,22 @@ let run ~rng (scenario : Scenario.t) =
       converged := Criticality.Convergence.check tracker sampler
     end
   in
-  let eval w = Some (Eval.cost scenario w) in
+  (* One engine serves both the Phase-1a search and the Phase-1b sampling
+     loop; the incremental engine produces the exact same cost sequence as
+     the full evaluation, so both paths follow the same trajectory. *)
+  let incr_eval = if incremental then Some (Eval_incr.create scenario) else None in
+  let engine =
+    match incr_eval with
+    | Some e ->
+        Local_search.
+          {
+            start = (fun w -> Some (Eval_incr.anchor e w));
+            try_arc = (fun w ~arc -> Some (Eval_incr.try_arc e w ~arc));
+            commit = (fun () -> Eval_incr.commit e);
+            rollback = (fun () -> Eval_incr.rollback e);
+          }
+    | None -> Local_search.eval_engine (fun w -> Some (Eval.cost scenario w))
+  in
   let config =
     Local_search.
       {
@@ -82,13 +97,28 @@ let run ~rng (scenario : Scenario.t) =
     note_best cost;
     Pool.add pool w cost
   in
-  let search = Local_search.run ~rng ~num_arcs ~eval ~init ~observer ~on_improvement config in
+  let search =
+    Local_search.run_engine ~rng ~num_arcs ~engine ~init ~observer ~on_improvement config
+  in
   let best = search.Local_search.best and best_cost = search.Local_search.best_cost in
   (* Phase 1b: explicit failure-emulating sampling from the best setting
-     until rankings converge and every arc has a sample floor. *)
+     until rankings converge and every arc has a sample floor.  Every probe
+     is a single-arc move off [best], so the incremental engine anchors at
+     [best] once and prices each probe with a try/rollback pair. *)
   let phase1b_sweeps = ref 0 and extra_evals = ref 0 in
   let needs_more () =
     (not !converged) || Sampler.min_count sampler < p.Scenario.min_samples
+  in
+  (match incr_eval with
+  | Some e -> ignore (Eval_incr.anchor e best : Lexico.t)
+  | None -> ());
+  let probe_cost w ~arc =
+    match incr_eval with
+    | Some e ->
+        let cost = Eval_incr.try_arc e w ~arc in
+        Eval_incr.rollback e;
+        cost
+    | None -> Eval.cost scenario w
   in
   while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
     incr phase1b_sweeps;
@@ -96,7 +126,7 @@ let run ~rng (scenario : Scenario.t) =
     for arc = 0 to num_arcs - 1 do
       let saved = Weights.save_arc w arc in
       Weights.raise_arc rng w ~arc ~wmax:p.Scenario.wmax ~q:p.Scenario.q;
-      let cost = Eval.cost scenario w in
+      let cost = probe_cost w ~arc in
       incr extra_evals;
       Sampler.record sampler ~arc cost;
       Weights.restore_arc w saved

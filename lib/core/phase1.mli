@@ -34,7 +34,12 @@ type output = {
   stats : stats;
 }
 
-val run : rng:Dtr_util.Rng.t -> Scenario.t -> output
+val run : rng:Dtr_util.Rng.t -> ?incremental:bool -> Scenario.t -> output
+(** [incremental] (default [true]) prices every single-arc move with the
+    {!Eval_incr} engine instead of a full {!Eval.cost}; the two paths
+    produce bit-identical cost sequences, hence identical results for a
+    given RNG — the flag exists so tests and benchmarks can cross-check
+    against the full-evaluation oracle. *)
 
 val critical_set : Scenario.t -> output -> int list
 (** Phase 1c: Algorithm 1 at the scenario's [critical_fraction] (at least

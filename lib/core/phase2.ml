@@ -10,7 +10,8 @@ type output = {
   stats : stats;
 }
 
-let run ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) ~failures =
+let run ~rng ?(incremental = true) (scenario : Scenario.t) ~(phase1 : Phase1.output)
+    ~failures =
   if failures = [] then invalid_arg "Phase2.run: no failure scenarios";
   let p = scenario.Scenario.params in
   let num_arcs = Scenario.num_arcs scenario in
@@ -23,8 +24,37 @@ let run ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) ~failures =
   in
   (* Each Phase-2 evaluation prices the setting under every scenario of the
      optimized failure set; infeasibility w.r.t. Eqs. (5)-(6) short-circuits
-     before the expensive sweep. *)
-  let eval w = snd (Eval.normal_and_sweep scenario w ~failures ~feasible) in
+     before the expensive sweep.  The incremental engine additionally prices
+     the normal-conditions gate with a single-arc patch and starts every
+     per-failure [with_failed_arcs] from its cached no-failure bases, so a
+     move never recomputes the normal routing from scratch. *)
+  let engine =
+    if incremental then begin
+      let e = Eval_incr.create scenario in
+      let sweep w =
+        let routing_d, routing_t = Eval_incr.current_routing e in
+        Eval.compound_sweep_from scenario ~routing_d ~routing_t w ~failures
+      in
+      Local_search.
+        {
+          start =
+            (fun w ->
+              let normal = Eval_incr.anchor e w in
+              if feasible normal then Some (sweep w) else None);
+          try_arc =
+            (fun w ~arc ->
+              let normal = Eval_incr.try_arc e w ~arc in
+              (* Infeasible trials stay staged; the search's rollback on a
+                 rejected move discards them. *)
+              if feasible normal then Some (sweep w) else None);
+          commit = (fun () -> Eval_incr.commit e);
+          rollback = (fun () -> Eval_incr.rollback e);
+        }
+    end
+    else
+      Local_search.eval_engine (fun w ->
+          snd (Eval.normal_and_sweep scenario w ~failures ~feasible))
+  in
   let config =
     Local_search.
       {
@@ -40,7 +70,7 @@ let run ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) ~failures =
     let w, _ = starts.(round mod Array.length starts) in
     w
   in
-  let search = Local_search.run ~rng ~num_arcs ~eval ~init config in
+  let search = Local_search.run_engine ~rng ~num_arcs ~engine ~init config in
   let robust = search.Local_search.best in
   {
     robust;

@@ -26,9 +26,15 @@ type output = {
 
 val run :
   rng:Dtr_util.Rng.t ->
+  ?incremental:bool ->
   Scenario.t ->
   phase1:Phase1.output ->
   failures:Failure.t list ->
   output
-(** @raise Invalid_argument if [failures] is empty or Phase 1 recorded no
+(** [incremental] (default [true]): price the normal-conditions gate of each
+    single-arc move with the {!Eval_incr} engine and start the failure sweep
+    from its cached no-failure routing bases; bit-identical to the full
+    {!Eval.normal_and_sweep} path, hence the same trajectory for a given
+    RNG.
+    @raise Invalid_argument if [failures] is empty or Phase 1 recorded no
     acceptable setting (cannot happen with {!Phase1.run} output). *)

@@ -66,6 +66,9 @@ type t = {
   rd : Matrix.t;
   rt : Matrix.t;
   params : params;
+  dense_rd : float array array;
+  dense_rt : float array array;
+  delay_sinks : bool array;
 }
 
 let validate_params p =
@@ -79,12 +82,23 @@ let validate_params p =
   if p.p1_rounds < 1 || p.p2_rounds < 1 || p.p1_interval < 1 || p.p2_interval < 1 then
     invalid_arg "Scenario: search budgets must be positive"
 
+let delay_sinks_of dense =
+  let n = Array.length dense in
+  let sinks = Array.make n false in
+  for src = 0 to n - 1 do
+    for dest = 0 to n - 1 do
+      if src <> dest && dense.(src).(dest) > 0. then sinks.(dest) <- true
+    done
+  done;
+  sinks
+
 let make ~graph ~rd ~rt ~params =
   validate_params params;
   let n = Graph.num_nodes graph in
   if Matrix.size rd <> n || Matrix.size rt <> n then
     invalid_arg "Scenario.make: matrix size does not match the graph";
-  { graph; rd; rt; params }
+  let dense_rd = Matrix.dense rd and dense_rt = Matrix.dense rt in
+  { graph; rd; rt; params; dense_rd; dense_rt; delay_sinks = delay_sinks_of dense_rd }
 
 let with_sla t sla = { t with params = { t.params with sla } }
 let with_traffic t ~rd ~rt = make ~graph:t.graph ~rd ~rt ~params:t.params

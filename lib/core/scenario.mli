@@ -41,6 +41,16 @@ type t = {
   rd : Dtr_traffic.Matrix.t;  (** delay-sensitive demands *)
   rt : Dtr_traffic.Matrix.t;  (** throughput-sensitive demands *)
   params : params;
+  dense_rd : float array array;
+      (** [rd] in the dense form {!Dtr_spf.Routing.add_loads} consumes,
+          cached once at construction.  Shared with [rd]; do not mutate the
+          matrices after {!make} — build a fresh scenario via
+          {!with_traffic} instead. *)
+  dense_rt : float array array;  (** dense view of [rt], same caveat *)
+  delay_sinks : bool array;
+      (** [delay_sinks.(dest)] — some pair sends delay-sensitive traffic to
+          [dest]; precomputed so evaluation does not rescan the O(n^2)
+          matrix on every call *)
 }
 
 val make :

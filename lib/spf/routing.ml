@@ -12,6 +12,16 @@ type t = {
 
 let no_hops : Graph.arc_id array = [||]
 
+(* Reusable Dijkstra working set: one heap and one node-order scratch array.
+   Failure sweeps and the incremental evaluation engine run thousands of
+   per-destination recomputations; sharing one buffer set across them keeps
+   the hot path allocation-free. *)
+type buffers = { heap : Graph.node Heap.t; scratch : int array }
+
+let make_buffers g =
+  let n = Graph.num_nodes g in
+  { heap = Heap.create ~capacity:n (); scratch = Array.make n 0 }
+
 (* Per-destination routing state: distances, ECMP next hops, and the nodes
    in decreasing-distance order (upstream nodes first, so load distribution
    processes a node only after all its inflow is known). *)
@@ -54,11 +64,10 @@ let compute_dest g ~weights ~disabled ~heap ~scratch dest =
   Array.sort (fun a b -> compare d.(b) d.(a)) ord;
   (d, h, ord)
 
-let compute g ~weights ?disabled () =
+let compute g ~weights ?buffers ?disabled () =
   let n = Graph.num_nodes g in
-  let heap = Heap.create ~capacity:n () in
+  let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
   let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
-  let scratch = Array.make n 0 in
   for dest = 0 to n - 1 do
     let d, h, ord = compute_dest g ~weights ~disabled ~heap ~scratch dest in
     dist.(dest) <- d;
@@ -66,6 +75,18 @@ let compute g ~weights ?disabled () =
     order.(dest) <- ord
   done;
   { graph = g; dist; hops; order }
+
+let exists_dag_arc t ~dest f =
+  let hops = t.hops.(dest) in
+  let ord = t.order.(dest) in
+  let rec scan i =
+    if i >= Array.length ord then false
+    else
+      let nh = hops.(ord.(i)) in
+      let rec scan_nh j = j < Array.length nh && (f nh.(j) || scan_nh (j + 1)) in
+      scan_nh 0 || scan (i + 1)
+  in
+  scan 0
 
 let uses_arc t ~dest id =
   let a = (Graph.arcs t.graph).(id) in
@@ -75,11 +96,10 @@ let uses_arc t ~dest id =
   let nh = t.hops.(dest).(a.Graph.src) in
   Array.exists (fun x -> x = id) nh
 
-let with_failed_arcs base ~weights ~disabled ~failed =
+let with_failed_arcs ?buffers base ~weights ~disabled ~failed =
   let g = base.graph in
   let n = Graph.num_nodes g in
-  let heap = Heap.create ~capacity:n () in
-  let scratch = Array.make n 0 in
+  let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
   let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
   for dest = 0 to n - 1 do
     (* Arcs on no shortest path towards [dest] can be removed without
@@ -98,11 +118,94 @@ let with_failed_arcs base ~weights ~disabled ~failed =
   done;
   { graph = g; dist; hops; order }
 
+let with_changed_arc ?buffers base ~weights ~arc ~old_weight =
+  let g = base.graph in
+  let new_w = weights.(arc) in
+  if new_w = old_weight then (base, [])
+  else begin
+    let n = Graph.num_nodes g in
+    let a = (Graph.arcs g).(arc) in
+    (* A destination is affected only if the changed arc can alter its
+       shortest paths: for an increase, the arc must currently lie on one
+       (otherwise its slack only grows); for a decrease, the relaxed arc must
+       match or beat the current distance through [a.src] ([<=] also catches
+       arcs that merely join the ECMP DAG without changing any distance).
+       The comparison is safe at [Dijkstra.infinity] because infinity is
+       [max_int / 4]: adding a weight never overflows, and an unreachable
+       [a.dst] keeps the sum above any finite (or infinite) [a.src]. *)
+    let affected dest =
+      if new_w > old_weight then uses_arc base ~dest arc
+      else
+        let d = base.dist.(dest) in
+        new_w + d.(a.Graph.dst) <= d.(a.Graph.src)
+    in
+    let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
+    let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
+    let changed = ref [] in
+    for dest = n - 1 downto 0 do
+      if affected dest then begin
+        let d, h, ord = compute_dest g ~weights ~disabled:None ~heap ~scratch dest in
+        dist.(dest) <- d;
+        hops.(dest) <- h;
+        order.(dest) <- ord;
+        changed := dest :: !changed
+      end
+      else begin
+        dist.(dest) <- base.dist.(dest);
+        hops.(dest) <- base.hops.(dest);
+        order.(dest) <- base.order.(dest)
+      end
+    done;
+    ({ graph = g; dist; hops; order }, !changed)
+  end
+
 let distance t ~src ~dst = t.dist.(dst).(src)
 let reachable t ~src ~dst = src = dst || t.dist.(dst).(src) < Dijkstra.infinity
 let next_hops t ~dest ~node = t.hops.(dest).(node)
 
-let add_loads t ~demands ~exclude_node ~into () =
+(* Distribute one destination's inbound demand over its ECMP DAG, adding the
+   per-arc shares into [into]; returns the unroutable volume.  Every arc
+   receives at most one addition per destination (its source node is routed
+   once), which the incremental engine relies on to re-sum totals from
+   per-destination contributions bit-identically. *)
+let route_dest t ~demands ~excluded ~node_flow ~into dest =
+  let g = t.graph in
+  let n = Graph.num_nodes g in
+  let unrouted = ref 0. in
+  Array.fill node_flow 0 n 0.;
+  let any = ref false in
+  for s = 0 to n - 1 do
+    let r = demands.(s).(dest) in
+    if r > 0. && s <> dest && not (excluded s) then begin
+      if t.dist.(dest).(s) < Dijkstra.infinity then begin
+        node_flow.(s) <- node_flow.(s) +. r;
+        any := true
+      end
+      else unrouted := !unrouted +. r
+    end
+  done;
+  if !any then begin
+    let hops = t.hops.(dest) in
+    let route u =
+      let flow = node_flow.(u) in
+      if flow > 0. then begin
+        let nh = hops.(u) in
+        let k = Array.length nh in
+        (* Reachable non-destination nodes always have >= 1 next hop. *)
+        let share = flow /. float_of_int k in
+        Array.iter
+          (fun id ->
+            into.(id) <- into.(id) +. share;
+            let v = (Graph.arc g id).Graph.dst in
+            if v <> dest then node_flow.(v) <- node_flow.(v) +. share)
+          nh
+      end
+    in
+    Array.iter route t.order.(dest)
+  end;
+  !unrouted
+
+let check_demands t ~demands ~into =
   let g = t.graph in
   let n = Graph.num_nodes g in
   if Array.length demands <> n then invalid_arg "Routing.add_loads: demands rows";
@@ -110,49 +213,29 @@ let add_loads t ~demands ~exclude_node ~into () =
     (fun row -> if Array.length row <> n then invalid_arg "Routing.add_loads: demands cols")
     demands;
   if Array.length into <> Graph.num_arcs g then
-    invalid_arg "Routing.add_loads: load array length";
+    invalid_arg "Routing.add_loads: load array length"
+
+let add_loads t ~demands ~exclude_node ~into () =
+  check_demands t ~demands ~into;
+  let n = Graph.num_nodes t.graph in
   let excluded v = match exclude_node with None -> false | Some x -> x = v in
   let node_flow = Array.make n 0. in
   let unrouted = ref 0. in
   for dest = 0 to n - 1 do
-    if not (excluded dest) then begin
-      Array.fill node_flow 0 n 0.;
-      let any = ref false in
-      for s = 0 to n - 1 do
-        let r = demands.(s).(dest) in
-        if r > 0. && s <> dest && not (excluded s) then begin
-          if t.dist.(dest).(s) < Dijkstra.infinity then begin
-            node_flow.(s) <- node_flow.(s) +. r;
-            any := true
-          end
-          else unrouted := !unrouted +. r
-        end
-      done;
-      if !any then begin
-        let hops = t.hops.(dest) in
-        let route u =
-          let flow = node_flow.(u) in
-          if flow > 0. then begin
-            let nh = hops.(u) in
-            let k = Array.length nh in
-            (* Reachable non-destination nodes always have >= 1 next hop. *)
-            let share = flow /. float_of_int k in
-            Array.iter
-              (fun id ->
-                into.(id) <- into.(id) +. share;
-                let v = (Graph.arc g id).Graph.dst in
-                if v <> dest then node_flow.(v) <- node_flow.(v) +. share)
-              nh
-          end
-        in
-        Array.iter route t.order.(dest)
-      end
-    end
+    if not (excluded dest) then
+      unrouted := !unrouted +. route_dest t ~demands ~excluded ~node_flow ~into dest
   done;
   !unrouted
 
 let add_loads t ~demands ?exclude_node ~into () =
   add_loads t ~demands ~exclude_node ~into ()
+
+let add_loads_dest t ~demands ~dest ~into =
+  check_demands t ~demands ~into;
+  let n = Graph.num_nodes t.graph in
+  if dest < 0 || dest >= n then invalid_arg "Routing.add_loads_dest: bad destination";
+  let node_flow = Array.make n 0. in
+  route_dest t ~demands ~excluded:(fun _ -> false) ~node_flow ~into dest
 
 let loads t ~graph ~demands ?exclude_node () =
   let into = Array.make (Graph.num_arcs graph) 0. in

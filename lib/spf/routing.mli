@@ -21,8 +21,15 @@ type t
 (** Routing state for one traffic class on one (possibly failure-reduced)
     topology. *)
 
+type buffers
+(** Reusable Dijkstra working set (heap + scratch array).  Sharing one across
+    many per-destination recomputations (failure sweeps, the incremental
+    engine) keeps the hot path allocation-free.  Not thread-safe. *)
+
+val make_buffers : Graph.t -> buffers
+
 val compute :
-  Graph.t -> weights:int array -> ?disabled:bool array -> unit -> t
+  Graph.t -> weights:int array -> ?buffers:buffers -> ?disabled:bool array -> unit -> t
 (** Runs one reverse Dijkstra per destination and derives the ECMP DAGs.
     @raise Invalid_argument on malformed weights. *)
 
@@ -30,7 +37,14 @@ val uses_arc : t -> dest:Graph.node -> Graph.arc_id -> bool
 (** Whether the arc lies on some shortest path towards [dest] (i.e. belongs
     to the destination's ECMP DAG). *)
 
+val exists_dag_arc : t -> dest:Graph.node -> (Graph.arc_id -> bool) -> bool
+(** Whether any arc of [dest]'s ECMP DAG satisfies the predicate — exactly
+    the arcs the delay DPs read, so a negative answer certifies that a
+    delay-DP result over this destination cannot have changed when only the
+    flagged arcs' delays did. *)
+
 val with_failed_arcs :
+  ?buffers:buffers ->
   t -> weights:int array -> disabled:bool array -> failed:Graph.arc_id list -> t
 (** [with_failed_arcs base ~weights ~disabled ~failed] is the routing state
     after the arcs in [failed] go down, computed incrementally from [base]
@@ -40,6 +54,22 @@ val with_failed_arcs :
     path — and only the remaining destinations rerun Dijkstra.  [disabled]
     must be the mask corresponding to [failed].  Single-failure sweeps, the
     optimizer's dominant cost, become several times cheaper. *)
+
+val with_changed_arc :
+  ?buffers:buffers ->
+  t -> weights:int array -> arc:Graph.arc_id -> old_weight:int -> t
+  * Graph.node list
+(** [with_changed_arc base ~weights ~arc ~old_weight] is the routing state
+    for [weights], given that [base] was computed for the same weight vector
+    except that arc [arc] previously weighed [old_weight].  Only the
+    destinations the change can actually affect rerun Dijkstra — for a
+    weight increase, destinations whose ECMP DAG uses [arc]; for a decrease,
+    destinations where the relaxed arc matches or beats the current distance
+    through its tail — every other destination shares [base]'s arrays
+    untouched.  Returns the new state plus the recomputed destinations in
+    increasing order (empty, with [base] returned as-is, when the weight did
+    not change).  The single-arc moves of the local search, the optimizer's
+    innermost loop, typically touch a handful of destinations. *)
 
 val reachable : t -> src:Graph.node -> dst:Graph.node -> bool
 (** Whether the pair is connected in the routed (surviving) topology. *)
@@ -58,6 +88,15 @@ val add_loads :
     volume that could {e not} be routed (unreachable pairs).  Demands sourced
     or sunk at [exclude_node] are skipped (node-failure scenarios).
     @raise Invalid_argument on dimension mismatches. *)
+
+val add_loads_dest :
+  t -> demands:float array array -> dest:Graph.node -> into:float array -> float
+(** Single-destination restriction of {!add_loads} (no node exclusion):
+    accumulates only the loads of demand sunk at [dest] and returns that
+    destination's unroutable volume.  Because every arc receives at most one
+    addition per destination, summing these per-destination contributions in
+    destination order reproduces {!add_loads}'s totals bit-for-bit — the
+    invariant the incremental evaluation engine builds on. *)
 
 val loads :
   t -> graph:Graph.t -> demands:float array array -> ?exclude_node:Graph.node -> unit ->

@@ -1,0 +1,222 @@
+(* Tests for the incremental single-arc evaluation engine: bit-identity with
+   the full evaluation (costs, counters, loads — raw float equality, not a
+   tolerance), with_changed_arc vs from-scratch routing, engine protocol
+   errors, and fixed-seed identity of the incremental and plain phases. *)
+
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Failure = Dtr_topology.Failure
+module Routing = Dtr_spf.Routing
+module Lexico = Dtr_cost.Lexico
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Eval_incr = Dtr_core.Eval_incr
+module Phase1 = Dtr_core.Phase1
+module Phase2 = Dtr_core.Phase2
+module Criticality = Dtr_core.Criticality
+
+let scenario_of_seed seed =
+  let rng = Rng.create seed in
+  let nodes = 8 + Rng.int rng 8 in
+  Scenario.random_instance ~params:Fixtures.tiny_params ~nodes ~degree:4.
+    ~avg_util:(0.3 +. Rng.float rng 0.3)
+    rng Gen.Rand_topo
+
+let same_floats name expected got =
+  if
+    Array.length expected <> Array.length got
+    || not (Array.for_all2 (fun a b -> a = b) expected got)
+  then QCheck.Test.fail_reportf "%s: arrays not bit-identical" name
+
+let check_against_full scenario engine w =
+  let d = Eval.evaluate scenario w in
+  let cost = Eval_incr.cost engine in
+  if cost.Lexico.lambda <> d.Eval.cost.Lexico.lambda then
+    QCheck.Test.fail_reportf "lambda differs: %.17g vs %.17g" cost.Lexico.lambda
+      d.Eval.cost.Lexico.lambda;
+  if cost.Lexico.phi <> d.Eval.cost.Lexico.phi then
+    QCheck.Test.fail_reportf "phi differs: %.17g vs %.17g" cost.Lexico.phi
+      d.Eval.cost.Lexico.phi;
+  if Eval_incr.violations engine <> d.Eval.violations then
+    QCheck.Test.fail_reportf "violations differ";
+  if Eval_incr.unreachable_pairs engine <> d.Eval.unreachable_pairs then
+    QCheck.Test.fail_reportf "unreachable counts differ";
+  same_floats "loads" d.Eval.loads (Eval_incr.loads engine);
+  same_floats "throughput loads" d.Eval.throughput_loads
+    (Eval_incr.throughput_loads engine);
+  true
+
+(* The core property: over a random perturbation sequence with mixed commits
+   and rollbacks, every staged trial and every settled state is bit-identical
+   to a from-scratch evaluation. *)
+let prop_bit_identical =
+  QCheck.Test.make ~name:"engine bit-identical to full evaluation" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let scenario = scenario_of_seed seed in
+      let m = Scenario.num_arcs scenario in
+      let p = scenario.Scenario.params in
+      let rng = Rng.create (seed + 1) in
+      let w = Weights.random rng ~num_arcs:m ~wmax:p.Scenario.wmax in
+      let engine = Eval_incr.create scenario in
+      let (_ : Lexico.t) = Eval_incr.anchor engine w in
+      let ok = ref (check_against_full scenario engine w) in
+      for _ = 1 to 30 do
+        if !ok then begin
+          let arc = Rng.int rng m in
+          let saved = Weights.save_arc w arc in
+          Weights.perturb_arc rng w ~arc ~wmax:p.Scenario.wmax;
+          let (_ : Lexico.t) = Eval_incr.try_arc engine w ~arc in
+          (* staged trial vs full evaluation of the perturbed setting *)
+          ok := check_against_full scenario engine w;
+          if Rng.float rng 1. < 0.5 then Eval_incr.commit engine
+          else begin
+            Eval_incr.rollback engine;
+            Weights.restore_arc w saved
+          end;
+          (* settled state vs full evaluation of the surviving setting *)
+          ok := !ok && check_against_full scenario engine w
+        end
+      done;
+      !ok)
+
+(* with_changed_arc must agree exactly with a from-scratch compute, for both
+   weight increases and decreases. *)
+let prop_changed_arc_equivalence =
+  QCheck.Test.make ~name:"with_changed_arc equals recompute" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 8 + Rng.int rng 10 in
+      let g = Gen.rand rng ~nodes:n ~degree:4. in
+      let m = Graph.num_arcs g in
+      let weights = Array.init m (fun _ -> 1 + Rng.int rng 12) in
+      let base = Routing.compute g ~weights () in
+      let arc = Rng.int rng m in
+      let old_weight = weights.(arc) in
+      weights.(arc) <- 1 + Rng.int rng 12;
+      let inc, affected = Routing.with_changed_arc base ~weights ~arc ~old_weight in
+      let scratch = Routing.compute g ~weights () in
+      let ok = ref true in
+      for dest = 0 to n - 1 do
+        for src = 0 to n - 1 do
+          if Routing.distance inc ~src ~dst:dest <> Routing.distance scratch ~src ~dst:dest
+          then ok := false
+        done
+      done;
+      let demands = Array.make_matrix n n 1. in
+      for i = 0 to n - 1 do
+        demands.(i).(i) <- 0.
+      done;
+      let l1, _ = Routing.loads inc ~graph:g ~demands () in
+      let l2, _ = Routing.loads scratch ~graph:g ~demands () in
+      if not (Array.for_all2 (fun a b -> a = b) l1 l2) then ok := false;
+      (* the affected list is sound: unaffected destinations share the base
+         state physically, not just by value *)
+      for dest = 0 to n - 1 do
+        if not (List.mem dest affected) then
+          for u = 0 to n - 1 do
+            if
+              not (Routing.next_hops inc ~dest ~node:u == Routing.next_hops base ~dest ~node:u)
+            then ok := false
+          done
+      done;
+      !ok)
+
+let test_protocol_errors () =
+  let scenario = Fixtures.diamond_scenario () in
+  let engine = Eval_incr.create scenario in
+  let m = Scenario.num_arcs scenario in
+  let w = Weights.create ~num_arcs:m ~init:1 in
+  Alcotest.check_raises "commit without trial"
+    (Invalid_argument "Eval_incr.commit: no pending trial") (fun () ->
+      Eval_incr.commit engine);
+  Alcotest.check_raises "rollback without trial"
+    (Invalid_argument "Eval_incr.rollback: no pending trial") (fun () ->
+      Eval_incr.rollback engine);
+  w.Weights.wd.(0) <- 3;
+  let (_ : Lexico.t) = Eval_incr.try_arc engine w ~arc:0 in
+  Alcotest.check_raises "double trial"
+    (Invalid_argument "Eval_incr.try_arc: a trial is already pending") (fun () ->
+      ignore (Eval_incr.try_arc engine w ~arc:0 : Lexico.t));
+  Eval_incr.rollback engine;
+  w.Weights.wd.(0) <- 1;
+  Alcotest.(check bool) "rolled back to committed cost" true
+    (Lexico.compare (Eval_incr.cost engine) (Eval.cost scenario w) = 0)
+
+let test_diamond_exact () =
+  let scenario = Fixtures.diamond_scenario () in
+  let m = Scenario.num_arcs scenario in
+  let w = Weights.create ~num_arcs:m ~init:1 in
+  let engine = Eval_incr.create scenario in
+  let (_ : Lexico.t) = Eval_incr.anchor engine w in
+  (* push the delay class off one diamond branch and check the staged cost *)
+  w.Weights.wd.(0) <- 7;
+  let cost = Eval_incr.try_arc engine w ~arc:0 in
+  let full = Eval.cost scenario w in
+  Alcotest.(check bool) "staged cost equals full eval" true
+    (cost.Lexico.lambda = full.Lexico.lambda && cost.Lexico.phi = full.Lexico.phi);
+  Eval_incr.commit engine;
+  let d, t = Eval_incr.current_routing engine in
+  let full_d =
+    Routing.compute scenario.Scenario.graph ~weights:(Weights.delay_of w) ()
+  in
+  Alcotest.(check int) "committed delay routing matches"
+    (Routing.distance full_d ~src:0 ~dst:3)
+    (Routing.distance d ~src:0 ~dst:3);
+  ignore t
+
+(* The incremental and plain paths must follow the exact same trajectory for
+   a fixed seed: same RNG stream, bit-identical costs, hence identical
+   results. *)
+let test_phase1_identity () =
+  let scenario = Fixtures.small ~seed:7 () in
+  let run incremental = Phase1.run ~rng:(Rng.create 99) ~incremental scenario in
+  let a = run true and b = run false in
+  Alcotest.(check bool) "same best weights" true (Weights.equal a.Phase1.best b.Phase1.best);
+  Alcotest.(check bool) "same best cost" true
+    (a.Phase1.best_cost.Lexico.lambda = b.Phase1.best_cost.Lexico.lambda
+    && a.Phase1.best_cost.Lexico.phi = b.Phase1.best_cost.Lexico.phi);
+  Alcotest.(check int) "same eval count" a.Phase1.stats.Phase1.evals
+    b.Phase1.stats.Phase1.evals;
+  Alcotest.(check int) "same sweep count" a.Phase1.stats.Phase1.sweeps
+    b.Phase1.stats.Phase1.sweeps;
+  Alcotest.(check (list int)) "same critical set"
+    (Phase1.critical_set scenario a)
+    (Phase1.critical_set scenario b);
+  Alcotest.(check int) "same acceptable pool size"
+    (List.length a.Phase1.acceptable)
+    (List.length b.Phase1.acceptable)
+
+let test_phase2_identity () =
+  let scenario = Fixtures.small ~seed:11 () in
+  let phase1 = Phase1.run ~rng:(Rng.create 5) scenario in
+  let failures =
+    List.map (fun a -> Failure.Arc a) (Phase1.critical_set scenario phase1)
+  in
+  let run incremental =
+    Phase2.run ~rng:(Rng.create 17) ~incremental scenario ~phase1 ~failures
+  in
+  let a = run true and b = run false in
+  Alcotest.(check bool) "same robust weights" true
+    (Weights.equal a.Phase2.robust b.Phase2.robust);
+  Alcotest.(check bool) "same fail cost" true
+    (a.Phase2.fail_cost.Lexico.lambda = b.Phase2.fail_cost.Lexico.lambda
+    && a.Phase2.fail_cost.Lexico.phi = b.Phase2.fail_cost.Lexico.phi);
+  Alcotest.(check bool) "same normal cost" true
+    (a.Phase2.normal_cost.Lexico.lambda = b.Phase2.normal_cost.Lexico.lambda
+    && a.Phase2.normal_cost.Lexico.phi = b.Phase2.normal_cost.Lexico.phi);
+  Alcotest.(check int) "same eval count" a.Phase2.stats.Phase2.evals
+    b.Phase2.stats.Phase2.evals
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_bit_identical;
+    QCheck_alcotest.to_alcotest prop_changed_arc_equivalence;
+    Alcotest.test_case "engine protocol errors" `Quick test_protocol_errors;
+    Alcotest.test_case "diamond exact staged cost" `Quick test_diamond_exact;
+    Alcotest.test_case "phase1 incremental = plain" `Quick test_phase1_identity;
+    Alcotest.test_case "phase2 incremental = plain" `Quick test_phase2_identity;
+  ]
