@@ -92,6 +92,59 @@ let incremental_tests () =
   let f180, i180 = incremental_pair ~nodes:180 in
   Test.make_grouped ~name:"incremental_eval" [ f30; i30; f180; i180 ]
 
+(* Wall-clock speedup of the domain-pool failure sweep over the serial path.
+   The workload is the dominant cost of Phase 2 on a mid-size instance: a
+   full single-link sweep, every failure re-routed and priced.  Bechamel
+   measures CPU-time-per-run, which is blind to parallel speedup, so this
+   kernel times wall clock by hand (best of a few runs) and cross-checks
+   that every job count returns the exact serial result. *)
+let parallel_sweep () =
+  Harness.section "parallel_sweep: domain-pool failure sweep (dtr_exec)";
+  let rng = Rng.create 4242 in
+  let scenario =
+    Scenario.random_instance ~params:Scenario.quick_params ~nodes:50 ~degree:6. rng
+      Gen.Rand_topo
+  in
+  let g = scenario.Scenario.graph in
+  let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
+  let failures = Failure.all_single_arcs g in
+  let time_sweep exec =
+    (* The first sweep warms the per-domain scratch (Dijkstra buffers,
+       failure masks); only the warm runs are timed. *)
+    let result = ref (Eval.sweep scenario ~exec w failures) in
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := Eval.sweep scenario ~exec w failures;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!result, !best)
+  in
+  let serial_result, serial_time = time_sweep Dtr_exec.Exec.serial in
+  let t =
+    Dtr_util.Table.create
+      ~title:
+        (Printf.sprintf "full single-link sweep: %d nodes, %d failures"
+           (Graph.num_nodes g) (List.length failures))
+      ~columns:[ "jobs"; "time"; "speedup"; "identical" ]
+  in
+  List.iter
+    (fun jobs ->
+      let result, time =
+        if jobs = 1 then (serial_result, serial_time)
+        else time_sweep (Dtr_exec.Exec.of_jobs jobs)
+      in
+      Dtr_util.Table.add_row t
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.1f ms" (1e3 *. time);
+          Printf.sprintf "%.2fx" (serial_time /. time);
+          (if result = serial_result then "yes" else "NO");
+        ])
+    [ 1; 2; 4 ];
+  Dtr_util.Table.print t
+
 let pretty ns =
   if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)

@@ -31,6 +31,7 @@ let experiments =
     ("ablation_crit", "Ablation: selector comparison", Experiments.ablation_crit);
     ("ablation_tail", "Ablation: left-tail fraction", Experiments.ablation_tail);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
+    ("parallel_sweep", "dtr_exec: sweep speedup at jobs 1/2/4", Kernels.parallel_sweep);
   ]
 
 let list_ids () =

@@ -67,6 +67,22 @@ let avg_util =
 let seed =
   Arg.(value & opt int 2008 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+let jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Price failure sweeps on $(docv) domains.  Results are \
+               bit-identical for every job count.  Overrides the DTR_JOBS \
+               environment variable; the default is serial execution.")
+
+(* Explicit flag wins over DTR_JOBS; absent both, run serially. *)
+let exec_of_jobs = function
+  | Some n ->
+      if n < 1 then begin
+        Format.eprintf "--jobs must be at least 1@.";
+        exit 1
+      end;
+      Dtr_exec.Exec.of_jobs n
+  | None -> Dtr_exec.Exec.default ()
+
 let theta =
   Arg.(value & opt float 25. & info [ "theta" ] ~docv:"MS"
          ~doc:"SLA end-to-end delay bound in milliseconds.")
@@ -159,10 +175,10 @@ let run_generate topo nodes degree avg_util seed out_topology out_traffic out_do
 (* optimize                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let print_failure_comparison scenario ~regular ~robust =
+let print_failure_comparison scenario ~exec ~regular ~robust =
   let failures = Failure.all_single_arcs scenario.Scenario.graph in
-  let reg = Metrics.summarize_failures scenario regular failures in
-  let rob = Metrics.summarize_failures scenario robust failures in
+  let reg = Metrics.summarize_failures scenario ~exec regular failures in
+  let rob = Metrics.summarize_failures scenario ~exec robust failures in
   let t =
     Table.create ~title:"SLA violations over all single link failures"
       ~columns:[ "routing"; "average"; "top-10%"; "Phi_fail" ]
@@ -176,7 +192,8 @@ let print_failure_comparison scenario ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights verbose =
+    topology_file traffic_file out_weights jobs verbose =
+  let exec = exec_of_jobs jobs in
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -188,7 +205,7 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
   in
   report_instance scenario;
   let rng = Rng.create (seed + 1) in
-  let solution = Optimizer.optimize ~rng ~selector ~fraction scenario in
+  let solution = Optimizer.optimize ~rng ~selector ~fraction ~exec scenario in
   Format.printf "@.phase 1 (regular optimization): %.1fs, K = %a@."
     solution.Optimizer.phase1_seconds Lexico.pp solution.Optimizer.regular_cost;
   Format.printf "phase 2 (robust optimization):  %.1fs, K_normal = %a@."
@@ -198,7 +215,7 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
     (Scenario.num_arcs scenario)
     (String.concat ""
        (List.map (fun a -> Printf.sprintf " %d" a) solution.Optimizer.critical));
-  print_failure_comparison scenario ~regular:solution.Optimizer.regular
+  print_failure_comparison scenario ~exec ~regular:solution.Optimizer.regular
     ~robust:solution.Optimizer.robust;
   Format.printf
     "throughput cost accepted under normal conditions: +%.1f%% (chi allows +%.0f%%)@."
@@ -217,7 +234,8 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures =
+    weights_file node_failures jobs =
+  let exec = exec_of_jobs jobs in
   let params = build_params theta_ms false in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -237,7 +255,7 @@ let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_
     if node_failures then Failure.all_single_nodes scenario.Scenario.graph
     else Failure.all_single_arcs scenario.Scenario.graph
   in
-  let s = Metrics.summarize_failures scenario w failures in
+  let s = Metrics.summarize_failures scenario ~exec w failures in
   Format.printf "across %d %s failures: avg %.2f violations, top-10%% %.2f, Phi_fail %.0f@."
     (List.length failures)
     (if node_failures then "node" else "link")
@@ -287,7 +305,7 @@ let optimize_term =
   in
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
-    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ verbose)
+    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ verbose)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -305,7 +323,7 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~doc:"price a saved weight setting under failures")
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
-      $ topology_file $ traffic_file $ weights_file $ node_failures)
+      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

@@ -43,9 +43,10 @@ let crossings samples ~good_below ~bad_above =
     samples;
   !count
 
-let select_fluctuation (scenario : Scenario.t) ~(phase1 : Phase1.output) ~n =
+let select_fluctuation ?exec (scenario : Scenario.t) ~(phase1 : Phase1.output) ~n =
   let num_arcs = Scenario.num_arcs scenario in
   check_n ~num_arcs ~n;
+  let exec = match exec with Some e -> e | None -> Dtr_exec.Exec.default () in
   let p = scenario.Scenario.params in
   let best = phase1.Phase1.best_cost in
   let b1 = p.Scenario.sla.Dtr_cost.Sla.b1 in
@@ -65,4 +66,6 @@ let select_fluctuation (scenario : Scenario.t) ~(phase1 : Phase1.output) ~n =
     in
     float_of_int (lambda_score + phi_score)
   in
-  top_n_by (Array.init num_arcs score) n
+  (* Per-arc scoring scans every sample sequence; independent per arc, so it
+     runs on the execution context (serially this is Array.init). *)
+  top_n_by (Dtr_exec.Exec.map exec ~n:num_arcs ~f:score) n

@@ -27,6 +27,8 @@ val select_load_based : Scenario.t -> phase1:Phase1.output -> n:int -> int list
 (** Utilization is measured on the Phase-1 best setting under normal
     conditions; ties broken by arc id. *)
 
-val select_fluctuation : Scenario.t -> phase1:Phase1.output -> n:int -> int list
+val select_fluctuation :
+  ?exec:Dtr_exec.Exec.t -> Scenario.t -> phase1:Phase1.output -> n:int -> int list
 (** Threshold-crossing score computed from the Phase-1 sampler (see above);
-    arcs without samples score zero. *)
+    arcs without samples score zero.  Scoring distributes over [exec]; the
+    selection is identical for every job count. *)

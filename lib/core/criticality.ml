@@ -1,4 +1,5 @@
 module Stat = Dtr_util.Stat
+module Exec = Dtr_exec.Exec
 
 type t = {
   rho_lambda : float array;
@@ -9,7 +10,7 @@ type t = {
   norm_phi : float array;
 }
 
-let of_samples ~left_tail ~lambda ~phi =
+let of_samples_with exec ~left_tail ~lambda ~phi =
   if left_tail <= 0. || left_tail > 1. then
     invalid_arg "Criticality: left_tail outside (0, 1]";
   if Array.length lambda <> Array.length phi then
@@ -17,19 +18,35 @@ let of_samples ~left_tail ~lambda ~phi =
   let m = Array.length lambda in
   let rho_lambda = Array.make m 0. and rho_phi = Array.make m 0. in
   let tail_lambda = Array.make m 0. and tail_phi = Array.make m 0. in
-  for arc = 0 to m - 1 do
+  (* Each arc's tail estimation sorts its sample set — independent work,
+     spread over the execution context; results land at their arc index, so
+     every statistic is bit-identical to the serial loop. *)
+  let arc_stats arc =
     let ls = lambda.(arc) and ps = phi.(arc) in
-    if Array.length ls > 0 then begin
-      let tail = Stat.left_tail_mean ls ~fraction:left_tail in
-      tail_lambda.(arc) <- tail;
-      rho_lambda.(arc) <- Stat.mean ls -. tail
-    end;
-    if Array.length ps > 0 then begin
-      let tail = Stat.left_tail_mean ps ~fraction:left_tail in
-      tail_phi.(arc) <- tail;
-      rho_phi.(arc) <- Stat.mean ps -. tail
-    end
-  done;
+    let tl, rl =
+      if Array.length ls > 0 then begin
+        let tail = Stat.left_tail_mean ls ~fraction:left_tail in
+        (tail, Stat.mean ls -. tail)
+      end
+      else (0., 0.)
+    in
+    let tp, rp =
+      if Array.length ps > 0 then begin
+        let tail = Stat.left_tail_mean ps ~fraction:left_tail in
+        (tail, Stat.mean ps -. tail)
+      end
+      else (0., 0.)
+    in
+    (tl, rl, tp, rp)
+  in
+  let stats = Exec.map exec ~n:m ~f:arc_stats in
+  Array.iteri
+    (fun arc (tl, rl, tp, rp) ->
+      tail_lambda.(arc) <- tl;
+      rho_lambda.(arc) <- rl;
+      tail_phi.(arc) <- tp;
+      rho_phi.(arc) <- rp)
+    stats;
   (* The normalisation denominators are the summed left-tail costs: lower
      bounds on the compounded failure cost any routing can reach.  A zero sum
      (e.g. no SLA violation ever observed) falls back to a tiny constant;
@@ -47,11 +64,15 @@ let of_samples ~left_tail ~lambda ~phi =
     norm_phi = normalise rho_phi tail_phi;
   }
 
-let compute ~left_tail sampler =
+let of_samples ~left_tail ~lambda ~phi =
+  of_samples_with (Exec.default ()) ~left_tail ~lambda ~phi
+
+let compute ?exec ~left_tail sampler =
+  let exec = match exec with Some e -> e | None -> Exec.default () in
   let m = Array.length (Sampler.counts sampler) in
   let lambda = Array.init m (Sampler.lambda_samples sampler) in
   let phi = Array.init m (Sampler.phi_samples sampler) in
-  of_samples ~left_tail ~lambda ~phi
+  of_samples_with exec ~left_tail ~lambda ~phi
 
 let ranking values =
   let m = Array.length values in
@@ -133,9 +154,9 @@ module Convergence = struct
 
   let create scenario = { scenario; prev_lambda = None; prev_phi = None; last = None }
 
-  let check tracker sampler =
+  let check ?exec tracker sampler =
     let p = tracker.scenario.Scenario.params in
-    let crit = compute ~left_tail:p.Scenario.left_tail sampler in
+    let crit = compute ?exec ~left_tail:p.Scenario.left_tail sampler in
     tracker.last <- Some crit;
     let r_lambda = ranking crit.norm_lambda and r_phi = ranking crit.norm_phi in
     let converged =

@@ -31,17 +31,16 @@ type t = {
   norm_phi : float array;  (** normalised rho-bar_Phi *)
 }
 
-val compute : left_tail:float -> Sampler.t -> t
+val compute : ?exec:Dtr_exec.Exec.t -> left_tail:float -> Sampler.t -> t
 (** Arcs without samples get zero criticality (Phase 1b exists to prevent
-    that).  @raise Invalid_argument if [left_tail] is outside (0, 1]. *)
+    that).  The per-arc tail estimations are independent and run on [exec]
+    (default {!Dtr_exec.Exec.default}); results are identical for every job
+    count.  @raise Invalid_argument if [left_tail] is outside (0, 1]. *)
 
 val of_samples :
-  left_tail:float ->
-  lambda:float array array ->
-  phi:float array array ->
-  t
+  left_tail:float -> lambda:float array array -> phi:float array array -> t
 (** Same computation from raw per-arc samples (used by tests and by the
-    baseline selectors). *)
+    baseline selectors); runs on {!Dtr_exec.Exec.default}. *)
 
 val ranking : float array -> int array
 (** Arc ids sorted by descending value; ties by ascending id (stable across
@@ -64,7 +63,7 @@ module Convergence : sig
 
   val create : Scenario.t -> tracker
 
-  val check : tracker -> Sampler.t -> bool
+  val check : ?exec:Dtr_exec.Exec.t -> tracker -> Sampler.t -> bool
   (** Recomputes criticality from the sampler, compares rankings with the
       previous check, and returns whether both classes' indices are at or
       below the threshold [e].  The first check never converges (there is no

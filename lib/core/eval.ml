@@ -6,6 +6,8 @@ module Lexico = Dtr_cost.Lexico
 module Sla = Dtr_cost.Sla
 module Delay_model = Dtr_cost.Delay_model
 module Congestion = Dtr_cost.Congestion
+module Exec = Dtr_exec.Exec
+module Scratch = Dtr_exec.Scratch
 
 type detail = {
   cost : Lexico.t;
@@ -116,6 +118,31 @@ let failed_arcs_of_mask mask =
   Array.iteri (fun id dead -> if dead then acc := id :: !acc) mask;
   !acc
 
+(* Per-domain sweep working memory: Dijkstra buffers plus a failure mask,
+   cached across parallel operations (pool workers are persistent domains)
+   and keyed by graph identity so concurrent scenarios do not collide.  The
+   cache is bounded; evicting an entry only costs a reallocation on the next
+   sweep touching that graph. *)
+type sweep_scratch = { buffers : Routing.buffers; mask : bool array }
+
+let sweep_slot : (Graph.t * sweep_scratch) list ref Scratch.t =
+  Scratch.create (fun () -> ref [])
+
+let max_cached_graphs = 8
+
+let sweep_scratch_for g =
+  let cache = Scratch.get sweep_slot in
+  match List.find_opt (fun (g', _) -> g' == g) !cache with
+  | Some (_, s) -> s
+  | None ->
+      let s =
+        { buffers = Routing.make_buffers g; mask = Array.make (Graph.num_arcs g) false }
+      in
+      cache := (g, s) :: List.filteri (fun i _ -> i < max_cached_graphs - 1) !cache;
+      s
+
+let resolve_exec = function Some e -> e | None -> Exec.default ()
+
 let evaluate (scenario : Scenario.t) ?failure ?rd ?rt ?(want_pair_delays = false) w =
   let g = scenario.Scenario.graph in
   let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
@@ -136,10 +163,54 @@ let evaluate (scenario : Scenario.t) ?failure ?rd ?rt ?(want_pair_delays = false
 
 let cost scenario ?failure w = (evaluate scenario ?failure w).cost
 
+(* One failure scenario priced against shared (read-only) no-failure bases,
+   with caller-supplied working memory.  This is the unit of work both the
+   serial loops and the domain pool execute; it allocates only the
+   per-failure routing views and load arrays, never scratch. *)
+let assess_failure (scenario : Scenario.t) ~buffers ~mask ~base_d ~base_t ~dense_rd
+    ~dense_rt ~sinks w f =
+  let g = scenario.Scenario.graph in
+  Failure.set_mask g f mask;
+  let failed = failed_arcs_of_mask mask in
+  let routing_d =
+    Routing.with_failed_arcs ~buffers base_d ~weights:(Weights.delay_of w)
+      ~disabled:mask ~failed
+  in
+  let routing_t =
+    Routing.with_failed_arcs ~buffers base_t ~weights:(Weights.throughput_of w)
+      ~disabled:mask ~failed
+  in
+  assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f)
+    ~dense_rd ~dense_rt ~sinks ~want_pair_delays:false
+
+(* Order-preserving parallel sweep core: failure [i]'s detail lands at index
+   [i] whatever domain computed it, so the result — and any in-order
+   reduction of it — is bit-identical to the serial loop for every job
+   count.  Each domain prices its share with its own cached scratch. *)
+let sweep_array (scenario : Scenario.t) ~exec ~base_d ~base_t ~dense_rd ~dense_rt
+    ~sinks w failures =
+  let g = scenario.Scenario.graph in
+  match Exec.jobs exec with
+  | 1 ->
+      let buffers = Routing.make_buffers g in
+      let mask = Array.make (Graph.num_arcs g) false in
+      Array.map
+        (fun f ->
+          assess_failure scenario ~buffers ~mask ~base_d ~base_t ~dense_rd ~dense_rt
+            ~sinks w f)
+        failures
+  | _ ->
+      Exec.map exec ~n:(Array.length failures) ~f:(fun i ->
+          let s = sweep_scratch_for g in
+          assess_failure scenario ~buffers:s.buffers ~mask:s.mask ~base_d ~base_t
+            ~dense_rd ~dense_rt ~sinks w failures.(i))
+
 (* Failure sweeps compute the no-failure routing once and re-route only the
    destinations whose ECMP DAG lost an arc (see Routing.with_failed_arcs);
-   one shared buffer set serves every per-failure recomputation. *)
-let sweep_details (scenario : Scenario.t) ?rd ?rt w failures =
+   serial sweeps share one buffer set across every per-failure
+   recomputation, parallel sweeps give each domain its own. *)
+let sweep_details (scenario : Scenario.t) ?exec ?rd ?rt w failures =
+  let exec = resolve_exec exec in
   let g = scenario.Scenario.graph in
   let rd = match rd with Some m -> m | None -> scenario.Scenario.rd in
   let rt = match rt with Some m -> m | None -> scenario.Scenario.rt in
@@ -147,59 +218,32 @@ let sweep_details (scenario : Scenario.t) ?rd ?rt w failures =
   let buffers = Routing.make_buffers g in
   let base_d = Routing.compute g ~weights:(Weights.delay_of w) ~buffers () in
   let base_t = Routing.compute g ~weights:(Weights.throughput_of w) ~buffers () in
-  let mask = Array.make (Graph.num_arcs g) false in
-  List.map
-    (fun f ->
-      Failure.set_mask g f mask;
-      let failed = failed_arcs_of_mask mask in
-      let routing_d =
-        Routing.with_failed_arcs ~buffers base_d ~weights:(Weights.delay_of w)
-          ~disabled:mask ~failed
-      in
-      let routing_t =
-        Routing.with_failed_arcs ~buffers base_t ~weights:(Weights.throughput_of w)
-          ~disabled:mask ~failed
-      in
-      assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f)
-        ~dense_rd ~dense_rt ~sinks ~want_pair_delays:false)
-    failures
+  Array.to_list
+    (sweep_array scenario ~exec ~base_d ~base_t ~dense_rd ~dense_rt ~sinks w
+       (Array.of_list failures))
 
-let sweep scenario w failures =
-  Array.of_list (List.map (fun d -> d.cost) (sweep_details scenario w failures))
+let sweep scenario ?exec w failures =
+  Array.of_list (List.map (fun d -> d.cost) (sweep_details scenario ?exec w failures))
 
 (* Compound failure cost starting from already-computed no-failure routing
    bases — shared by [normal_and_sweep] and the Phase-2 incremental path,
-   where the bases come out of the evaluation engine's cache. *)
-let compound_sweep_from (scenario : Scenario.t) ~routing_d ~routing_t w ~failures =
-  let g = scenario.Scenario.graph in
+   where the bases come out of the evaluation engine's cache.  The reduce
+   folds per-failure costs in scenario order, so the sum is bit-identical
+   for every job count. *)
+let compound_sweep_from (scenario : Scenario.t) ?exec ~routing_d ~routing_t w
+    ~failures =
+  let exec = resolve_exec exec in
   let dense_rd = scenario.Scenario.dense_rd
   and dense_rt = scenario.Scenario.dense_rt
   and sinks = scenario.Scenario.delay_sinks in
-  let buffers = Routing.make_buffers g in
-  let mask = Array.make (Graph.num_arcs g) false in
-  let total = ref Lexico.zero in
-  List.iter
-    (fun f ->
-      Failure.set_mask g f mask;
-      let failed = failed_arcs_of_mask mask in
-      let fail_d =
-        Routing.with_failed_arcs ~buffers routing_d ~weights:(Weights.delay_of w)
-          ~disabled:mask ~failed
-      in
-      let fail_t =
-        Routing.with_failed_arcs ~buffers routing_t ~weights:(Weights.throughput_of w)
-          ~disabled:mask ~failed
-      in
-      let d =
-        assess scenario ~routing_d:fail_d ~routing_t:fail_t
-          ~exclude_node:(Failure.excluded_node f) ~dense_rd ~dense_rt ~sinks
-          ~want_pair_delays:false
-      in
-      total := Lexico.add !total d.cost)
-    failures;
-  !total
+  let details =
+    sweep_array scenario ~exec ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt
+      ~sinks w (Array.of_list failures)
+  in
+  Array.fold_left (fun acc d -> Lexico.add acc d.cost) Lexico.zero details
 
-let normal_and_sweep (scenario : Scenario.t) w ~failures ~feasible =
+let normal_and_sweep (scenario : Scenario.t) ?exec w ~failures ~feasible =
+  let exec = resolve_exec exec in
   let g = scenario.Scenario.graph in
   let dense_rd = scenario.Scenario.dense_rd
   and dense_rt = scenario.Scenario.dense_rt
@@ -213,7 +257,10 @@ let normal_and_sweep (scenario : Scenario.t) w ~failures ~feasible =
   in
   if not (feasible normal.cost) then (normal.cost, None)
   else
-    (normal.cost, Some (compound_sweep_from scenario ~routing_d:base_d ~routing_t:base_t w ~failures))
+    ( normal.cost,
+      Some
+        (compound_sweep_from scenario ~exec ~routing_d:base_d ~routing_t:base_t w
+           ~failures) )
 
 let compound costs = Array.fold_left Lexico.add Lexico.zero costs
 

@@ -47,14 +47,23 @@ val evaluate :
 val cost : Scenario.t -> ?failure:Failure.t -> Weights.t -> Lexico.t
 (** Cost-only wrapper around {!evaluate}. *)
 
-val sweep : Scenario.t -> Weights.t -> Failure.t list -> Lexico.t array
-(** Cost of the setting under each scenario, in order.  Sweeps share the
-    no-failure routing and re-route only the destinations each failure
-    actually affects, so they are much cheaper than repeated {!evaluate}
-    calls. *)
+val sweep :
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> Failure.t list -> Lexico.t array
+(** Cost of the setting under each scenario, in order (empty list — empty
+    array).  Sweeps share the no-failure routing and re-route only the
+    destinations each failure actually affects, so they are much cheaper
+    than repeated {!evaluate} calls.
+
+    The whole sweep family takes an optional execution context (default:
+    {!Dtr_exec.Exec.default}, i.e. serial unless [DTR_JOBS] is set).  Under
+    a parallel context the per-failure evaluations are distributed over a
+    domain pool, each domain using its own cached scratch; results are
+    written back by scenario index and reduced in order, so every cost is
+    {e bit-identical} to the serial path for any job count. *)
 
 val sweep_details :
   Scenario.t ->
+  ?exec:Dtr_exec.Exec.t ->
   ?rd:Dtr_traffic.Matrix.t ->
   ?rt:Dtr_traffic.Matrix.t ->
   Weights.t ->
@@ -64,6 +73,7 @@ val sweep_details :
 
 val normal_and_sweep :
   Scenario.t ->
+  ?exec:Dtr_exec.Exec.t ->
   Weights.t ->
   failures:Failure.t list ->
   feasible:(Lexico.t -> bool) ->
@@ -75,6 +85,7 @@ val normal_and_sweep :
 
 val compound_sweep_from :
   Scenario.t ->
+  ?exec:Dtr_exec.Exec.t ->
   routing_d:Dtr_spf.Routing.t ->
   routing_t:Dtr_spf.Routing.t ->
   Weights.t ->

@@ -7,9 +7,9 @@ module Stat = Dtr_util.Stat
 
 let violations_normal scenario w = (Eval.evaluate scenario w).Eval.violations
 
-let violations_per_failure scenario w failures =
+let violations_per_failure scenario ?exec w failures =
   Array.of_list
-    (List.map (fun d -> d.Eval.violations) (Eval.sweep_details scenario w failures))
+    (List.map (fun d -> d.Eval.violations) (Eval.sweep_details scenario ?exec w failures))
 
 let avg_violations per_failure =
   if Array.length per_failure = 0 then 0.
@@ -21,12 +21,14 @@ let top_fraction_violations ?(fraction = 0.1) per_failure =
 
 let phi_normal scenario w = (Eval.cost scenario w).Lexico.phi
 
-let phi_per_failure scenario w failures =
+let phi_per_failure scenario ?exec w failures =
   Array.of_list
-    (List.map (fun d -> d.Eval.cost.Lexico.phi) (Eval.sweep_details scenario w failures))
+    (List.map
+       (fun d -> d.Eval.cost.Lexico.phi)
+       (Eval.sweep_details scenario ?exec w failures))
 
-let phi_fail_total scenario w failures =
-  Array.fold_left ( +. ) 0. (phi_per_failure scenario w failures)
+let phi_fail_total scenario ?exec w failures =
+  Array.fold_left ( +. ) 0. (phi_per_failure scenario ?exec w failures)
 
 let phi_gap_percent ~reference x =
   if reference = 0. then 0. else 100. *. (x -. reference) /. reference
@@ -106,8 +108,8 @@ type failure_summary = {
   phi_total : float;
 }
 
-let summarize_failures scenario w failures =
-  let details = Eval.sweep_details scenario w failures in
+let summarize_failures scenario ?exec w failures =
+  let details = Eval.sweep_details scenario ?exec w failures in
   let per_failure = Array.of_list (List.map (fun d -> d.Eval.violations) details) in
   let phi_per_failure =
     Array.of_list (List.map (fun d -> d.Eval.cost.Lexico.phi) details)

@@ -13,7 +13,7 @@ val violations_normal : Scenario.t -> Weights.t -> int
 (** SLA-violating SD pairs under normal conditions. *)
 
 val violations_per_failure :
-  Scenario.t -> Weights.t -> Failure.t list -> int array
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> Failure.t list -> int array
 
 val avg_violations : int array -> float
 (** The paper's beta: mean violations over all scenarios of a sweep. *)
@@ -26,9 +26,11 @@ val top_fraction_violations : ?fraction:float -> int array -> float
 
 val phi_normal : Scenario.t -> Weights.t -> float
 
-val phi_per_failure : Scenario.t -> Weights.t -> Failure.t list -> float array
+val phi_per_failure :
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> Failure.t list -> float array
 
-val phi_fail_total : Scenario.t -> Weights.t -> Failure.t list -> float
+val phi_fail_total :
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> Failure.t list -> float
 (** [Phi_fail]: the compounded cost over the sweep. *)
 
 val phi_gap_percent : reference:float -> float -> float
@@ -75,6 +77,7 @@ type failure_summary = {
 }
 
 val summarize_failures :
-  Scenario.t -> Weights.t -> Failure.t list -> failure_summary
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> Failure.t list -> failure_summary
 (** One sweep computing both classes' metrics at once (each scenario is
-    evaluated a single time). *)
+    evaluated a single time).  [exec] is forwarded to the underlying
+    {!Eval.sweep_details}; results never depend on it. *)

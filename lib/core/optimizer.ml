@@ -31,8 +31,8 @@ let timed f =
   let x = f () in
   (x, Sys.time () -. start)
 
-let regular_only ~rng ?(incremental = true) scenario =
-  timed (fun () -> Phase1.run ~rng ~incremental scenario)
+let regular_only ~rng ?(incremental = true) ?exec scenario =
+  timed (fun () -> Phase1.run ~rng ~incremental ?exec scenario)
 
 let target_size (scenario : Scenario.t) fraction =
   let m = Scenario.num_arcs scenario in
@@ -44,7 +44,7 @@ let target_size (scenario : Scenario.t) fraction =
   if f <= 0. || f > 1. then invalid_arg "Optimizer: fraction outside (0, 1]";
   max 1 (int_of_float (Float.round (f *. float_of_int m)))
 
-let pick_critical ~rng ~selector ~fraction scenario (phase1 : Phase1.output) =
+let pick_critical ~rng ~selector ~fraction ?exec scenario (phase1 : Phase1.output) =
   let num_arcs = Scenario.num_arcs scenario in
   match selector with
   | Full -> List.init num_arcs Fun.id
@@ -52,7 +52,8 @@ let pick_critical ~rng ~selector ~fraction scenario (phase1 : Phase1.output) =
   | Random_selection -> Baselines.select_random rng ~num_arcs ~n:(target_size scenario fraction)
   | Load_based -> Baselines.select_load_based scenario ~phase1 ~n:(target_size scenario fraction)
   | Fluctuation_based ->
-      Baselines.select_fluctuation scenario ~phase1 ~n:(target_size scenario fraction)
+      Baselines.select_fluctuation ?exec scenario ~phase1
+        ~n:(target_size scenario fraction)
   | Given arcs ->
       if arcs = [] then invalid_arg "Optimizer: empty critical set";
       List.iter
@@ -76,23 +77,23 @@ let assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical 
     phase2_seconds;
   }
 
-let robust_with ~rng ?(incremental = true) scenario ~phase1 ~failures ~critical =
+let robust_with ~rng ?(incremental = true) ?exec scenario ~phase1 ~failures ~critical =
   let phase2, phase2_seconds =
-    timed (fun () -> Phase2.run ~rng ~incremental scenario ~phase1 ~failures)
+    timed (fun () -> Phase2.run ~rng ~incremental ?exec scenario ~phase1 ~failures)
   in
   assemble scenario ~phase1 ~phase1_seconds:0. ~phase2 ~phase2_seconds ~critical ~failures
 
 let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
-    ?(incremental = true) scenario =
-  let phase1, phase1_seconds = regular_only ~rng ~incremental scenario in
+    ?(incremental = true) ?exec scenario =
+  let phase1, phase1_seconds = regular_only ~rng ~incremental ?exec scenario in
   let critical, failures =
     match failure_model with
     | Link_failures ->
-        let critical = pick_critical ~rng ~selector ~fraction scenario phase1 in
+        let critical = pick_critical ~rng ~selector ~fraction ?exec scenario phase1 in
         (critical, List.map (fun a -> Failure.Arc a) critical)
     | Node_failures -> ([], Failure.all_single_nodes scenario.Scenario.graph)
   in
   let phase2, phase2_seconds =
-    timed (fun () -> Phase2.run ~rng ~incremental scenario ~phase1 ~failures)
+    timed (fun () -> Phase2.run ~rng ~incremental ?exec scenario ~phase1 ~failures)
   in
   assemble scenario ~phase1 ~phase1_seconds ~phase2 ~phase2_seconds ~critical ~failures

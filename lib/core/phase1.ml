@@ -1,5 +1,7 @@
 module Rng = Dtr_util.Rng
 module Lexico = Dtr_cost.Lexico
+module Exec = Dtr_exec.Exec
+module Scratch = Dtr_exec.Scratch
 
 type stats = {
   evals : int;
@@ -37,7 +39,31 @@ module Pool = struct
   let finalize t = List.sort compare_entries t.entries
 end
 
-let run ~rng ?(incremental = true) (scenario : Scenario.t) =
+(* Per-domain Phase-1b probing state: an incremental engine anchored at the
+   Phase-1a best plus a private working copy of it.  Cached across parallel
+   sweeps and keyed by (scenario, anchor) identity — the anchor is the same
+   physical vector for the whole top-up loop, so validation is O(1); a new
+   run (or scenario) simply re-anchors. *)
+type probe_scratch = { engine : Eval_incr.t; w : Weights.t; anchor : Weights.t }
+
+let probe_slot : (Scenario.t * probe_scratch) list ref Scratch.t =
+  Scratch.create (fun () -> ref [])
+
+let probe_scratch_for scenario best =
+  let cache = Scratch.get probe_slot in
+  match
+    List.find_opt (fun (sc, s) -> sc == scenario && s.anchor == best) !cache
+  with
+  | Some (_, s) -> s
+  | None ->
+      let engine = Eval_incr.create scenario in
+      ignore (Eval_incr.anchor engine best : Lexico.t);
+      let s = { engine; w = Weights.copy best; anchor = best } in
+      cache := (scenario, s) :: List.filter (fun (sc, _) -> sc != scenario) !cache;
+      s
+
+let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
+  let exec = match exec with Some e -> e | None -> Exec.default () in
   let p = scenario.Scenario.params in
   let num_arcs = Scenario.num_arcs scenario in
   let sampler = Sampler.create scenario in
@@ -62,7 +88,7 @@ let run ~rng ?(incremental = true) (scenario : Scenario.t) =
     (* Convergence is re-checked every tau samples per arc on average. *)
     if Sampler.total sampler - !last_check_total >= check_interval then begin
       last_check_total := Sampler.total sampler;
-      converged := Criticality.Convergence.check tracker sampler
+      converged := Criticality.Convergence.check ~exec tracker sampler
     end
   in
   (* One engine serves both the Phase-1a search and the Phase-1b sampling
@@ -120,23 +146,65 @@ let run ~rng ?(incremental = true) (scenario : Scenario.t) =
         cost
     | None -> Eval.cost scenario w
   in
+  (* One parallel probe: price [best] with [arc] raised to the pre-drawn
+     weights, on this domain's own engine (or by full evaluation when the
+     caller opted out of the incremental path).  Both paths are
+     bit-identical to the serial probe — the engine contract guarantees
+     try_arc equals the full evaluation of the same setting. *)
+  let probe_parallel ~arc ~wd ~wt =
+    if incremental then begin
+      let s = probe_scratch_for scenario best in
+      let saved = Weights.save_arc s.w arc in
+      Weights.set_arc s.w ~arc ~wd ~wt;
+      let cost = Eval_incr.try_arc s.engine s.w ~arc in
+      Eval_incr.rollback s.engine;
+      Weights.restore_arc s.w saved;
+      cost
+    end
+    else begin
+      let w = Weights.copy best in
+      Weights.set_arc w ~arc ~wd ~wt;
+      Eval.cost scenario w
+    end
+  in
   while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
     incr phase1b_sweeps;
     let w = Weights.copy best in
-    for arc = 0 to num_arcs - 1 do
-      let saved = Weights.save_arc w arc in
-      Weights.raise_arc rng w ~arc ~wmax:p.Scenario.wmax ~q:p.Scenario.q;
-      let cost = probe_cost w ~arc in
-      incr extra_evals;
-      Sampler.record sampler ~arc cost;
-      Weights.restore_arc w saved
-    done;
-    converged := Criticality.Convergence.check tracker sampler
+    if Exec.jobs exec = 1 then
+      for arc = 0 to num_arcs - 1 do
+        let saved = Weights.save_arc w arc in
+        Weights.raise_arc rng w ~arc ~wmax:p.Scenario.wmax ~q:p.Scenario.q;
+        let cost = probe_cost w ~arc in
+        incr extra_evals;
+        Sampler.record sampler ~arc cost;
+        Weights.restore_arc w saved
+      done
+    else begin
+      (* Draw the sweep's raised weights first, in arc order, so the RNG
+         stream is exactly the serial one; then price the probes in
+         parallel and record the samples back in arc order. *)
+      let raised =
+        Array.init num_arcs (fun arc ->
+            let saved = Weights.save_arc w arc in
+            Weights.raise_arc rng w ~arc ~wmax:p.Scenario.wmax ~q:p.Scenario.q;
+            let drawn = (w.Weights.wd.(arc), w.Weights.wt.(arc)) in
+            Weights.restore_arc w saved;
+            drawn)
+      in
+      let costs =
+        Exec.map exec ~n:num_arcs ~f:(fun arc ->
+            let wd, wt = raised.(arc) in
+            probe_parallel ~arc ~wd ~wt)
+      in
+      extra_evals := !extra_evals + num_arcs;
+      Array.iteri (fun arc cost -> Sampler.record sampler ~arc cost) costs
+    end;
+    converged := Criticality.Convergence.check ~exec tracker sampler
   done;
   let criticality =
     match Criticality.Convergence.last tracker with
     | Some c -> c
-    | None -> Criticality.compute ~left_tail:p.Scenario.left_tail sampler
+    | None -> Criticality.compute ~exec ~left_tail:p.Scenario.left_tail sampler
   in
   (* Keep only recorded settings that satisfy Eqs. (5)-(6) w.r.t. the final
      best; the best itself always qualifies. *)

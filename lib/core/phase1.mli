@@ -34,12 +34,22 @@ type output = {
   stats : stats;
 }
 
-val run : rng:Dtr_util.Rng.t -> ?incremental:bool -> Scenario.t -> output
+val run :
+  rng:Dtr_util.Rng.t -> ?incremental:bool -> ?exec:Dtr_exec.Exec.t -> Scenario.t -> output
 (** [incremental] (default [true]) prices every single-arc move with the
     {!Eval_incr} engine instead of a full {!Eval.cost}; the two paths
     produce bit-identical cost sequences, hence identical results for a
     given RNG — the flag exists so tests and benchmarks can cross-check
-    against the full-evaluation oracle. *)
+    against the full-evaluation oracle.
+
+    [exec] (default {!Dtr_exec.Exec.default}) parallelises the Phase-1b
+    top-up: each sweep's failure-emulating weight draws happen serially in
+    arc order (preserving the RNG stream), the probes are priced on the
+    domain pool — each domain owning an incremental engine anchored at the
+    Phase-1a best — and the samples are recorded back in arc order.  The
+    sampler state, criticality and stats are bit-identical for every job
+    count.  Phase 1a itself is inherently sequential (each move depends on
+    the previous acceptance) and always runs on the calling domain. *)
 
 val critical_set : Scenario.t -> output -> int list
 (** Phase 1c: Algorithm 1 at the scenario's [critical_fraction] (at least

@@ -10,9 +10,10 @@ type output = {
   stats : stats;
 }
 
-let run ~rng ?(incremental = true) (scenario : Scenario.t) ~(phase1 : Phase1.output)
-    ~failures =
+let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
+    ~(phase1 : Phase1.output) ~failures =
   if failures = [] then invalid_arg "Phase2.run: no failure scenarios";
+  let exec = match exec with Some e -> e | None -> Dtr_exec.Exec.default () in
   let p = scenario.Scenario.params in
   let num_arcs = Scenario.num_arcs scenario in
   let best_cost = phase1.Phase1.best_cost in
@@ -33,7 +34,7 @@ let run ~rng ?(incremental = true) (scenario : Scenario.t) ~(phase1 : Phase1.out
       let e = Eval_incr.create scenario in
       let sweep w =
         let routing_d, routing_t = Eval_incr.current_routing e in
-        Eval.compound_sweep_from scenario ~routing_d ~routing_t w ~failures
+        Eval.compound_sweep_from scenario ~exec ~routing_d ~routing_t w ~failures
       in
       Local_search.
         {
@@ -53,7 +54,7 @@ let run ~rng ?(incremental = true) (scenario : Scenario.t) ~(phase1 : Phase1.out
     end
     else
       Local_search.eval_engine (fun w ->
-          snd (Eval.normal_and_sweep scenario w ~failures ~feasible))
+          snd (Eval.normal_and_sweep scenario ~exec w ~failures ~feasible))
   in
   let config =
     Local_search.

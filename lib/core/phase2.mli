@@ -27,6 +27,7 @@ type output = {
 val run :
   rng:Dtr_util.Rng.t ->
   ?incremental:bool ->
+  ?exec:Dtr_exec.Exec.t ->
   Scenario.t ->
   phase1:Phase1.output ->
   failures:Failure.t list ->
@@ -36,5 +37,11 @@ val run :
     from its cached no-failure routing bases; bit-identical to the full
     {!Eval.normal_and_sweep} path, hence the same trajectory for a given
     RNG.
+
+    [exec] (default {!Dtr_exec.Exec.default}) parallelises every critical-set
+    sweep — the per-move pricing of all failure scenarios, the dominant cost
+    of Phase 2 — over the domain pool; per-failure costs are reduced in
+    scenario order, so the search trajectory and result are bit-identical
+    for every job count.
     @raise Invalid_argument if [failures] is empty or Phase 1 recorded no
     acceptable setting (cannot happen with {!Phase1.run} output). *)

@@ -1,0 +1,18 @@
+type t = { items : int; size : int; count : int }
+
+(* Aim for a few chunks per worker: small enough that one slow item cannot
+   leave other workers idle for long, large enough that the fetch-and-add per
+   claim is noise. *)
+let chunks_per_job = 4
+
+let plan ~items ~jobs =
+  if items < 0 then invalid_arg "Chunk.plan: negative item count";
+  if jobs < 1 then invalid_arg "Chunk.plan: jobs must be positive";
+  let size = max 1 (items / (jobs * chunks_per_job)) in
+  let count = if items = 0 then 0 else (items + size - 1) / size in
+  { items; size; count }
+
+let bounds t c =
+  if c < 0 || c >= t.count then invalid_arg "Chunk.bounds: chunk id out of range";
+  let lo = c * t.size in
+  (lo, min t.items (lo + t.size))

@@ -1,0 +1,153 @@
+(* Worker protocol: the orchestrating domain publishes one task at a time
+   under [mutex] and bumps [epoch]; parked workers wake on [work], re-check
+   the epoch (no lost wakeups — the predicate, not the signal, is
+   authoritative), and drain chunks from the task's atomic counter until it
+   runs dry.  The last decrement of [running] signals [idle], on which the
+   orchestrator — who drains chunks too — waits before reading results, so
+   the mutex hand-off publishes every worker's writes to the caller. *)
+
+type task = {
+  f : int -> unit;
+  chunks : Chunk.t;
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  cancelled : bool Atomic.t;  (* set on the first exception; stops claiming *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* a task was posted, or shutdown was requested *)
+  idle : Condition.t;  (* a worker finished its share of the current task *)
+  mutable task : task option;
+  mutable epoch : int;
+  mutable running : int;  (* workers still inside the current task *)
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable busy : bool;  (* an operation is in flight (re-entrancy guard) *)
+  mutable domains : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let record_failure t exn bt =
+  Mutex.lock t.mutex;
+  if t.failure = None then t.failure <- Some (exn, bt);
+  Mutex.unlock t.mutex
+
+let drain t task =
+  let continue = ref true in
+  while !continue do
+    if Atomic.get task.cancelled then continue := false
+    else begin
+      let c = Atomic.fetch_and_add task.next 1 in
+      if c >= task.chunks.Chunk.count then continue := false
+      else begin
+        let lo, hi = Chunk.bounds task.chunks c in
+        try
+          for i = lo to hi - 1 do
+            task.f i
+          done
+        with exn ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set task.cancelled true;
+          record_failure t exn bt;
+          continue := false
+      end
+    end
+  done
+
+let rec worker t seen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.epoch = seen do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let task = Option.get t.task in
+    Mutex.unlock t.mutex;
+    drain t task;
+    Mutex.lock t.mutex;
+    t.running <- t.running - 1;
+    if t.running = 0 then Condition.broadcast t.idle;
+    Mutex.unlock t.mutex;
+    worker t epoch
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be positive";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      task = None;
+      epoch = 0;
+      running = 0;
+      stop = false;
+      failure = None;
+      busy = false;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let run_serial ~n ~f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let run t ~n ~f =
+  if n < 0 then invalid_arg "Pool.run: negative item count";
+  if n = 0 then ()
+  else if Array.length t.domains = 0 || t.busy then run_serial ~n ~f
+  else begin
+    let task =
+      {
+        f;
+        chunks = Chunk.plan ~items:n ~jobs:t.jobs;
+        next = Atomic.make 0;
+        cancelled = Atomic.make false;
+      }
+    in
+    Mutex.lock t.mutex;
+    t.busy <- true;
+    t.task <- Some task;
+    t.failure <- None;
+    t.running <- Array.length t.domains;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    drain t task;
+    Mutex.lock t.mutex;
+    while t.running > 0 do
+      Condition.wait t.idle t.mutex
+    done;
+    t.task <- None;
+    t.busy <- false;
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let map t ~f n =
+  if n < 0 then invalid_arg "Pool.map: negative item count";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run t ~n ~f:(fun i -> results.(i) <- Some (f i));
+    Array.map (function Some x -> x | None -> assert false) results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  Array.iter Domain.join t.domains;
+  t.domains <- [||]

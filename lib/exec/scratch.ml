@@ -1,0 +1,9 @@
+(* Domain-local storage keyed per slot.  [Domain.DLS] does exactly what the
+   interface promises: one value per (key, domain), created by the
+   initializer on first access from each domain. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let create make = Domain.DLS.new_key make
+
+let get slot = Domain.DLS.get slot

@@ -1,0 +1,25 @@
+(** Per-domain reusable scratch state.
+
+    Parallel evaluation kernels need mutable working memory — Dijkstra heaps,
+    failure masks, whole incremental-evaluation engines — that must not be
+    shared between domains and should not be reallocated on every parallel
+    operation.  A scratch slot gives each domain its own lazily-created
+    instance: the first {!get} on a domain runs the constructor, later calls
+    return the same value.  Because {!Pool} workers are persistent domains,
+    a slot's instances survive across parallel operations, so steady-state
+    parallel sweeps allocate nothing for scratch.
+
+    Scratch contents must never influence results — they are working memory,
+    fully overwritten by each use.  The determinism contract of the execution
+    engine rests on that: a result may be {e computed in} scratch, but must
+    be a function of the inputs only. *)
+
+type 'a t
+(** A scratch slot: one ['a] instance per domain, created on first use. *)
+
+val create : (unit -> 'a) -> 'a t
+(** [create make] is a fresh slot whose per-domain instances are built by
+    [make].  [make] runs on the domain that first touches the slot. *)
+
+val get : 'a t -> 'a
+(** This domain's instance of the slot (created now if absent). *)

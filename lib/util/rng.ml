@@ -19,9 +19,15 @@ let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let split t =
-  let seed = bits64 t in
-  { state = seed }
+let split t i =
+  if i < 0 then invalid_arg "Rng.split: negative stream index";
+  (* Child stream [i] is seeded from the parent's current position offset by
+     [i + 1] gammas and mixed, so distinct indices land on well-separated
+     points of the underlying Weyl sequence.  The parent is not advanced:
+     [split] is a pure function of (parent state, index), which lets
+     parallel callers derive any number of streams without a serial
+     dependency on each other. *)
+  { state = mix (Int64.add t.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) }
 
 (* Top 62 bits as a non-negative OCaml int. *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)

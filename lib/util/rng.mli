@@ -18,9 +18,14 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
-val split : t -> t
-(** [split t] advances [t] and returns a new generator whose stream is
-    independent of the remainder of [t]'s stream. *)
+val split : t -> int -> t
+(** [split t i] derives the [i]-th child stream from [t]'s current state
+    without advancing [t]: the result depends only on (state, [i]), so the
+    same parent yields the same child for the same index, distinct indices
+    yield statistically independent streams, and the parent's own stream is
+    untouched — the properties needed to hand each parallel worker its own
+    reproducible generator.
+    @raise Invalid_argument if [i < 0]. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

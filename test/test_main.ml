@@ -19,6 +19,7 @@ let () =
       ("cost", Test_cost.suite);
       ("core.weights", Test_weights.suite);
       ("core.eval", Test_eval.suite);
+      ("exec", Test_exec.suite);
       ("core.eval_incr", Test_eval_incr.suite);
       ("core.criticality", Test_criticality.suite);
       ("core.search", Test_search.suite);

@@ -28,10 +28,57 @@ let test_copy_independent () =
 
 let test_split_independent () =
   let a = Rng.create 9 in
-  let b = Rng.split a in
+  let b = Rng.split a 0 in
   let xs = Array.init 50 (fun _ -> Rng.bits64 a) in
   let ys = Array.init 50 (fun _ -> Rng.bits64 b) in
   Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_split_reproducible () =
+  let a = Rng.create 123 in
+  let _ = Rng.bits64 a in
+  (* Same parent state + same index = same child stream, every time. *)
+  let b = Rng.split a 3 and c = Rng.split a 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same child stream" (Rng.bits64 b) (Rng.bits64 c)
+  done
+
+let test_split_does_not_advance_parent () =
+  let a = Rng.create 55 in
+  let untouched = Rng.copy a in
+  for i = 0 to 7 do
+    ignore (Rng.split a i : Rng.t)
+  done;
+  for _ = 1 to 20 do
+    Alcotest.(check int64) "parent stream unchanged by splits" (Rng.bits64 untouched)
+      (Rng.bits64 a)
+  done
+
+let test_split_streams_pairwise_distinct () =
+  let a = Rng.create 2024 in
+  let n_streams = 16 and draws = 32 in
+  let streams =
+    Array.init n_streams (fun i ->
+        let r = Rng.split a i in
+        Array.init draws (fun _ -> Rng.bits64 r))
+  in
+  for i = 0 to n_streams - 1 do
+    for j = i + 1 to n_streams - 1 do
+      Alcotest.(check bool) "distinct indices give distinct streams" true
+        (streams.(i) <> streams.(j))
+    done
+  done;
+  (* No child stream collides with the parent's own continuation either. *)
+  let parent = Array.init draws (fun _ -> Rng.bits64 a) in
+  Array.iter
+    (fun child ->
+      Alcotest.(check bool) "child differs from parent stream" true (child <> parent))
+    streams
+
+let test_split_rejects_negative_index () =
+  let a = Rng.create 1 in
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.split: negative stream index") (fun () ->
+      ignore (Rng.split a (-1)))
 
 let test_int_bounds () =
   let rng = Rng.create 3 in
@@ -139,6 +186,10 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy is independent" `Quick test_copy_independent;
     Alcotest.test_case "split is independent" `Quick test_split_independent;
+    Alcotest.test_case "split is reproducible" `Quick test_split_reproducible;
+    Alcotest.test_case "split leaves parent untouched" `Quick test_split_does_not_advance_parent;
+    Alcotest.test_case "split streams pairwise distinct" `Quick test_split_streams_pairwise_distinct;
+    Alcotest.test_case "split rejects negative index" `Quick test_split_rejects_negative_index;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
     Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
