@@ -14,6 +14,7 @@ module Weights = Dtr_core.Weights
 module Eval = Dtr_core.Eval
 module Eval_incr = Dtr_core.Eval_incr
 module Lexico = Dtr_cost.Lexico
+module Spf_delta = Dtr_spf.Spf_delta
 
 let tests () =
   let rng = Rng.create 99 in
@@ -129,12 +130,14 @@ let parallel_sweep () =
            (Graph.num_nodes g) (List.length failures))
       ~columns:[ "jobs"; "time"; "speedup"; "identical" ]
   in
+  let timings = ref [] in
   List.iter
     (fun jobs ->
       let result, time =
         if jobs = 1 then (serial_result, serial_time)
         else time_sweep (Dtr_exec.Exec.of_jobs jobs)
       in
+      timings := !timings @ [ (jobs, time) ];
       Dtr_util.Table.add_row t
         [
           string_of_int jobs;
@@ -143,7 +146,143 @@ let parallel_sweep () =
           (if result = serial_result then "yes" else "NO");
         ])
     [ 1; 2; 4 ];
-  Dtr_util.Table.print t
+  Dtr_util.Table.print t;
+  let arcs = Graph.num_arcs g and nf = float_of_int (List.length failures) in
+  Harness.write_bench_json ~kernel:"parallel_sweep"
+    (List.map
+       (fun (jobs, time) ->
+         Harness.bench_json_row
+           ~name:(Printf.sprintf "sweep jobs=%d" jobs)
+           ~topology:"RandTopo" ~nodes:(Graph.num_nodes g) ~arcs ~seed:4242
+           ~ns_per_op:(1e9 *. time /. nf)
+           ~speedup:(serial_time /. time))
+       !timings)
+
+(* Failure-sweep pricing at three incrementality tiers — the tentpole
+   benchmark of the dynamic-SPF repair engine:
+
+   - {e from-scratch}: every failure state priced independently, a full
+     Dijkstra per destination and class plus a full assessment (no reuse of
+     the no-failure bases at all);
+   - {e shared-base}: the [DTR_NO_DSPF] path — unaffected destinations share
+     the no-failure routing, affected ones rerun Dijkstra, and the whole
+     assessment (loads, delays, SLA, congestion) is recomputed per failure;
+   - {e repaired}: the dynamic-SPF engine — affected destinations are
+     repaired over their affected cone only, and loads, delays, SLA
+     subtotals and congestion terms are patched from the sweep cache.
+
+   Serial execution isolates the algorithmic gain from domain parallelism,
+   and the bit-identity contract (costs, loads, violation and unreachable
+   counts) is asserted on every failure state of every tier, not eyeballed. *)
+let same_float a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let same_floats a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (same_float x b.(i)) then ok := false) a;
+  !ok
+
+let same_details a b =
+  List.for_all2
+    (fun (a : Eval.detail) (b : Eval.detail) ->
+      same_float a.Eval.cost.Lexico.lambda b.Eval.cost.Lexico.lambda
+      && same_float a.Eval.cost.Lexico.phi b.Eval.cost.Lexico.phi
+      && a.Eval.violations = b.Eval.violations
+      && a.Eval.unreachable_pairs = b.Eval.unreachable_pairs
+      && same_floats a.Eval.loads b.Eval.loads
+      && same_floats a.Eval.throughput_loads b.Eval.throughput_loads)
+    a b
+
+let failure_sweep () =
+  Harness.section "failure_sweep: dynamic-SPF repair vs from-scratch pricing";
+  let t =
+    Dtr_util.Table.create ~title:"full single-link sweep, serial execution"
+      ~columns:
+        [
+          "instance";
+          "failures";
+          "from-scratch";
+          "shared-base";
+          "repaired";
+          "speedup";
+          "identical";
+        ]
+  in
+  let json = ref [] in
+  let run_case ~label ~topology ~kind ~nodes ~degree ~seed =
+    let rng = Rng.create seed in
+    let scenario =
+      Scenario.random_instance ~params:Scenario.quick_params ~nodes ~degree rng kind
+    in
+    let g = scenario.Scenario.graph in
+    let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
+    let failures = Failure.all_single_arcs g in
+    (* Warm run first (per-domain scratch, allocator), then best of 5. *)
+    let best_of f =
+      let result = ref (f ()) in
+      let best = ref Float.infinity in
+      for _ = 1 to 5 do
+        let t0 = Unix.gettimeofday () in
+        result := f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      (!result, !best)
+    in
+    let scratch, scratch_time =
+      best_of (fun () ->
+          List.map (fun f -> Eval.evaluate scenario ~failure:f w) failures)
+    in
+    let sweep () = Eval.sweep_details scenario ~exec:Dtr_exec.Exec.serial w failures in
+    let was = Spf_delta.enabled () in
+    Spf_delta.set_enabled false;
+    let shared, shared_time = best_of sweep in
+    Spf_delta.set_enabled true;
+    let repaired, repaired_time = best_of sweep in
+    Spf_delta.set_enabled was;
+    if not (same_details scratch shared && same_details scratch repaired) then
+      failwith
+        (Printf.sprintf
+           "failure_sweep: sweep tiers of %s are NOT bit-identical to the \
+            from-scratch pricing"
+           label);
+    let speedup = scratch_time /. repaired_time in
+    let nf = float_of_int (List.length failures) in
+    Dtr_util.Table.add_row t
+      [
+        label;
+        string_of_int (List.length failures);
+        Printf.sprintf "%.1f ms" (1e3 *. scratch_time);
+        Printf.sprintf "%.1f ms" (1e3 *. shared_time);
+        Printf.sprintf "%.1f ms" (1e3 *. repaired_time);
+        Printf.sprintf "%.2fx" speedup;
+        "yes";
+      ];
+    json :=
+      !json
+      @ [
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%s from-scratch" label)
+            ~topology ~nodes:(Graph.num_nodes g) ~arcs:(Graph.num_arcs g) ~seed
+            ~ns_per_op:(1e9 *. scratch_time /. nf) ~speedup:1.0;
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%s shared-base" label)
+            ~topology ~nodes:(Graph.num_nodes g) ~arcs:(Graph.num_arcs g) ~seed
+            ~ns_per_op:(1e9 *. shared_time /. nf)
+            ~speedup:(scratch_time /. shared_time);
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%s repaired" label)
+            ~topology ~nodes:(Graph.num_nodes g) ~arcs:(Graph.num_arcs g) ~seed
+            ~ns_per_op:(1e9 *. repaired_time /. nf) ~speedup;
+        ]
+  in
+  run_case ~label:"ISP backbone (16n)" ~topology:"Isp" ~kind:Gen.Isp ~nodes:16
+    ~degree:4.4 ~seed:2008;
+  run_case ~label:"RandTopo (30n)" ~topology:"RandTopo" ~kind:Gen.Rand_topo ~nodes:30
+    ~degree:6. ~seed:99;
+  Dtr_util.Table.print t;
+  Harness.write_bench_json ~kernel:"failure_sweep" !json
 
 let pretty ns =
   if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
@@ -209,4 +348,27 @@ let run () =
             ]
       | _ -> ())
     [ 30; 180 ];
-  Dtr_util.Table.print s
+  Dtr_util.Table.print s;
+  let contains name sub =
+    let ln = String.length name and ls = String.length sub in
+    let rec scan i = i + ls <= ln && (String.sub name i ls = sub || scan (i + 1)) in
+    scan 0
+  in
+  Harness.write_bench_json ~kernel:"kernels"
+    (List.map
+       (fun (name, ns) ->
+         let nodes = if contains name "180n" then 180 else 30 in
+         let speedup =
+           (* Incremental rows report their gain over the same-size full move. *)
+           if contains name "incremental move" then
+             match
+               ( find (Printf.sprintf "full move (%dn)" nodes),
+                 find (Printf.sprintf "incremental move (%dn)" nodes) )
+             with
+             | Some f, Some i when i > 0. -> f /. i
+             | _ -> 1.0
+           else 1.0
+         in
+         Harness.bench_json_row ~name ~topology:"RandTopo" ~nodes ~arcs:0 ~seed:99
+           ~ns_per_op:ns ~speedup)
+       rows)

@@ -32,6 +32,7 @@ let experiments =
     ("ablation_tail", "Ablation: left-tail fraction", Experiments.ablation_tail);
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
     ("parallel_sweep", "dtr_exec: sweep speedup at jobs 1/2/4", Kernels.parallel_sweep);
+    ("failure_sweep", "dynamic-SPF repair vs from-scratch sweep", Kernels.failure_sweep);
   ]
 
 let list_ids () =

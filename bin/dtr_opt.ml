@@ -83,6 +83,26 @@ let exec_of_jobs = function
       Dtr_exec.Exec.of_jobs n
   | None -> Dtr_exec.Exec.default ()
 
+let no_dspf =
+  Arg.(value & flag & info [ "no-dspf" ]
+         ~doc:"Disable the dynamic-SPF failure-sweep engine and price every \
+               failure state from scratch (mirrors the DTR_NO_DSPF \
+               environment variable; results are bit-identical either way, \
+               the flag exists for A/B benchmarking).")
+
+let apply_no_dspf flag = if flag then Dtr_spf.Spf_delta.set_enabled false
+
+let print_sweep_breakdown () =
+  let { Dtr_core.Eval.Sweep_stats.sweeps; cache_builds; cached_evals; full_evals;
+        seconds } =
+    Dtr_core.Eval.Sweep_stats.snapshot ()
+  in
+  Format.printf
+    "sweep breakdown: %d sweeps, %.2fs wall; %d failure evaluations via the \
+     dynamic-SPF cache, %d from scratch; %d cache builds (engine %s)@."
+    sweeps seconds cached_evals full_evals cache_builds
+    (if Dtr_spf.Spf_delta.enabled () then "on" else "off")
+
 let theta =
   Arg.(value & opt float 25. & info [ "theta" ] ~docv:"MS"
          ~doc:"SLA end-to-end delay bound in milliseconds.")
@@ -192,12 +212,14 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs verbose =
+    topology_file traffic_file out_weights jobs no_dspf verbose =
   let exec = exec_of_jobs jobs in
+  apply_no_dspf no_dspf;
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  Dtr_core.Eval.Sweep_stats.reset ();
   let params = build_params theta_ms paper_scale in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -223,6 +245,7 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
        ~reference:solution.Optimizer.regular_cost.Lexico.phi
        solution.Optimizer.robust_normal_cost.Lexico.phi)
     (100. *. scenario.Scenario.params.Scenario.chi);
+  if verbose then print_sweep_breakdown ();
   match out_weights with
   | Some path ->
       Dtr_io.Weights_io.save solution.Optimizer.robust ~path;
@@ -234,8 +257,9 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs =
+    weights_file node_failures jobs no_dspf =
   let exec = exec_of_jobs jobs in
+  apply_no_dspf no_dspf;
   let params = build_params theta_ms false in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -305,7 +329,8 @@ let optimize_term =
   in
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
-    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ verbose)
+    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ no_dspf
+    $ verbose)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -323,7 +348,7 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~doc:"price a saved weight setting under failures")
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
-      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs)
+      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs $ no_dspf)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

@@ -8,6 +8,7 @@ module Delay_model = Dtr_cost.Delay_model
 module Congestion = Dtr_cost.Congestion
 module Exec = Dtr_exec.Exec
 module Scratch = Dtr_exec.Scratch
+module Spf_delta = Dtr_spf.Spf_delta
 
 type detail = {
   cost : Lexico.t;
@@ -118,12 +119,27 @@ let failed_arcs_of_mask mask =
   Array.iteri (fun id dead -> if dead then acc := id :: !acc) mask;
   !acc
 
-(* Per-domain sweep working memory: Dijkstra buffers plus a failure mask,
-   cached across parallel operations (pool workers are persistent domains)
-   and keyed by graph identity so concurrent scenarios do not collide.  The
-   cache is bounded; evicting an entry only costs a reallocation on the next
-   sweep touching that graph. *)
-type sweep_scratch = { buffers : Routing.buffers; mask : bool array }
+(* Per-domain sweep working memory: Dijkstra + dynamic-SPF repair buffers, a
+   failure mask, and the cached sweep engine's per-arc flag arrays, cached
+   across parallel operations (pool workers are persistent domains) and keyed
+   by graph identity so concurrent scenarios do not collide.  The cache is
+   bounded; evicting an entry only costs a reallocation on the next sweep
+   touching that graph. *)
+type sweep_scratch = {
+  buffers : Routing.buffers;
+  mask : bool array;
+  touched : bool array;  (* per-arc: some replaced row differs here *)
+  dest_flag : bool array;  (* per-destination mark set, false between uses *)
+}
+
+let make_sweep_scratch g =
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  {
+    buffers = Routing.make_buffers g;
+    mask = Array.make m false;
+    touched = Array.make m false;
+    dest_flag = Array.make n false;
+  }
 
 let sweep_slot : (Graph.t * sweep_scratch) list ref Scratch.t =
   Scratch.create (fun () -> ref [])
@@ -135,9 +151,7 @@ let sweep_scratch_for g =
   match List.find_opt (fun (g', _) -> g' == g) !cache with
   | Some (_, s) -> s
   | None ->
-      let s =
-        { buffers = Routing.make_buffers g; mask = Array.make (Graph.num_arcs g) false }
-      in
+      let s = make_sweep_scratch g in
       cache := (g, s) :: List.filteri (fun i _ -> i < max_cached_graphs - 1) !cache;
       s
 
@@ -183,27 +197,353 @@ let assess_failure (scenario : Scenario.t) ~buffers ~mask ~base_d ~base_t ~dense
   assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f)
     ~dense_rd ~dense_rt ~sinks ~want_pair_delays:false
 
+(* Aggregate sweep instrumentation for the CLI's --verbose breakdown.  All
+   counters are updated by the coordinating domain only (workers never touch
+   them), so plain atomic get/set suffices. *)
+module Sweep_stats = struct
+  type snapshot = {
+    sweeps : int;
+    cache_builds : int;
+    cached_evals : int;
+    full_evals : int;
+    seconds : float;
+  }
+
+  let sweeps = Atomic.make 0
+  let cache_builds = Atomic.make 0
+  let cached_evals = Atomic.make 0
+  let full_evals = Atomic.make 0
+  let seconds = Atomic.make 0.
+
+  let reset () =
+    Atomic.set sweeps 0;
+    Atomic.set cache_builds 0;
+    Atomic.set cached_evals 0;
+    Atomic.set full_evals 0;
+    Atomic.set seconds 0.
+
+  let snapshot () =
+    {
+      sweeps = Atomic.get sweeps;
+      cache_builds = Atomic.get cache_builds;
+      cached_evals = Atomic.get cached_evals;
+      full_evals = Atomic.get full_evals;
+      seconds = Atomic.get seconds;
+    }
+
+  let bump counter k = Atomic.set counter (Atomic.get counter + k)
+end
+
+(* --- Cached failure pricing (the dynamic-SPF sweep engine) --------------
+
+   A failure sweep evaluates many single-failure states against the same
+   no-failure bases.  The pieces of the full assessment are cached once per
+   sweep, per (destination, class):
+
+   - the per-arc load contribution row of every destination (each arc gets
+     at most one addition per destination, so re-summing rows in destination
+     order reproduces [Routing.add_loads] bit-for-bit);
+   - the per-arc delays of the base loads;
+   - every delay-sink destination's SLA subtotal.
+
+   Pricing a failure then only recomputes the rows of the destinations whose
+   DAG lost an arc, re-sums the {e touched} arcs (those where some replaced
+   row differs) in destination order, patches exactly the touched arcs'
+   delays, and recomputes SLA subtotals only for destinations that were
+   re-routed or whose DAG reads a changed delay — the same bit-identity
+   argument the incremental single-arc engine ([Eval_incr]) established. *)
+
+type sweep_cache = {
+  rows_d : float array array; (* rows_d.(dest).(arc): delay-class share *)
+  rows_t : float array array;
+  users_d : int list array; (* users_d.(arc): dests whose DAG uses the arc *)
+  users_t : int list array; (* both in increasing destination order *)
+  base_tloads : float array;
+  base_loads : float array;
+  base_delay : float array;
+  base_phi : float array; (* per-arc congestion term (0. off the L set) *)
+  base_lam : float array;
+  base_viol : int array;
+  base_unreach : int array;
+}
+
+let contribution_rows routing ~demands ~n ~m =
+  Array.init n (fun dest ->
+      let row = Array.make m 0. in
+      let (_ : float) = Routing.add_loads_dest routing ~demands ~dest ~into:row in
+      row)
+
+(* Summing every destination's row in destination order matches the
+   [add_loads] accumulation bit-for-bit: each arc receives at most one
+   addition per destination there, and adding the [0.] of a non-contributing
+   destination is a bitwise no-op on the non-negative partial sums. *)
+let sum_rows ~into rows =
+  let m = Array.length into in
+  Array.iter
+    (fun row ->
+      for a = 0 to m - 1 do
+        into.(a) <- into.(a) +. row.(a)
+      done)
+    rows
+
+(* DAG membership inverted: which destinations' ECMP DAGs contain each arc.
+   Sweeping destinations downwards leaves every per-arc list in increasing
+   order — the order [Routing.with_failed_arcs ~changed] requires. *)
+let arc_users routing ~n ~m =
+  let users = Array.make m [] in
+  for dest = n - 1 downto 0 do
+    Routing.iter_dag_arcs routing ~dest (fun id -> users.(id) <- dest :: users.(id))
+  done;
+  users
+
+let build_sweep_cache (scenario : Scenario.t) ~base_d ~base_t ~dense_rd ~dense_rt
+    ~sinks =
+  let g = scenario.Scenario.graph in
+  let params = scenario.Scenario.params in
+  let arcs = Graph.arcs g in
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  let rows_t = contribution_rows base_t ~demands:dense_rt ~n ~m in
+  let rows_d = contribution_rows base_d ~demands:dense_rd ~n ~m in
+  let users_t = arc_users base_t ~n ~m in
+  let users_d = arc_users base_d ~n ~m in
+  let base_tloads = Array.make m 0. in
+  sum_rows ~into:base_tloads rows_t;
+  let base_loads = Array.copy base_tloads in
+  sum_rows ~into:base_loads rows_d;
+  let base_delay = Delay_model.arc_delays params.Scenario.delay g ~loads:base_loads in
+  let base_phi =
+    Array.init m (fun a ->
+        if base_tloads.(a) > 1e-9 then
+          Congestion.arc_cost ~capacity:arcs.(a).Graph.capacity ~load:base_loads.(a)
+        else 0.)
+  in
+  let base_lam = Array.make n 0. in
+  let base_viol = Array.make n 0 in
+  let base_unreach = Array.make n 0 in
+  for dest = 0 to n - 1 do
+    if sinks.(dest) then begin
+      let lam, viol, unreach =
+        dest_sla scenario ~routing_d:base_d ~arc_delay:base_delay ~dense_rd
+          ~excluded:(fun _ -> false) ~dest ~on_pair:no_pair
+      in
+      base_lam.(dest) <- lam;
+      base_viol.(dest) <- viol;
+      base_unreach.(dest) <- unreach
+    end
+  done;
+  {
+    rows_d;
+    rows_t;
+    users_d;
+    users_t;
+    base_tloads;
+    base_loads;
+    base_delay;
+    base_phi;
+    base_lam;
+    base_viol;
+    base_unreach;
+  }
+
+(* One failure priced from the sweep cache.  Only valid when the failure
+   excludes no node (a node failure also drops the node's demands, which
+   invalidates the cached rows — those fall back to [assess_failure]).  The
+   scratch's [touched] and [dest_flag] arrays must be (and are left)
+   all-false between calls. *)
+let assess_failure_cached (scenario : Scenario.t) ~cache ~scratch ~base_d ~base_t
+    ~dense_rd ~dense_rt ~sinks w f =
+  let g = scenario.Scenario.graph in
+  let params = scenario.Scenario.params in
+  let arcs = Graph.arcs g in
+  let n = Graph.num_nodes g and m = Graph.num_arcs g in
+  let { buffers; mask; touched; dest_flag } = scratch in
+  Failure.set_mask g f mask;
+  let failed = failed_arcs_of_mask mask in
+  (* Destinations whose DAG uses a failed arc, read off the cache's per-arc
+     destination lists — exactly the ones [Routing.with_failed_arcs]
+     re-derives; every other destination's rows, distances and hop rows are
+     shared with the base verbatim. *)
+  let changed_from users =
+    List.iter
+      (fun id -> List.iter (fun dest -> dest_flag.(dest) <- true) users.(id))
+      failed;
+    let acc = ref [] in
+    for dest = n - 1 downto 0 do
+      if dest_flag.(dest) then acc := dest :: !acc
+    done;
+    !acc
+  in
+  let clear_flags = List.iter (fun dest -> dest_flag.(dest) <- false) in
+  let changed_t = changed_from cache.users_t in
+  clear_flags changed_t;
+  (* The delay-class marks stay set: the SLA pass below extends them with the
+     destinations whose DAG reads a changed arc delay. *)
+  let changed_d = changed_from cache.users_d in
+  let routing_d =
+    Routing.with_failed_arcs ~buffers ~changed:changed_d base_d
+      ~weights:(Weights.delay_of w) ~disabled:mask ~failed
+  in
+  let routing_t =
+    Routing.with_failed_arcs ~buffers ~changed:changed_t base_t
+      ~weights:(Weights.throughput_of w) ~disabled:mask ~failed
+  in
+  let touched_list = ref [] in
+  let mark_touched a =
+    if not touched.(a) then begin
+      touched.(a) <- true;
+      touched_list := a :: !touched_list
+    end
+  in
+  (* A replaced row can differ from the cached one only on the union of the
+     old and new DAG supports: contributions are zero everywhere else. *)
+  let replace_rows rows base routing demands changed =
+    List.map
+      (fun dest ->
+        let row = Array.make m 0. in
+        let (_ : float) = Routing.add_loads_dest routing ~demands ~dest ~into:row in
+        let old = rows.(dest) in
+        let cmp a = if row.(a) <> old.(a) then mark_touched a in
+        Routing.iter_dag_arcs base ~dest cmp;
+        Routing.iter_dag_arcs routing ~dest cmp;
+        (dest, row))
+      changed
+  in
+  let new_t = replace_rows cache.rows_t base_t routing_t dense_rt changed_t in
+  let new_d = replace_rows cache.rows_d base_d routing_d dense_rd changed_d in
+  let tloads = Array.copy cache.base_tloads in
+  let loads = Array.copy cache.base_loads in
+  let cur_t = Array.copy cache.rows_t in
+  List.iter (fun (dest, row) -> cur_t.(dest) <- row) new_t;
+  let cur_d = Array.copy cache.rows_d in
+  List.iter (fun (dest, row) -> cur_d.(dest) <- row) new_d;
+  (* Re-sum only the touched arcs, in destination order: per-arc
+     accumulations across destinations are independent, so untouched arcs
+     keep the cached totals bit-for-bit. *)
+  List.iter
+    (fun a ->
+      let tl = ref 0. in
+      for dest = 0 to n - 1 do
+        tl := !tl +. cur_t.(dest).(a)
+      done;
+      tloads.(a) <- !tl;
+      let l = ref !tl in
+      for dest = 0 to n - 1 do
+        l := !l +. cur_d.(dest).(a)
+      done;
+      loads.(a) <- !l)
+    !touched_list;
+  let arc_delay = Array.copy cache.base_delay in
+  let delay_arcs = ref [] in
+  List.iter
+    (fun a ->
+      let arc = arcs.(a) in
+      let d =
+        Delay_model.arc_delay params.Scenario.delay ~capacity:arc.Graph.capacity
+          ~prop:arc.Graph.delay ~load:loads.(a)
+      in
+      (* The queueing term is 0 up to utilisation µ, so most touched arcs
+         keep their propagation-only delay — and every delay-DP over a DAG
+         that reads no changed delay keeps its cached subtotal. *)
+      if d <> arc_delay.(a) then begin
+        arc_delay.(a) <- d;
+        delay_arcs := a :: !delay_arcs
+      end)
+    !touched_list;
+  (* An unchanged destination shares the base DAG, so "its DAG reads a
+     changed delay" is exactly membership in some changed arc's user list. *)
+  List.iter
+    (fun a -> List.iter (fun dest -> dest_flag.(dest) <- true) cache.users_d.(a))
+    !delay_arcs;
+  let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
+  for dest = 0 to n - 1 do
+    if sinks.(dest) then begin
+      let lam, viol, unreach =
+        if dest_flag.(dest) then
+          dest_sla scenario ~routing_d ~arc_delay ~dense_rd
+            ~excluded:(fun _ -> false) ~dest ~on_pair:no_pair
+        else (cache.base_lam.(dest), cache.base_viol.(dest), cache.base_unreach.(dest))
+      in
+      lambda := !lambda +. lam;
+      violations := !violations + viol;
+      unreachable := !unreachable + unreach
+    end
+  done;
+  (* Congestion from cached per-arc terms, re-evaluated only where a load
+     changed.  Adding the [0.] of an arc outside the throughput set matches
+     [Congestion.total]'s skip bit-for-bit: the partial sums are
+     non-negative, and [x +. 0. = x] then. *)
+  let phi = ref 0. in
+  for a = 0 to m - 1 do
+    let term =
+      if touched.(a) then
+        if tloads.(a) > 1e-9 then
+          Congestion.arc_cost ~capacity:arcs.(a).Graph.capacity ~load:loads.(a)
+        else 0.
+      else cache.base_phi.(a)
+    in
+    phi := !phi +. term
+  done;
+  List.iter (fun a -> touched.(a) <- false) !touched_list;
+  Array.fill dest_flag 0 n false;
+  {
+    cost = Lexico.make ~lambda:!lambda ~phi:!phi;
+    violations = !violations;
+    unreachable_pairs = !unreachable;
+    loads;
+    throughput_loads = tloads;
+    pair_delays = [||];
+  }
+
 (* Order-preserving parallel sweep core: failure [i]'s detail lands at index
    [i] whatever domain computed it, so the result — and any in-order
    reduction of it — is bit-identical to the serial loop for every job
-   count.  Each domain prices its share with its own cached scratch. *)
+   count.  Each domain prices its share with its own cached scratch.  With
+   the dynamic-SPF engine enabled the sweep cache is built once (about the
+   price of one normal assessment) and shared read-only across domains;
+   [DTR_NO_DSPF=1] forces every failure back onto the from-scratch path. *)
 let sweep_array (scenario : Scenario.t) ~exec ~base_d ~base_t ~dense_rd ~dense_rt
     ~sinks w failures =
   let g = scenario.Scenario.graph in
-  match Exec.jobs exec with
-  | 1 ->
-      let buffers = Routing.make_buffers g in
-      let mask = Array.make (Graph.num_arcs g) false in
-      Array.map
-        (fun f ->
-          assess_failure scenario ~buffers ~mask ~base_d ~base_t ~dense_rd ~dense_rt
-            ~sinks w f)
-        failures
-  | _ ->
-      Exec.map exec ~n:(Array.length failures) ~f:(fun i ->
-          let s = sweep_scratch_for g in
-          assess_failure scenario ~buffers:s.buffers ~mask:s.mask ~base_d ~base_t
-            ~dense_rd ~dense_rt ~sinks w failures.(i))
+  let t0 = Unix.gettimeofday () in
+  let use_cache = Spf_delta.enabled () && Array.length failures >= 2 in
+  let cache =
+    if use_cache then
+      Some (build_sweep_cache scenario ~base_d ~base_t ~dense_rd ~dense_rt ~sinks)
+    else None
+  in
+  let price ~scratch f =
+    match cache with
+    | Some cache when Failure.excluded_node f = None ->
+        assess_failure_cached scenario ~cache ~scratch ~base_d ~base_t ~dense_rd
+          ~dense_rt ~sinks w f
+    | _ ->
+        assess_failure scenario ~buffers:scratch.buffers ~mask:scratch.mask ~base_d
+          ~base_t ~dense_rd ~dense_rt ~sinks w f
+  in
+  let details =
+    match Exec.jobs exec with
+    | 1 ->
+        let scratch = make_sweep_scratch g in
+        Array.map (fun f -> price ~scratch f) failures
+    | _ ->
+        Exec.map exec ~n:(Array.length failures) ~f:(fun i ->
+            price ~scratch:(sweep_scratch_for g) failures.(i))
+  in
+  Sweep_stats.bump Sweep_stats.sweeps 1;
+  (if use_cache then begin
+     Sweep_stats.bump Sweep_stats.cache_builds 1;
+     let cached =
+       Array.fold_left
+         (fun acc f -> if Failure.excluded_node f = None then acc + 1 else acc)
+         0 failures
+     in
+     Sweep_stats.bump Sweep_stats.cached_evals cached;
+     Sweep_stats.bump Sweep_stats.full_evals (Array.length failures - cached)
+   end
+   else Sweep_stats.bump Sweep_stats.full_evals (Array.length failures));
+  Atomic.set Sweep_stats.seconds
+    (Atomic.get Sweep_stats.seconds +. (Unix.gettimeofday () -. t0));
+  details
 
 (* Failure sweeps compute the no-failure routing once and re-route only the
    destinations whose ECMP DAG lost an arc (see Routing.with_failed_arcs);

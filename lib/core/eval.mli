@@ -102,6 +102,24 @@ val compound : Lexico.t array -> Lexico.t
 (** Componentwise sum over scenarios — [Kfail] of Eq. (4) (or its
     critical-set restriction, Eq. (7)). *)
 
+(** Aggregate instrumentation over every sweep run since the last {!reset}:
+    how many sweeps ran, how many failure states were priced through the
+    dynamic-SPF sweep cache vs. the from-scratch path, and the total wall
+    time spent inside sweeps.  Feeds the CLI's [--verbose] timing
+    breakdown. *)
+module Sweep_stats : sig
+  type snapshot = {
+    sweeps : int;  (** sweep calls (any entry point) *)
+    cache_builds : int;  (** sweeps that built a dynamic-SPF cache *)
+    cached_evals : int;  (** failure states priced from the cache *)
+    full_evals : int;  (** failure states priced from scratch *)
+    seconds : float;  (** wall time inside sweeps *)
+  }
+
+  val reset : unit -> unit
+  val snapshot : unit -> snapshot
+end
+
 (**/**)
 
 (** Shared internals of the full and incremental evaluations.  [Eval_incr]

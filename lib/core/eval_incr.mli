@@ -13,6 +13,13 @@
     close, the same floats.  [Phi] is recomputed exactly, in [O(m)], from the
     patched loads.
 
+    The same caching pattern is reused {e across failure states}: a failure
+    sweep ({!Eval.sweep_details}, {!Eval.compound_sweep_from}) builds the
+    per-destination contribution rows and SLA subtotals once from the
+    no-failure base and re-prices each single-arc failure by repairing the
+    routing with {!Dtr_spf.Spf_delta} and re-summing only the destinations
+    that failure touches — see the dynamic-SPF section of [DESIGN.md].
+
     Protocol: {!anchor} at a known weight setting, then for each trial call
     {!try_arc} followed by {e exactly one} of {!commit} / {!rollback} —
     mirroring [Weights.save_arc]/[restore_arc] on the caller's side.

@@ -22,15 +22,15 @@ let weighted_compound costs probs =
         (Lexico.make ~lambda:(p *. cost.Lexico.lambda) ~phi:(p *. cost.Lexico.phi)))
     Lexico.zero costs probs
 
-let expected_fail_cost (scenario : Scenario.t) w model =
+let expected_fail_cost (scenario : Scenario.t) ?exec w model =
   let failures = Failure.all_single_arcs scenario.Scenario.graph in
-  let costs = Array.to_list (Eval.sweep scenario w failures) in
+  let costs = Array.to_list (Eval.sweep scenario ?exec w failures) in
   let probs = List.mapi (fun id _ -> model.prob.(id)) failures in
   weighted_compound costs probs
 
-let expected_violations (scenario : Scenario.t) w model =
+let expected_violations (scenario : Scenario.t) ?exec w model =
   let failures = Failure.all_single_arcs scenario.Scenario.graph in
-  let details = Eval.sweep_details scenario w failures in
+  let details = Eval.sweep_details scenario ?exec w failures in
   let total_p = Array.fold_left ( +. ) 0. model.prob in
   if total_p <= 0. then 0.
   else begin
@@ -50,7 +50,7 @@ let scale_criticality (c : Criticality.t) model =
     norm_phi = scale c.Criticality.norm_phi;
   }
 
-let robust ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) model ?fraction () =
+let robust ~rng (scenario : Scenario.t) ?exec ~(phase1 : Phase1.output) model ?fraction () =
   let p = scenario.Scenario.params in
   let m = Scenario.num_arcs scenario in
   let fraction =
@@ -70,7 +70,8 @@ let robust ~rng (scenario : Scenario.t) ~(phase1 : Phase1.output) model ?fractio
   let eval w =
     let normal = Eval.cost scenario w in
     if not (feasible normal) then None
-    else Some (weighted_compound (Array.to_list (Eval.sweep scenario w failures)) probs)
+    else
+      Some (weighted_compound (Array.to_list (Eval.sweep scenario ?exec w failures)) probs)
   in
   let starts = Array.of_list phase1.Phase1.acceptable in
   let config =

@@ -30,10 +30,12 @@ val length_proportional : Dtr_topology.Graph.t -> model
 val of_array : Dtr_topology.Graph.t -> float array -> model
 (** @raise Invalid_argument on wrong length or negative entries. *)
 
-val expected_fail_cost : Scenario.t -> Weights.t -> model -> Lexico.t
+val expected_fail_cost :
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> model -> Lexico.t
 (** Probability-weighted compound of all single-arc failure costs. *)
 
-val expected_violations : Scenario.t -> Weights.t -> model -> float
+val expected_violations :
+  Scenario.t -> ?exec:Dtr_exec.Exec.t -> Weights.t -> model -> float
 (** Probability-weighted mean of SLA-violation counts over all single-arc
     failures (weights normalised to sum to 1). *)
 
@@ -44,6 +46,7 @@ val scale_criticality : Criticality.t -> model -> Criticality.t
 val robust :
   rng:Dtr_util.Rng.t ->
   Scenario.t ->
+  ?exec:Dtr_exec.Exec.t ->
   phase1:Phase1.output ->
   model ->
   ?fraction:float ->

@@ -54,6 +54,60 @@ let to_destination g ~weights ?disabled ~dest () =
   fill_to_destination g ~weights ~disabled ~dest ~dist ~heap;
   dist
 
+(* Bounded re-relaxation for the dynamic-SPF repair: only the nodes in
+   [affected] are re-settled, seeded with their best escape into the
+   unaffected region (whose distances are final — arc deletion never
+   decreases a distance, so no unaffected node can improve through the
+   repaired cone).  Distances outside [affected] are read but never
+   written. *)
+let repair_arc_removal g ~weights ~disabled ~dist ~heap ~is_affected ~affected =
+  let arcs = Graph.arcs g in
+  let enabled id = match disabled with None -> true | Some m -> not m.(id) in
+  Heap.clear heap;
+  List.iter (fun x -> dist.(x) <- infinity) affected;
+  List.iter
+    (fun x ->
+      let out = Graph.out_arcs_array g x in
+      let best = ref infinity in
+      for i = 0 to Array.length out - 1 do
+        let id = out.(i) in
+        if enabled id then begin
+          let y = arcs.(id).Graph.dst in
+          if not (is_affected y) then begin
+            let alt = weights.(id) + dist.(y) in
+            if alt < !best then best := alt
+          end
+        end
+      done;
+      if !best < infinity then begin
+        dist.(x) <- !best;
+        Heap.push heap (float_of_int !best) x
+      end)
+    affected;
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (key, u) ->
+        if int_of_float key = dist.(u) then begin
+          let inc = Graph.in_arcs_array g u in
+          for i = 0 to Array.length inc - 1 do
+            let id = inc.(i) in
+            if enabled id then begin
+              let p = arcs.(id).Graph.src in
+              if is_affected p then begin
+                let alt = dist.(u) + weights.(id) in
+                if alt < dist.(p) then begin
+                  dist.(p) <- alt;
+                  Heap.push heap (float_of_int alt) p
+                end
+              end
+            end
+          done
+        end;
+        loop ()
+  in
+  loop ()
+
 let from_source g ~weights ?disabled ~src () =
   check g weights;
   let dist = Array.make (Graph.num_nodes g) infinity in

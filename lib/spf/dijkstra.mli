@@ -41,3 +41,22 @@ val fill_to_destination :
   unit
 (** Allocation-free variant used by the optimizer's inner loop: writes into
     [dist] and reuses [heap]. *)
+
+val repair_arc_removal :
+  Dtr_topology.Graph.t ->
+  weights:int array ->
+  disabled:bool array option ->
+  dist:int array ->
+  heap:Dtr_topology.Graph.node Dtr_util.Heap.t ->
+  is_affected:(Dtr_topology.Graph.node -> bool) ->
+  affected:Dtr_topology.Graph.node list ->
+  unit
+(** [repair_arc_removal g ~weights ~disabled ~dist ~heap ~is_affected
+    ~affected] re-settles exactly the nodes in [affected] after arc
+    deletions, in place: their entries in [dist] are reset to
+    {!val:infinity}, seeded with the cheapest enabled escape into an
+    unaffected neighbour, and re-relaxed Dijkstra-style along enabled arcs
+    whose tails are affected.  Entries of unaffected nodes must already hold
+    their (unchanged) post-deletion distances; they are read but never
+    written.  The result is bit-identical to a from-scratch run because
+    shortest distances are canonical.  Used by {!Spf_delta.repair}. *)

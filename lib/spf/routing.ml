@@ -16,43 +16,49 @@ let no_hops : Graph.arc_id array = [||]
    Failure sweeps and the incremental evaluation engine run thousands of
    per-destination recomputations; sharing one buffer set across them keeps
    the hot path allocation-free. *)
-type buffers = { heap : Graph.node Heap.t; scratch : int array }
+type buffers = {
+  heap : Graph.node Heap.t;
+  scratch : int array;
+  delta : Spf_delta.scratch;
+}
 
 let make_buffers g =
   let n = Graph.num_nodes g in
-  { heap = Heap.create ~capacity:n (); scratch = Array.make n 0 }
+  {
+    heap = Heap.create ~capacity:n ();
+    scratch = Array.make n 0;
+    delta = Spf_delta.make_scratch g;
+  }
 
-(* Per-destination routing state: distances, ECMP next hops, and the nodes
-   in decreasing-distance order (upstream nodes first, so load distribution
-   processes a node only after all its inflow is known). *)
-let compute_dest g ~weights ~disabled ~heap ~scratch dest =
-  let n = Graph.num_nodes g in
+(* One node's ECMP next-hop row: the enabled out-arcs lying on a shortest
+   path.  Both the from-scratch and the dynamic-repair paths build rows with
+   this exact function, so repaired rows are bit-identical by construction. *)
+let hops_row g ~weights ~disabled ~d u =
   let arcs = Graph.arcs g in
   let enabled id = match disabled with None -> true | Some m -> not m.(id) in
-  let d = Array.make n Dijkstra.infinity in
-  Dijkstra.fill_to_destination g ~weights ~disabled ~dest ~dist:d ~heap;
-  let h = Array.make n no_hops in
-  for u = 0 to n - 1 do
-    if u <> dest && d.(u) < Dijkstra.infinity then begin
-      let out = Graph.out_arcs_array g u in
-      (* Two passes over the out-arcs: count SPF arcs, then fill. *)
-      let count = ref 0 in
-      for i = 0 to Array.length out - 1 do
-        let id = out.(i) in
-        if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then incr count
-      done;
-      let nh = Array.make !count 0 in
-      let k = ref 0 in
-      for i = 0 to Array.length out - 1 do
-        let id = out.(i) in
-        if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then begin
-          nh.(!k) <- id;
-          incr k
-        end
-      done;
-      h.(u) <- nh
+  let out = Graph.out_arcs_array g u in
+  (* Two passes over the out-arcs: count SPF arcs, then fill. *)
+  let count = ref 0 in
+  for i = 0 to Array.length out - 1 do
+    let id = out.(i) in
+    if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then incr count
+  done;
+  let nh = Array.make !count 0 in
+  let k = ref 0 in
+  for i = 0 to Array.length out - 1 do
+    let id = out.(i) in
+    if enabled id && weights.(id) + d.(arcs.(id).Graph.dst) = d.(u) then begin
+      nh.(!k) <- id;
+      incr k
     end
   done;
+  nh
+
+(* Reachable non-destination nodes by decreasing distance.  [Array.sort] is
+   deterministic, so identical distances always yield an identical
+   permutation — including tie order — whichever path built [d]. *)
+let order_row ~scratch ~d ~dest =
+  let n = Array.length d in
   let reachable = ref 0 in
   for u = 0 to n - 1 do
     if u <> dest && d.(u) < Dijkstra.infinity then begin
@@ -61,12 +67,29 @@ let compute_dest g ~weights ~disabled ~heap ~scratch dest =
     end
   done;
   let ord = Array.sub scratch 0 !reachable in
-  Array.sort (fun a b -> compare d.(b) d.(a)) ord;
+  Array.sort (fun a b -> Int.compare d.(b) d.(a)) ord;
+  ord
+
+(* Per-destination routing state: distances, ECMP next hops, and the nodes
+   in decreasing-distance order (upstream nodes first, so load distribution
+   processes a node only after all its inflow is known). *)
+let compute_dest g ~weights ~disabled ~heap ~scratch dest =
+  let n = Graph.num_nodes g in
+  let d = Array.make n Dijkstra.infinity in
+  Dijkstra.fill_to_destination g ~weights ~disabled ~dest ~dist:d ~heap;
+  let h = Array.make n no_hops in
+  for u = 0 to n - 1 do
+    if u <> dest && d.(u) < Dijkstra.infinity then
+      h.(u) <- hops_row g ~weights ~disabled ~d u
+  done;
+  let ord = order_row ~scratch ~d ~dest in
   (d, h, ord)
 
 let compute g ~weights ?buffers ?disabled () =
   let n = Graph.num_nodes g in
-  let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
+  let { heap; scratch; _ } =
+    match buffers with Some b -> b | None -> make_buffers g
+  in
   let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
   for dest = 0 to n - 1 do
     let d, h, ord = compute_dest g ~weights ~disabled ~heap ~scratch dest in
@@ -88,6 +111,16 @@ let exists_dag_arc t ~dest f =
   in
   scan 0
 
+let iter_dag_arcs t ~dest f =
+  let hops = t.hops.(dest) in
+  let ord = t.order.(dest) in
+  for i = 0 to Array.length ord - 1 do
+    let nh = hops.(ord.(i)) in
+    for j = 0 to Array.length nh - 1 do
+      f nh.(j)
+    done
+  done
+
 let uses_arc t ~dest id =
   let a = (Graph.arcs t.graph).(id) in
   let d = t.dist.(dest) in
@@ -96,16 +129,64 @@ let uses_arc t ~dest id =
   let nh = t.hops.(dest).(a.Graph.src) in
   Array.exists (fun x -> x = id) nh
 
-let with_failed_arcs ?buffers base ~weights ~disabled ~failed =
+(* Dynamic-SPF derivation of one destination's post-failure state: repair the
+   affected distance cone, then rebuild exactly the settled nodes' hop rows
+   (and the traversal order, only when a distance changed) with the same code
+   the from-scratch path uses.  Bit-identical to [compute_dest] with the
+   failure mask, several times cheaper when the cone is small. *)
+let repair_dest g ~weights ~disabled ~failed ~heap ~scratch ~delta base dest =
+  let outcome =
+    Spf_delta.repair g ~weights ~mask:disabled ~failed ~dist:base.dist.(dest)
+      ~hops:base.hops.(dest) ~heap ~scratch:delta
+  in
+  let d = outcome.Spf_delta.dist in
+  let h = Array.copy base.hops.(dest) in
+  List.iter
+    (fun u ->
+      h.(u) <-
+        (if u <> dest && d.(u) < Dijkstra.infinity then
+           hops_row g ~weights ~disabled:(Some disabled) ~d u
+         else no_hops))
+    outcome.Spf_delta.rebuild;
+  let ord =
+    if outcome.Spf_delta.changed_dist then order_row ~scratch ~d ~dest
+    else base.order.(dest)
+  in
+  (d, h, ord)
+
+let with_failed_arcs ?buffers ?changed base ~weights ~disabled ~failed =
   let g = base.graph in
   let n = Graph.num_nodes g in
-  let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
+  let { heap; scratch; delta } =
+    match buffers with Some b -> b | None -> make_buffers g
+  in
+  let use_repair = Spf_delta.enabled () in
+  (* Callers that already know which destinations route over a failed arc
+     (the sweep cache keeps per-arc destination lists) pass the sorted list
+     in; otherwise scan.  The list must equal the [uses_arc] criterion. *)
+  let remaining = ref (match changed with Some l -> l | None -> []) in
+  let is_changed dest =
+    match changed with
+    | None -> List.exists (fun id -> uses_arc base ~dest id) failed
+    | Some _ -> (
+        match !remaining with
+        | d :: tl when d = dest ->
+            remaining := tl;
+            true
+        | _ -> false)
+  in
   let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
   for dest = 0 to n - 1 do
     (* Arcs on no shortest path towards [dest] can be removed without
        changing any shortest path, so the base state is reused verbatim. *)
-    if List.exists (fun id -> uses_arc base ~dest id) failed then begin
-      let d, h, ord = compute_dest g ~weights ~disabled:(Some disabled) ~heap ~scratch dest in
+    if is_changed dest then begin
+      let d, h, ord =
+        if use_repair then
+          repair_dest g ~weights ~disabled ~failed ~heap ~scratch ~delta base
+            dest
+        else
+          compute_dest g ~weights ~disabled:(Some disabled) ~heap ~scratch dest
+      in
       dist.(dest) <- d;
       hops.(dest) <- h;
       order.(dest) <- ord
@@ -139,7 +220,9 @@ let with_changed_arc ?buffers base ~weights ~arc ~old_weight =
         let d = base.dist.(dest) in
         new_w + d.(a.Graph.dst) <= d.(a.Graph.src)
     in
-    let { heap; scratch } = match buffers with Some b -> b | None -> make_buffers g in
+    let { heap; scratch; _ } =
+      match buffers with Some b -> b | None -> make_buffers g
+    in
     let dist = Array.make n [||] and hops = Array.make n [||] and order = Array.make n [||] in
     let changed = ref [] in
     for dest = n - 1 downto 0 do

@@ -43,16 +43,30 @@ val exists_dag_arc : t -> dest:Graph.node -> (Graph.arc_id -> bool) -> bool
     delay-DP result over this destination cannot have changed when only the
     flagged arcs' delays did. *)
 
+val iter_dag_arcs : t -> dest:Graph.node -> (Graph.arc_id -> unit) -> unit
+(** Applies the function to every arc of [dest]'s ECMP DAG (each arc appears
+    exactly once: hop rows of distinct nodes are disjoint).  The sweep cache
+    uses this to invert DAG membership into per-arc destination lists. *)
+
 val with_failed_arcs :
   ?buffers:buffers ->
+  ?changed:Graph.node list ->
   t -> weights:int array -> disabled:bool array -> failed:Graph.arc_id list -> t
 (** [with_failed_arcs base ~weights ~disabled ~failed] is the routing state
     after the arcs in [failed] go down, computed incrementally from [base]
     (the no-failure state for the same [weights]): destinations whose ECMP
     DAG contains none of the failed arcs share [base]'s data unchanged —
     removing arcs that lie on no shortest path cannot alter any shortest
-    path — and only the remaining destinations rerun Dijkstra.  [disabled]
-    must be the mask corresponding to [failed].  Single-failure sweeps, the
+    path — and the remaining destinations are {e repaired} by the dynamic-SPF
+    engine ({!Spf_delta}): only the affected cone of nodes is re-relaxed and
+    only the settled nodes' hop rows rebuilt, bit-identically to a
+    from-scratch Dijkstra (which [DTR_NO_DSPF=1] or
+    {!Spf_delta.set_enabled}[ false] forces instead).  [base] must have been
+    computed with every arc enabled, and [disabled] must be the mask
+    corresponding to [failed].  [?changed], when given, must be exactly the
+    destinations satisfying the [uses_arc] criterion, in increasing order —
+    callers that already know the set (the sweep cache keeps per-arc
+    destination lists) skip the scan.  Single-failure sweeps, the
     optimizer's dominant cost, become several times cheaper. *)
 
 val with_changed_arc :

@@ -1,0 +1,149 @@
+module Graph = Dtr_topology.Graph
+module Heap = Dtr_util.Heap
+
+(* DTR_NO_DSPF=1 forces every failure evaluation back onto the from-scratch
+   per-destination Dijkstra, both here and in the evaluator's sweep cache.
+   The reference path must stay reachable for A/B benchmarking and CI. *)
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "DTR_NO_DSPF" with
+    | Some s when s <> "" && s <> "0" -> false
+    | _ -> true)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Node states during the affected-cone search.  A node is [`Queued] once it
+   may have lost shortest-path support, and settles as either [`Unaffected]
+   (some surviving next hop still reaches an unaffected head, so its distance
+   is unchanged — only its hop row may shrink) or [`Affected] (every old
+   shortest path is cut, so its distance strictly increases or becomes
+   infinite). *)
+let untouched = 0
+let queued = 1
+let unaffected = 2
+let affected = 3
+
+type scratch = {
+  state : int array;
+  touched : int array;
+  (* every node whose [state] left [untouched]; reset set *)
+  mutable n_touched : int;
+  processed : int array;
+  (* nodes settled by the cone search, in pop order; exactly the nodes whose
+     hop rows must be rebuilt *)
+  mutable n_processed : int;
+  mutable affected_rev : Graph.node list;
+}
+
+let make_scratch g =
+  let n = Graph.num_nodes g in
+  {
+    state = Array.make n untouched;
+    touched = Array.make n 0;
+    n_touched = 0;
+    processed = Array.make n 0;
+    n_processed = 0;
+    affected_rev = [];
+  }
+
+type outcome = {
+  dist : int array;
+  rebuild : Graph.node list;
+  changed_dist : bool;
+}
+
+let in_row row id = Array.exists (fun x -> x = id) row
+
+(* Affected-cone identification (Ramalingam–Reps deletion phase), specialised
+   to the reverse per-destination SPF.  The worklist pops nodes in increasing
+   {e old} distance; every next-hop head of a popped node has strictly smaller
+   old distance (weights are positive), so all heads are already settled when
+   the support test runs.  Nodes never enqueued keep their distance {e and}
+   their hop row: none of their hop arcs failed (else they would be seeds) and
+   none lead to an affected head (else the predecessor scan of that head would
+   have enqueued them), and arc deletion never decreases a distance, so no new
+   arc can join their DAG row. *)
+let repair g ~weights ~mask ~failed ~dist:base_dist ~hops ~heap ~scratch =
+  let arcs = Graph.arcs g in
+  let st = scratch.state in
+  let mark_touched v =
+    scratch.touched.(scratch.n_touched) <- v;
+    scratch.n_touched <- scratch.n_touched + 1
+  in
+  Heap.clear heap;
+  (* Seeds: tails of failed arcs that lie on some old shortest path. *)
+  List.iter
+    (fun id ->
+      let s = arcs.(id).Graph.src in
+      if
+        st.(s) = untouched
+        && base_dist.(s) < Dijkstra.infinity
+        && in_row hops.(s) id
+      then begin
+        st.(s) <- queued;
+        mark_touched s;
+        Heap.push heap (float_of_int base_dist.(s)) s
+      end)
+    failed;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (_, x) ->
+        (* Each node is pushed at most once (guarded by [state]). *)
+        let nh = hops.(x) in
+        let supported = ref false in
+        for i = 0 to Array.length nh - 1 do
+          let id = nh.(i) in
+          if (not mask.(id)) && st.(arcs.(id).Graph.dst) <> affected then
+            supported := true
+        done;
+        scratch.processed.(scratch.n_processed) <- x;
+        scratch.n_processed <- scratch.n_processed + 1;
+        if !supported then st.(x) <- unaffected
+        else begin
+          st.(x) <- affected;
+          scratch.affected_rev <- x :: scratch.affected_rev;
+          (* Enqueue the old-DAG predecessors: arcs (p -> x) with
+             w + dist(x) = dist(p).  The base state has every arc enabled, so
+             the distance criterion is exactly hop-row membership.  All such p
+             have strictly larger old distance than x, hence are unsettled. *)
+          let inc = Graph.in_arcs_array g x in
+          for i = 0 to Array.length inc - 1 do
+            let id = inc.(i) in
+            let p = arcs.(id).Graph.src in
+            if st.(p) = untouched && weights.(id) + base_dist.(x) = base_dist.(p)
+            then begin
+              st.(p) <- queued;
+              mark_touched p;
+              Heap.push heap (float_of_int base_dist.(p)) p
+            end
+          done
+        end;
+        drain ()
+  in
+  drain ();
+  let affected_nodes = List.rev scratch.affected_rev in
+  let dist, changed_dist =
+    if affected_nodes = [] then (base_dist, false)
+    else begin
+      let d = Array.copy base_dist in
+      Dijkstra.repair_arc_removal g ~weights ~disabled:(Some mask) ~dist:d
+        ~heap
+        ~is_affected:(fun v -> st.(v) = affected)
+        ~affected:affected_nodes;
+      (d, true)
+    end
+  in
+  let rebuild = ref [] in
+  for i = scratch.n_processed - 1 downto 0 do
+    rebuild := scratch.processed.(i) :: !rebuild
+  done;
+  (* Reset the scratch for the next destination. *)
+  for i = 0 to scratch.n_touched - 1 do
+    st.(scratch.touched.(i)) <- untouched
+  done;
+  scratch.n_touched <- 0;
+  scratch.n_processed <- 0;
+  scratch.affected_rev <- [];
+  { dist; rebuild = !rebuild; changed_dist }

@@ -21,6 +21,7 @@ let () =
       ("core.eval", Test_eval.suite);
       ("exec", Test_exec.suite);
       ("core.eval_incr", Test_eval_incr.suite);
+      ("core.dspf", Test_dspf.suite);
       ("core.criticality", Test_criticality.suite);
       ("core.search", Test_search.suite);
       ("core.metrics", Test_metrics.suite);
