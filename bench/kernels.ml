@@ -101,6 +101,7 @@ let incremental_tests () =
    that every job count returns the exact serial result. *)
 let parallel_sweep () =
   Harness.section "parallel_sweep: domain-pool failure sweep (dtr_exec)";
+  Harness.with_span_report ~kernel:"parallel_sweep" @@ fun () ->
   let rng = Rng.create 4242 in
   let scenario =
     Scenario.random_instance ~params:Scenario.quick_params ~nodes:50 ~degree:6. rng
@@ -110,6 +111,9 @@ let parallel_sweep () =
   let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
   let failures = Failure.all_single_arcs g in
   let time_sweep exec =
+    Dtr_obs.Span.with_
+      ~name:(Printf.sprintf "sweep.jobs_%d" (Dtr_exec.Exec.jobs exec))
+    @@ fun () ->
     (* The first sweep warms the per-domain scratch (Dijkstra buffers,
        failure masks); only the warm runs are timed. *)
     let result = ref (Eval.sweep scenario ~exec w failures) in
@@ -196,6 +200,7 @@ let same_details a b =
 
 let failure_sweep () =
   Harness.section "failure_sweep: dynamic-SPF repair vs from-scratch pricing";
+  Harness.with_span_report ~kernel:"failure_sweep" @@ fun () ->
   let t =
     Dtr_util.Table.create ~title:"full single-link sweep, serial execution"
       ~columns:
@@ -231,15 +236,20 @@ let failure_sweep () =
       (!result, !best)
     in
     let scratch, scratch_time =
-      best_of (fun () ->
-          List.map (fun f -> Eval.evaluate scenario ~failure:f w) failures)
+      Dtr_obs.Span.with_ ~name:"from_scratch" (fun () ->
+          best_of (fun () ->
+              List.map (fun f -> Eval.evaluate scenario ~failure:f w) failures))
     in
     let sweep () = Eval.sweep_details scenario ~exec:Dtr_exec.Exec.serial w failures in
     let was = Spf_delta.enabled () in
     Spf_delta.set_enabled false;
-    let shared, shared_time = best_of sweep in
+    let shared, shared_time =
+      Dtr_obs.Span.with_ ~name:"shared_base" (fun () -> best_of sweep)
+    in
     Spf_delta.set_enabled true;
-    let repaired, repaired_time = best_of sweep in
+    let repaired, repaired_time =
+      Dtr_obs.Span.with_ ~name:"repaired" (fun () -> best_of sweep)
+    in
     Spf_delta.set_enabled was;
     if not (same_details scratch shared && same_details scratch repaired) then
       failwith
@@ -308,8 +318,15 @@ let measure cfg tests =
 
 let run () =
   Harness.section "Kernel micro-benchmarks (bechamel)";
+  Harness.with_span_report ~kernel:"kernels" @@ fun () ->
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
-  let rows = measure cfg (tests ()) @ measure cfg (incremental_tests ()) in
+  (* Spans wrap the measurement groups, not the staged closures, so the
+     bechamel samples themselves run uninstrumented. *)
+  let rows =
+    Dtr_obs.Span.with_ ~name:"bechamel.kernels" (fun () -> measure cfg (tests ()))
+    @ Dtr_obs.Span.with_ ~name:"bechamel.incremental" (fun () ->
+          measure cfg (incremental_tests ()))
+  in
   let t =
     Dtr_util.Table.create ~title:"estimated time per call"
       ~columns:[ "kernel"; "time" ]

@@ -68,20 +68,14 @@ let seed =
   Arg.(value & opt int 2008 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let jobs =
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+  Arg.(value & opt (some Dtr_cli.Cli.jobs_conv) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Price failure sweeps on $(docv) domains.  Results are \
                bit-identical for every job count.  Overrides the DTR_JOBS \
                environment variable; the default is serial execution.")
 
-(* Explicit flag wins over DTR_JOBS; absent both, run serially. *)
-let exec_of_jobs = function
-  | Some n ->
-      if n < 1 then begin
-        Format.eprintf "--jobs must be at least 1@.";
-        exit 1
-      end;
-      Dtr_exec.Exec.of_jobs n
-  | None -> Dtr_exec.Exec.default ()
+(* Explicit flag wins over DTR_JOBS; absent both, run serially.  Validation
+   happens in Dtr_cli.Cli.jobs_conv, through Cmdliner's own error channel. *)
+let exec_of_jobs = Dtr_cli.Cli.exec_of_jobs
 
 let no_dspf =
   Arg.(value & flag & info [ "no-dspf" ]
@@ -102,6 +96,44 @@ let print_sweep_breakdown () =
      dynamic-SPF cache, %d from scratch; %d cache builds (engine %s)@."
     sweeps seconds cached_evals full_evals cache_builds
     (if Dtr_spf.Spf_delta.enabled () then "on" else "off")
+
+let report_path =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH"
+         ~doc:"Write a JSON observability report here: instance summary, \
+               per-phase span tree, sweep counters, per-domain pool \
+               utilization and final lexicographic costs \
+               (schema dtr-obs-report/1).")
+
+(* Observability bracket for a CLI run: reset all metrics/spans (fixes the
+   stale-counter carry-over between in-process runs), and turn the optional
+   instrumentation on only when something will consume it. *)
+let obs_start ~verbose ~report =
+  Dtr_obs.Report.reset ();
+  if verbose || report <> None then Dtr_obs.Metric.set_enabled true
+
+let obs_report ~report ~instance ~results =
+  match report with
+  | None -> ()
+  | Some path ->
+      Dtr_obs.Report.set_instance instance;
+      Dtr_obs.Report.set_results results;
+      Dtr_obs.Report.write ~path;
+      Format.printf "observability report written to %s@." path
+
+let instance_fields scenario ~topo ~topology_file ~seed ~exec =
+  let open Dtr_obs.Report in
+  [
+    ( "topology",
+      S
+        (match topology_file with
+        | Some path -> "file:" ^ path
+        | None -> Gen.kind_name topo) );
+    ("nodes", I (Graph.num_nodes scenario.Scenario.graph));
+    ("arcs", I (Scenario.num_arcs scenario));
+    ("seed", I seed);
+    ("jobs", I (Dtr_exec.Exec.jobs exec));
+    ("dspf_engine", B (Dtr_spf.Spf_delta.enabled ()));
+  ]
 
 let theta =
   Arg.(value & opt float 25. & info [ "theta" ] ~docv:"MS"
@@ -212,14 +244,14 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs no_dspf verbose =
+    topology_file traffic_file out_weights jobs no_dspf verbose report =
   let exec = exec_of_jobs jobs in
   apply_no_dspf no_dspf;
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  Dtr_core.Eval.Sweep_stats.reset ();
+  obs_start ~verbose ~report;
   let params = build_params theta_ms paper_scale in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -245,21 +277,44 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
        ~reference:solution.Optimizer.regular_cost.Lexico.phi
        solution.Optimizer.robust_normal_cost.Lexico.phi)
     (100. *. scenario.Scenario.params.Scenario.chi);
-  if verbose then print_sweep_breakdown ();
-  match out_weights with
+  if verbose then begin
+    print_sweep_breakdown ();
+    Format.printf "%a" Dtr_obs.Span.pp ()
+  end;
+  (match out_weights with
   | Some path ->
       Dtr_io.Weights_io.save solution.Optimizer.robust ~path;
       Format.printf "robust weights written to %s@." path
-  | None -> ()
+  | None -> ());
+  let results =
+    let open Dtr_obs.Report in
+    [
+      ("regular_lambda", F solution.Optimizer.regular_cost.Lexico.lambda);
+      ("regular_phi", F solution.Optimizer.regular_cost.Lexico.phi);
+      ("robust_normal_lambda", F solution.Optimizer.robust_normal_cost.Lexico.lambda);
+      ("robust_normal_phi", F solution.Optimizer.robust_normal_cost.Lexico.phi);
+      ("robust_fail_lambda", F solution.Optimizer.robust_fail_cost.Lexico.lambda);
+      ("robust_fail_phi", F solution.Optimizer.robust_fail_cost.Lexico.phi);
+      ("critical_arcs", I (List.length solution.Optimizer.critical));
+      ("phase1_seconds", F solution.Optimizer.phase1_seconds);
+      ("phase2_seconds", F solution.Optimizer.phase2_seconds);
+    ]
+  in
+  obs_report ~report
+    ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
+    ~results
 
 (* ------------------------------------------------------------------ *)
 (* evaluate                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs no_dspf =
+    weights_file node_failures jobs no_dspf verbose report =
   let exec = exec_of_jobs jobs in
   apply_no_dspf no_dspf;
+  (* Resets all counters at entry — without it, in-process reuse (and the
+     sweeps below) reported stale totals accumulated by earlier runs. *)
+  obs_start ~verbose ~report;
   let params = build_params theta_ms false in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -279,11 +334,34 @@ let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_
     if node_failures then Failure.all_single_nodes scenario.Scenario.graph
     else Failure.all_single_arcs scenario.Scenario.graph
   in
-  let s = Metrics.summarize_failures scenario ~exec w failures in
+  let s =
+    Dtr_obs.Span.with_ ~name:"evaluate.sweep" (fun () ->
+        Metrics.summarize_failures scenario ~exec w failures)
+  in
   Format.printf "across %d %s failures: avg %.2f violations, top-10%% %.2f, Phi_fail %.0f@."
     (List.length failures)
     (if node_failures then "node" else "link")
-    s.Metrics.avg s.Metrics.top10 s.Metrics.phi_total
+    s.Metrics.avg s.Metrics.top10 s.Metrics.phi_total;
+  if verbose then begin
+    print_sweep_breakdown ();
+    Format.printf "%a" Dtr_obs.Span.pp ()
+  end;
+  let results =
+    let open Dtr_obs.Report in
+    [
+      ("normal_lambda", F detail.Dtr_core.Eval.cost.Lexico.lambda);
+      ("normal_phi", F detail.Dtr_core.Eval.cost.Lexico.phi);
+      ("normal_violations", I detail.Dtr_core.Eval.violations);
+      ("failure_model", S (if node_failures then "node" else "link"));
+      ("failures", I (List.length failures));
+      ("fail_avg_violations", F s.Metrics.avg);
+      ("fail_top10_violations", F s.Metrics.top10);
+      ("phi_fail", F s.Metrics.phi_total);
+    ]
+  in
+  obs_report ~report
+    ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
+    ~results
 
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
@@ -330,7 +408,7 @@ let optimize_term =
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
     $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ no_dspf
-    $ verbose)
+    $ verbose $ report_path)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -348,7 +426,8 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~doc:"price a saved weight setting under failures")
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
-      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs $ no_dspf)
+      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs $ no_dspf
+      $ verbose $ report_path)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

@@ -1,0 +1,20 @@
+(* Shared Cmdliner plumbing for dtr executables.  Validation lives in
+   converters so bad values surface through Cmdliner's own error channel
+   (usage message on stderr, exit code 124) instead of ad-hoc
+   eprintf-and-exit, which bypassed the man page and broke the exit-code
+   contract. *)
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid job count %S, expected an integer" s))
+    | Some n when n < 1 ->
+        Error (`Msg (Printf.sprintf "job count must be at least 1 (got %d)" n))
+    | Some n -> Ok n
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let exec_of_jobs = function
+  | Some n -> Dtr_exec.Exec.of_jobs n
+  | None -> Dtr_exec.Exec.default ()

@@ -1,0 +1,11 @@
+(** Shared Cmdliner plumbing for dtr executables. *)
+
+val jobs_conv : int Cmdliner.Arg.conv
+(** Job-count converter: accepts integers [>= 1] and reports anything else
+    through Cmdliner's error channel (usage on stderr, exit code
+    [Cmd.Exit.cli_error]) rather than exiting by hand. *)
+
+val exec_of_jobs : int option -> Dtr_exec.Exec.t
+(** [exec_of_jobs jobs] resolves an execution context: [Some n] forces [n]
+    domains (the explicit flag wins over [DTR_JOBS]); [None] falls back to
+    [Exec.default ()] (the [DTR_JOBS] environment variable, else serial). *)

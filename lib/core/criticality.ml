@@ -1,6 +1,8 @@
 module Stat = Dtr_util.Stat
 module Exec = Dtr_exec.Exec
 
+let c_computes = Dtr_obs.Metric.Counter.create "criticality.computes"
+
 type t = {
   rho_lambda : float array;
   rho_phi : float array;
@@ -11,6 +13,8 @@ type t = {
 }
 
 let of_samples_with exec ~left_tail ~lambda ~phi =
+  Dtr_obs.Span.with_ ~name:"criticality" @@ fun () ->
+  Dtr_obs.Metric.Counter.incr c_computes;
   if left_tail <= 0. || left_tail > 1. then
     invalid_arg "Criticality: left_tail outside (0, 1]";
   if Array.length lambda <> Array.length phi then

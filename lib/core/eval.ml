@@ -197,10 +197,16 @@ let assess_failure (scenario : Scenario.t) ~buffers ~mask ~base_d ~base_t ~dense
   assess scenario ~routing_d ~routing_t ~exclude_node:(Failure.excluded_node f)
     ~dense_rd ~dense_rt ~sinks ~want_pair_delays:false
 
-(* Aggregate sweep instrumentation for the CLI's --verbose breakdown.  All
-   counters are updated by the coordinating domain only (workers never touch
-   them), so plain atomic get/set suffices. *)
+(* Aggregate sweep instrumentation for the CLI's --verbose breakdown.  A
+   thin compatibility view over per-domain sharded dtr_obs metrics: each
+   sweeping domain bumps only its own shard, so overlapping sweeps
+   (concurrent callers, nested exec contexts) can never lose updates — the
+   old [Atomic.set (Atomic.get + dt)] pair here dropped wall time whenever
+   two sweeps raced.  These counters stay on unconditionally: they cost one
+   DLS lookup and a few array writes per *sweep*, not per evaluation. *)
 module Sweep_stats = struct
+  module Metric = Dtr_obs.Metric
+
   type snapshot = {
     sweeps : int;
     cache_builds : int;
@@ -209,29 +215,27 @@ module Sweep_stats = struct
     seconds : float;
   }
 
-  let sweeps = Atomic.make 0
-  let cache_builds = Atomic.make 0
-  let cached_evals = Atomic.make 0
-  let full_evals = Atomic.make 0
-  let seconds = Atomic.make 0.
+  let sweeps = Metric.Counter.create "eval.sweeps"
+  let cache_builds = Metric.Counter.create "eval.sweep.cache_builds"
+  let cached_evals = Metric.Counter.create "eval.sweep.cached_evals"
+  let full_evals = Metric.Counter.create "eval.sweep.full_evals"
+  let seconds = Metric.Accum.create "eval.sweep.seconds"
 
   let reset () =
-    Atomic.set sweeps 0;
-    Atomic.set cache_builds 0;
-    Atomic.set cached_evals 0;
-    Atomic.set full_evals 0;
-    Atomic.set seconds 0.
+    Metric.Counter.reset sweeps;
+    Metric.Counter.reset cache_builds;
+    Metric.Counter.reset cached_evals;
+    Metric.Counter.reset full_evals;
+    Metric.Accum.reset seconds
 
   let snapshot () =
     {
-      sweeps = Atomic.get sweeps;
-      cache_builds = Atomic.get cache_builds;
-      cached_evals = Atomic.get cached_evals;
-      full_evals = Atomic.get full_evals;
-      seconds = Atomic.get seconds;
+      sweeps = Metric.Counter.value sweeps;
+      cache_builds = Metric.Counter.value cache_builds;
+      cached_evals = Metric.Counter.value cached_evals;
+      full_evals = Metric.Counter.value full_evals;
+      seconds = Metric.Accum.value seconds;
     }
-
-  let bump counter k = Atomic.set counter (Atomic.get counter + k)
 end
 
 (* --- Cached failure pricing (the dynamic-SPF sweep engine) --------------
@@ -529,20 +533,21 @@ let sweep_array (scenario : Scenario.t) ~exec ~base_d ~base_t ~dense_rd ~dense_r
         Exec.map exec ~n:(Array.length failures) ~f:(fun i ->
             price ~scratch:(sweep_scratch_for g) failures.(i))
   in
-  Sweep_stats.bump Sweep_stats.sweeps 1;
+  Dtr_obs.Metric.Counter.incr Sweep_stats.sweeps;
   (if use_cache then begin
-     Sweep_stats.bump Sweep_stats.cache_builds 1;
+     Dtr_obs.Metric.Counter.incr Sweep_stats.cache_builds;
      let cached =
        Array.fold_left
          (fun acc f -> if Failure.excluded_node f = None then acc + 1 else acc)
          0 failures
      in
-     Sweep_stats.bump Sweep_stats.cached_evals cached;
-     Sweep_stats.bump Sweep_stats.full_evals (Array.length failures - cached)
+     Dtr_obs.Metric.Counter.add Sweep_stats.cached_evals cached;
+     Dtr_obs.Metric.Counter.add Sweep_stats.full_evals
+       (Array.length failures - cached)
    end
-   else Sweep_stats.bump Sweep_stats.full_evals (Array.length failures));
-  Atomic.set Sweep_stats.seconds
-    (Atomic.get Sweep_stats.seconds +. (Unix.gettimeofday () -. t0));
+   else
+     Dtr_obs.Metric.Counter.add Sweep_stats.full_evals (Array.length failures));
+  Dtr_obs.Metric.Accum.add Sweep_stats.seconds (Unix.gettimeofday () -. t0);
   details
 
 (* Failure sweeps compute the no-failure routing once and re-route only the

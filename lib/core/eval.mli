@@ -106,7 +106,14 @@ val compound : Lexico.t array -> Lexico.t
     how many sweeps ran, how many failure states were priced through the
     dynamic-SPF sweep cache vs. the from-scratch path, and the total wall
     time spent inside sweeps.  Feeds the CLI's [--verbose] timing
-    breakdown. *)
+    breakdown.
+
+    A thin compatibility view over per-domain sharded [Dtr_obs.Metric]
+    counters ([eval.sweeps], [eval.sweep.cache_builds],
+    [eval.sweep.cached_evals], [eval.sweep.full_evals],
+    [eval.sweep.seconds]): totals stay exact even when sweeps overlap
+    across domains.  {!reset} and {!snapshot} are meant for quiescent
+    points, as before. *)
 module Sweep_stats : sig
   type snapshot = {
     sweeps : int;  (** sweep calls (any entry point) *)

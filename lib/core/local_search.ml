@@ -1,5 +1,13 @@
 module Rng = Dtr_util.Rng
 module Lexico = Dtr_cost.Lexico
+module Metric = Dtr_obs.Metric
+
+(* Per-move instrumentation is gated on [Metric.enabled]: the try/accept
+   counters sit on the single-arc hot path, so with observability off the
+   search pays one atomic load per trial and allocates nothing. *)
+let c_trials = Metric.Counter.create "local_search.trials"
+let c_accepts = Metric.Counter.create "local_search.accepts"
+let c_rounds = Metric.Counter.create "local_search.rounds"
 
 type observation = {
   arc : int;
@@ -91,6 +99,10 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
                   | Some cost -> Lexico.is_better cost ~than:!current
                   | None -> false
                 in
+                if Metric.enabled () then begin
+                  Metric.Counter.incr c_trials;
+                  if accepted then Metric.Counter.incr c_accepts
+                end;
                 observe
                   { arc; weights = w; cost_before = !current; cost_after = verdict; accepted };
                 if accepted then begin
@@ -122,6 +134,7 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
         if gain < config.c then incr low_streak else low_streak := 0);
     incr round
   done;
+  if Metric.enabled () then Metric.Counter.add c_rounds !rounds_run;
   match !best with
   | None -> invalid_arg "Local_search.run: no feasible starting point"
   | Some (w, cost) ->

@@ -85,11 +85,17 @@ let robust_with ~rng ?(incremental = true) ?exec scenario ~phase1 ~failures ~cri
 
 let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
     ?(incremental = true) ?exec scenario =
+  Dtr_obs.Span.with_ ~name:"optimize" @@ fun () ->
   let phase1, phase1_seconds = regular_only ~rng ~incremental ?exec scenario in
   let critical, failures =
     match failure_model with
     | Link_failures ->
-        let critical = pick_critical ~rng ~selector ~fraction ?exec scenario phase1 in
+        (* Phase 1c: critical-set selection from the Phase-1 criticality
+           ranking (or a baseline selector). *)
+        let critical =
+          Dtr_obs.Span.with_ ~name:"phase1c" (fun () ->
+              pick_critical ~rng ~selector ~fraction ?exec scenario phase1)
+        in
         (critical, List.map (fun a -> Failure.Arc a) critical)
     | Node_failures -> ([], Failure.all_single_nodes scenario.Scenario.graph)
   in

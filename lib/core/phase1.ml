@@ -2,6 +2,14 @@ module Rng = Dtr_util.Rng
 module Lexico = Dtr_cost.Lexico
 module Exec = Dtr_exec.Exec
 module Scratch = Dtr_exec.Scratch
+module Metric = Dtr_obs.Metric
+module Span = Dtr_obs.Span
+
+let c_evals = Metric.Counter.create "phase1.evals"
+let c_sweeps = Metric.Counter.create "phase1.sweeps"
+let c_rounds = Metric.Counter.create "phase1.rounds"
+let c_samples = Metric.Counter.create "phase1.samples"
+let c_p1b_sweeps = Metric.Counter.create "phase1b.sweeps"
 
 type stats = {
   evals : int;
@@ -62,7 +70,7 @@ let probe_scratch_for scenario best =
       cache := (scenario, s) :: List.filter (fun (sc, _) -> sc != scenario) !cache;
       s
 
-let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
+let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
   let exec = match exec with Some e -> e | None -> Exec.default () in
   let p = scenario.Scenario.params in
   let num_arcs = Scenario.num_arcs scenario in
@@ -124,7 +132,9 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
     Pool.add pool w cost
   in
   let search =
-    Local_search.run_engine ~rng ~num_arcs ~engine ~init ~observer ~on_improvement config
+    Span.with_ ~name:"phase1a" (fun () ->
+        Local_search.run_engine ~rng ~num_arcs ~engine ~init ~observer
+          ~on_improvement config)
   in
   let best = search.Local_search.best and best_cost = search.Local_search.best_cost in
   (* Phase 1b: explicit failure-emulating sampling from the best setting
@@ -167,8 +177,9 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
       Eval.cost scenario w
     end
   in
-  while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
-    incr phase1b_sweeps;
+  (Span.with_ ~name:"phase1b" @@ fun () ->
+   while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
+     incr phase1b_sweeps;
     let w = Weights.copy best in
     if Exec.jobs exec = 1 then
       for arc = 0 to num_arcs - 1 do
@@ -200,7 +211,7 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
       Array.iteri (fun arc cost -> Sampler.record sampler ~arc cost) costs
     end;
     converged := Criticality.Convergence.check ~exec tracker sampler
-  done;
+  done);
   let criticality =
     match Criticality.Convergence.last tracker with
     | Some c -> c
@@ -218,6 +229,13 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
          (fun (w, cost) -> satisfies (w, cost) && not (Weights.equal w best))
          (Pool.finalize pool)
   in
+  if Metric.enabled () then begin
+    Metric.Counter.add c_evals (search.Local_search.evals + !extra_evals);
+    Metric.Counter.add c_sweeps search.Local_search.sweeps;
+    Metric.Counter.add c_rounds search.Local_search.rounds_run;
+    Metric.Counter.add c_samples (Sampler.total sampler);
+    Metric.Counter.add c_p1b_sweeps !phase1b_sweeps
+  end;
   {
     best;
     best_cost;
@@ -234,6 +252,9 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t) =
         converged = !converged;
       };
   }
+
+let run ~rng ?(incremental = true) ?exec scenario =
+  Span.with_ ~name:"phase1" (fun () -> run_impl ~rng ~incremental ?exec scenario)
 
 let critical_set (scenario : Scenario.t) output =
   let p = scenario.Scenario.params in

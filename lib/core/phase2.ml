@@ -1,5 +1,7 @@
 module Lexico = Dtr_cost.Lexico
 module Failure = Dtr_topology.Failure
+module Metric = Dtr_obs.Metric
+module Span = Dtr_obs.Span
 
 type stats = { evals : int; sweeps : int; rounds : int }
 
@@ -10,8 +12,13 @@ type output = {
   stats : stats;
 }
 
+let c_evals = Metric.Counter.create "phase2.evals"
+let c_sweeps = Metric.Counter.create "phase2.sweeps"
+let c_rounds = Metric.Counter.create "phase2.rounds"
+
 let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
     ~(phase1 : Phase1.output) ~failures =
+  Span.with_ ~name:"phase2" @@ fun () ->
   if failures = [] then invalid_arg "Phase2.run: no failure scenarios";
   let exec = match exec with Some e -> e | None -> Dtr_exec.Exec.default () in
   let p = scenario.Scenario.params in
@@ -72,6 +79,11 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
     w
   in
   let search = Local_search.run_engine ~rng ~num_arcs ~engine ~init config in
+  if Metric.enabled () then begin
+    Metric.Counter.add c_evals search.Local_search.evals;
+    Metric.Counter.add c_sweeps search.Local_search.sweeps;
+    Metric.Counter.add c_rounds search.Local_search.rounds_run
+  end;
   let robust = search.Local_search.best in
   {
     robust;

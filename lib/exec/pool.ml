@@ -34,7 +34,19 @@ let record_failure t exn bt =
   if t.failure = None then t.failure <- Some (exn, bt);
   Mutex.unlock t.mutex
 
+(* Per-worker utilization, gated on the observability flag: each draining
+   domain accumulates its own busy wall-clock and chunk count into its own
+   dtr_obs shard, so the per-domain report shows how evenly the atomic work
+   queue spread a batch.  Off by default — the gate costs one atomic load
+   per [drain], nothing per chunk. *)
+let m_busy = Dtr_obs.Metric.Accum.create "pool.worker.busy_seconds"
+let m_chunks = Dtr_obs.Metric.Counter.create "pool.worker.chunks"
+let m_batches = Dtr_obs.Metric.Counter.create "pool.batches"
+
 let drain t task =
+  let obs = Dtr_obs.Metric.enabled () in
+  let t0 = if obs then Unix.gettimeofday () else 0. in
+  let claimed = ref 0 in
   let continue = ref true in
   while !continue do
     if Atomic.get task.cancelled then continue := false
@@ -42,6 +54,7 @@ let drain t task =
       let c = Atomic.fetch_and_add task.next 1 in
       if c >= task.chunks.Chunk.count then continue := false
       else begin
+        incr claimed;
         let lo, hi = Chunk.bounds task.chunks c in
         try
           for i = lo to hi - 1 do
@@ -54,7 +67,11 @@ let drain t task =
           continue := false
       end
     end
-  done
+  done;
+  if obs then begin
+    Dtr_obs.Metric.Accum.add m_busy (Unix.gettimeofday () -. t0);
+    Dtr_obs.Metric.Counter.add m_chunks !claimed
+  end
 
 let rec worker t seen =
   Mutex.lock t.mutex;
@@ -104,6 +121,7 @@ let run t ~n ~f =
   if n = 0 then ()
   else if Array.length t.domains = 0 || t.busy then run_serial ~n ~f
   else begin
+    if Dtr_obs.Metric.enabled () then Dtr_obs.Metric.Counter.incr m_batches;
     let task =
       {
         f;

@@ -1,0 +1,97 @@
+(* Whole-run report: instance summary and final results (set by the caller),
+   plus everything the metric registry and span trees currently hold,
+   serialized as one stable JSON document.  The emission is hand-rolled —
+   the project deliberately has no JSON dependency — and keeps a fixed key
+   order so reports diff cleanly across runs. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+let state_mutex = Mutex.create ()
+let instance = ref ([] : (string * value) list)
+let results = ref ([] : (string * value) list)
+let set_instance kvs = Mutex.protect state_mutex (fun () -> instance := kvs)
+let set_results kvs = Mutex.protect state_mutex (fun () -> results := kvs)
+
+let reset () =
+  Mutex.protect state_mutex (fun () ->
+      instance := [];
+      results := []);
+  Metric.reset_all ();
+  Span.reset ()
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_json f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9g" f
+
+let value_json = function
+  | S s -> "\"" ^ escape s ^ "\""
+  | I i -> string_of_int i
+  | F f -> float_json f
+  | B b -> if b then "true" else "false"
+
+let obj_json kvs =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (value_json v))
+         kvs)
+  ^ "}"
+
+let rec span_json (v : Span.view) =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"count\": %d, \"seconds\": %s, \"exclusive_seconds\": \
+     %s, \"children\": [%s]}"
+    (escape v.Span.vname) v.Span.count (float_json v.Span.seconds)
+    (float_json v.Span.exclusive)
+    (String.concat ", " (List.map span_json v.Span.children))
+
+let to_string () =
+  let instance, results =
+    Mutex.protect state_mutex (fun () -> (!instance, !results))
+  in
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "{";
+  line "  \"schema\": \"dtr-obs-report/1\",";
+  line "  \"instance\": %s," (obj_json instance);
+  line "  \"results\": %s," (obj_json results);
+  line "  \"spans\": [%s],"
+    (String.concat ", " (List.map span_json (Span.merged ())));
+  line "  \"counters\": %s,"
+    (obj_json (List.map (fun (k, v) -> (k, I v)) (Metric.all_counters ())));
+  line "  \"accumulators\": %s,"
+    (obj_json (List.map (fun (k, v) -> (k, F v)) (Metric.all_accums ())));
+  line "  \"domains\": [%s]"
+    (String.concat ", "
+       (List.map
+          (fun (d, cs, fs) ->
+            Printf.sprintf
+              "{\"domain\": %d, \"counters\": %s, \"accumulators\": %s}" d
+              (obj_json (List.map (fun (k, v) -> (k, I v)) cs))
+              (obj_json (List.map (fun (k, v) -> (k, F v)) fs)))
+          (Metric.per_domain ())));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ()))

@@ -1,0 +1,40 @@
+(** Whole-run observability report.
+
+    Serializes the instance summary and final results (set by the caller)
+    together with every registered metric, the merged span tree, and the
+    per-domain utilization breakdown into one JSON document with schema tag
+    ["dtr-obs-report/1"]:
+
+    {v
+    { "schema": "dtr-obs-report/1",
+      "instance":     { <key>: <string|int|float|bool>, ... },
+      "results":      { <key>: <value>, ... },
+      "spans":        [ { "name", "count", "seconds",
+                          "exclusive_seconds", "children": [...] }, ... ],
+      "counters":     { <name>: <int>, ... },
+      "accumulators": { <name>: <float>, ... },
+      "domains":      [ { "domain": <id>,
+                          "counters": {...}, "accumulators": {...} }, ... ] }
+    v}
+
+    Key order is fixed (registration order for metrics, first-seen order for
+    spans, ascending domain id) so reports from identical runs diff
+    cleanly. Non-finite floats serialize as [null]. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+val set_instance : (string * value) list -> unit
+(** Describe the problem instance (topology, size, seed, jobs, …). *)
+
+val set_results : (string * value) list -> unit
+(** Record the final results (lexicographic costs, critical-set size, …). *)
+
+val reset : unit -> unit
+(** Clear instance/results and reset every metric and span — call at the
+    start of a run. *)
+
+val to_string : unit -> string
+(** Render the current state as a JSON document. *)
+
+val write : path:string -> unit
+(** Write {!to_string} to [path]. *)

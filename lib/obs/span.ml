@@ -1,0 +1,124 @@
+(* Hierarchical timed spans.  Each domain records into its own tree (root +
+   cursor stack in domain-local storage), so recording never synchronises;
+   [merged] combines the per-domain trees by name path, visiting domains in
+   increasing id order so the merged view is stable.  When the global
+   enabled flag is off, [with_ ~name f] is exactly [f ()] — no allocation,
+   no clock read. *)
+
+type node = {
+  name : string;
+  mutable count : int;
+  mutable seconds : float; (* inclusive wall-clock *)
+  mutable children : node list; (* first-seen order *)
+}
+
+type ctx = { root : node; mutable stack : node list }
+
+let roots_mutex = Mutex.create ()
+let roots : (int * node) list ref = ref []
+
+let make_node name = { name; count = 0; seconds = 0.; children = [] }
+
+let ctx_slot : ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let root = make_node "root" in
+      Mutex.protect roots_mutex (fun () ->
+          roots := ((Domain.self () :> int), root) :: !roots);
+      { root; stack = [ root ] })
+
+let find_or_add parent name =
+  match List.find_opt (fun c -> c.name = name) parent.children with
+  | Some c -> c
+  | None ->
+      let c = make_node name in
+      parent.children <- parent.children @ [ c ];
+      c
+
+let with_ ~name f =
+  if not (Metric.enabled ()) then f ()
+  else begin
+    let ctx = Domain.DLS.get ctx_slot in
+    let parent = match ctx.stack with c :: _ -> c | [] -> ctx.root in
+    let node = find_or_add parent name in
+    ctx.stack <- node :: ctx.stack;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.count <- node.count + 1;
+        node.seconds <- node.seconds +. (Unix.gettimeofday () -. t0);
+        match ctx.stack with _ :: rest -> ctx.stack <- rest | [] -> ())
+      f
+  end
+
+type view = {
+  vname : string;
+  count : int;
+  seconds : float;
+  exclusive : float;
+  children : view list;
+}
+
+(* Group sibling nodes (already concatenated in domain-id order) by name,
+   preserving first-seen order, then merge each group recursively.  The
+   exclusive time of a merged span is its inclusive time minus the summed
+   inclusive time of its merged children (clamped at zero: clock skew
+   between start/stop pairs can make the difference marginally negative). *)
+let rec merge_nodes (nodes : node list) : view list =
+  let groups : (string, node list) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (n : node) ->
+      match Hashtbl.find_opt groups n.name with
+      | Some l -> Hashtbl.replace groups n.name (n :: l)
+      | None ->
+          Hashtbl.add groups n.name [ n ];
+          order := n.name :: !order)
+    nodes;
+  List.map
+    (fun name ->
+      let group = List.rev (Hashtbl.find groups name) in
+      let count = List.fold_left (fun a (n : node) -> a + n.count) 0 group in
+      let seconds =
+        List.fold_left (fun a (n : node) -> a +. n.seconds) 0. group
+      in
+      let children =
+        merge_nodes (List.concat_map (fun (n : node) -> n.children) group)
+      in
+      let child_s = List.fold_left (fun a c -> a +. c.seconds) 0. children in
+      {
+        vname = name;
+        count;
+        seconds;
+        exclusive = Float.max 0. (seconds -. child_s);
+        children;
+      })
+    (List.rev !order)
+
+let merged () =
+  let roots =
+    Mutex.protect roots_mutex (fun () ->
+        List.sort (fun (a, _) (b, _) -> compare a b) !roots)
+  in
+  merge_nodes (List.concat_map (fun ((_, r) : int * node) -> r.children) roots)
+
+let reset () =
+  Mutex.protect roots_mutex (fun () ->
+      List.iter
+        (fun ((_, r) : int * node) ->
+          r.children <- [];
+          r.count <- 0;
+          r.seconds <- 0.)
+        !roots)
+
+let pp fmt () =
+  match merged () with
+  | [] -> Format.fprintf fmt "span tree: (no spans recorded)@."
+  | views ->
+      Format.fprintf fmt "span tree (inclusive s, exclusive s, calls):@.";
+      let rec go indent v =
+        let label = indent ^ v.vname in
+        Format.fprintf fmt "  %-30s %9.3f %9.3f %6d@." label v.seconds
+          v.exclusive v.count;
+        List.iter (go (indent ^ "  ")) v.children
+      in
+      List.iter (go "") views

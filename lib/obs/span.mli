@@ -1,0 +1,34 @@
+(** Hierarchical timed spans.
+
+    Each domain records into a private tree held in domain-local storage, so
+    entering or leaving a span never synchronises with other domains.
+    {!merged} combines the per-domain trees by name path (domains visited in
+    ascending id order) into a stable aggregated view with inclusive and
+    exclusive wall-clock time.
+
+    When {!Metric.enabled} is [false], [with_ ~name f] is exactly [f ()]:
+    no allocation, no clock read — hot paths pay one atomic load. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span called [name], nested under the
+    innermost span currently open on this domain. The span is recorded even
+    if [f] raises. *)
+
+type view = {
+  vname : string;
+  count : int;  (** number of completed [with_] calls merged in *)
+  seconds : float;  (** inclusive wall-clock time *)
+  exclusive : float;  (** [seconds] minus the children's inclusive time *)
+  children : view list;  (** first-seen order *)
+}
+
+val merged : unit -> view list
+(** Aggregate all domains' span trees by name path. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans. Meant for quiescent points: a span still open
+    during reset keeps recording into its detached tree, which is simply
+    never reported. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Print the merged span tree, one indented line per span. *)

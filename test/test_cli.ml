@@ -1,0 +1,63 @@
+(* Tests for the shared CLI plumbing (dtr_cli): the --jobs converter must
+   reject invalid counts through Cmdliner's own error channel (usage +
+   Cmd.Exit.cli_error) instead of the old eprintf-and-exit-1 bypass, and
+   exec_of_jobs must honor explicit counts. *)
+
+module Cli = Dtr_cli.Cli
+module Exec = Dtr_exec.Exec
+open Cmdliner
+
+let null_fmt =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let jobs_cmd =
+  let jobs = Arg.(value & opt (some Cli.jobs_conv) None & info [ "jobs" ]) in
+  Cmd.v (Cmd.info "dtr-test") Term.(const (fun (_ : int option) -> ()) $ jobs)
+
+let eval argv = Cmd.eval ~help:null_fmt ~err:null_fmt ~argv jobs_cmd
+
+let test_jobs_conv_exit_codes () =
+  Alcotest.(check int)
+    "--jobs 0 exits with Cmdliner's cli_error" Cmd.Exit.cli_error
+    (eval [| "dtr-test"; "--jobs"; "0" |]);
+  Alcotest.(check int)
+    "--jobs=-3 exits with cli_error" Cmd.Exit.cli_error
+    (eval [| "dtr-test"; "--jobs=-3" |]);
+  Alcotest.(check int)
+    "--jobs two exits with cli_error" Cmd.Exit.cli_error
+    (eval [| "dtr-test"; "--jobs"; "two" |]);
+  Alcotest.(check int)
+    "--jobs 2 is accepted" Cmd.Exit.ok
+    (eval [| "dtr-test"; "--jobs"; "2" |]);
+  Alcotest.(check int)
+    "--jobs 1 is accepted" Cmd.Exit.ok
+    (eval [| "dtr-test"; "--jobs"; "1" |]);
+  Alcotest.(check int)
+    "absent --jobs is accepted" Cmd.Exit.ok (eval [| "dtr-test" |])
+
+let test_jobs_conv_parse () =
+  let parse = Arg.conv_parser Cli.jobs_conv in
+  (match parse "4" with
+  | Ok 4 -> ()
+  | _ -> Alcotest.fail "expected Ok 4");
+  (match parse "0" with
+  | Error (`Msg _) -> ()
+  | _ -> Alcotest.fail "expected an error for 0");
+  match parse " 8 " with
+  | Ok 8 -> ()
+  | _ -> Alcotest.fail "expected Ok 8 for padded input"
+
+let test_exec_of_jobs () =
+  Alcotest.(check int) "explicit 1 is serial" 1 (Exec.jobs (Cli.exec_of_jobs (Some 1)));
+  Alcotest.(check int) "explicit 2 forces 2 domains" 2
+    (Exec.jobs (Cli.exec_of_jobs (Some 2)));
+  Alcotest.(check bool) "default resolves to at least one job" true
+    (Exec.jobs (Cli.exec_of_jobs None) >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "--jobs validation exit codes" `Quick
+      test_jobs_conv_exit_codes;
+    Alcotest.test_case "jobs_conv parser" `Quick test_jobs_conv_parse;
+    Alcotest.test_case "exec_of_jobs" `Quick test_exec_of_jobs;
+  ]

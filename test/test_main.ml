@@ -20,6 +20,8 @@ let () =
       ("core.weights", Test_weights.suite);
       ("core.eval", Test_eval.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
+      ("cli", Test_cli.suite);
       ("core.eval_incr", Test_eval_incr.suite);
       ("core.dspf", Test_dspf.suite);
       ("core.criticality", Test_criticality.suite);

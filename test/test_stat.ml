@@ -79,6 +79,25 @@ let test_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Stat.percentile a lo <= Stat.percentile a hi +. 1e-9)
 
+(* Criticality rankings lean on these statistics, so the streaming Welford
+   accumulator must track the batch formulas to numerical noise on any
+   sample set, not just the fixed one below. *)
+let test_acc_matches_batch_prop =
+  QCheck.Test.make ~name:"Acc Welford matches batch mean/stddev within 1e-9"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let acc = Stat.Acc.create () in
+      Array.iter (Stat.Acc.add acc) a;
+      let close u v =
+        Float.abs (u -. v)
+        <= 1e-9 *. Float.max 1. (Float.max (Float.abs u) (Float.abs v))
+      in
+      Stat.Acc.count acc = Array.length a
+      && close (Stat.Acc.mean acc) (Stat.mean a)
+      && close (Stat.Acc.stddev acc) (Stat.stddev a))
+
 let test_acc_matches_batch () =
   let xs = [| 1.5; -2.; 3.25; 0.; 8.; -1. |] in
   let acc = Stat.Acc.create () in
@@ -112,6 +131,7 @@ let suite =
     QCheck_alcotest.to_alcotest test_variance_nonneg;
     QCheck_alcotest.to_alcotest test_percentile_monotone;
     Alcotest.test_case "streaming accumulator" `Quick test_acc_matches_batch;
+    QCheck_alcotest.to_alcotest test_acc_matches_batch_prop;
     Alcotest.test_case "empty accumulator" `Quick test_acc_empty;
     Alcotest.test_case "mean_std" `Quick test_mean_std;
   ]
