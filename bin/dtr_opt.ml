@@ -4,6 +4,7 @@
      generate   synthesize a topology (+ calibrated traffic) and write them out
      optimize   run the two-phase heuristic on a generated or loaded instance
      evaluate   price a saved weight setting under normal and failure conditions
+     trace      observability tooling: report diffs and the BENCH perf gate
 
    Running without a subcommand behaves like `optimize` on a generated
    instance and prints a solution report. *)
@@ -100,16 +101,36 @@ let print_sweep_breakdown () =
 let report_path =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH"
          ~doc:"Write a JSON observability report here: instance summary, \
-               per-phase span tree, sweep counters, per-domain pool \
-               utilization and final lexicographic costs \
-               (schema dtr-obs-report/1).")
+               per-phase span tree, sweep counters, convergence series, \
+               flight-recorder accounting, per-domain pool utilization and \
+               final lexicographic costs (schema dtr-obs-report/2).")
 
-(* Observability bracket for a CLI run: reset all metrics/spans (fixes the
-   stale-counter carry-over between in-process runs), and turn the optional
-   instrumentation on only when something will consume it. *)
-let obs_start ~verbose ~report =
+let trace_path =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Switch the flight recorder on and write the recorded events \
+               here as a Chrome trace-event file, loadable in \
+               chrome://tracing and Perfetto.  Tracing never changes \
+               optimization results.")
+
+(* Observability bracket for a CLI run: reset all metrics/spans/traces
+   (fixes the stale-counter carry-over between in-process runs), and turn
+   the optional instrumentation on only when something will consume it.
+   --trace also enables metrics: the flight recorder piggybacks on the
+   Metric-gated span and convergence instrumentation. *)
+let obs_start ~verbose ~report ~trace =
   Dtr_obs.Report.reset ();
-  if verbose || report <> None then Dtr_obs.Metric.set_enabled true
+  if verbose || report <> None || trace <> None then
+    Dtr_obs.Metric.set_enabled true;
+  if trace <> None then Dtr_obs.Trace.set_enabled true
+
+let obs_trace ~trace =
+  match trace with
+  | None -> ()
+  | Some path ->
+      let { Dtr_obs.Trace.recorded; dropped; _ } = Dtr_obs.Trace.stats () in
+      Dtr_obs.Trace.write_chrome ~path;
+      Format.printf "trace written to %s (%d events, %d dropped)@." path
+        recorded dropped
 
 let obs_report ~report ~instance ~results =
   match report with
@@ -244,14 +265,14 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs no_dspf verbose report =
+    topology_file traffic_file out_weights jobs no_dspf verbose report trace =
   let exec = exec_of_jobs jobs in
   apply_no_dspf no_dspf;
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  obs_start ~verbose ~report;
+  obs_start ~verbose ~report ~trace;
   let params = build_params theta_ms paper_scale in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -279,7 +300,8 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
     (100. *. scenario.Scenario.params.Scenario.chi);
   if verbose then begin
     print_sweep_breakdown ();
-    Format.printf "%a" Dtr_obs.Span.pp ()
+    Format.printf "%a" Dtr_obs.Span.pp ();
+    Dtr_cli.Trace_cmd.print_convergence ()
   end;
   (match out_weights with
   | Some path ->
@@ -302,19 +324,20 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
   in
   obs_report ~report
     ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
-    ~results
+    ~results;
+  obs_trace ~trace
 
 (* ------------------------------------------------------------------ *)
 (* evaluate                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs no_dspf verbose report =
+    weights_file node_failures jobs no_dspf verbose report trace =
   let exec = exec_of_jobs jobs in
   apply_no_dspf no_dspf;
   (* Resets all counters at entry — without it, in-process reuse (and the
      sweeps below) reported stale totals accumulated by earlier runs. *)
-  obs_start ~verbose ~report;
+  obs_start ~verbose ~report ~trace;
   let params = build_params theta_ms false in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -344,7 +367,8 @@ let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_
     s.Metrics.avg s.Metrics.top10 s.Metrics.phi_total;
   if verbose then begin
     print_sweep_breakdown ();
-    Format.printf "%a" Dtr_obs.Span.pp ()
+    Format.printf "%a" Dtr_obs.Span.pp ();
+    Dtr_cli.Trace_cmd.print_convergence ()
   end;
   let results =
     let open Dtr_obs.Report in
@@ -361,7 +385,8 @@ let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_
   in
   obs_report ~report
     ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
-    ~results
+    ~results;
+  obs_trace ~trace
 
 (* ------------------------------------------------------------------ *)
 (* Command wiring                                                      *)
@@ -408,7 +433,7 @@ let optimize_term =
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
     $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ no_dspf
-    $ verbose $ report_path)
+    $ verbose $ report_path $ trace_path)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -427,12 +452,20 @@ let evaluate_cmd =
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
       $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs $ no_dspf
-      $ verbose $ report_path)
+      $ verbose $ report_path $ trace_path)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in
   Cmd.group ~default:optimize_term
     (Cmd.info "dtr-opt" ~version:"1.0.0" ~doc)
-    [ generate_cmd; optimize_cmd; evaluate_cmd ]
+    [
+      generate_cmd;
+      optimize_cmd;
+      evaluate_cmd;
+      (* Subcommand exit codes flow through [wrap]: nonzero trips the CI
+         gate, zero falls through Cmd.eval's normal success path. *)
+      Dtr_cli.Trace_cmd.cmd_group ~wrap:(fun code ->
+          if code <> 0 then exit code);
+    ]
 
 let () = exit (Cmd.eval cmd)

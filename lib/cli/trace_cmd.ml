@@ -1,0 +1,517 @@
+(* Trace tooling behind the [dtr-opt trace] subcommand family:
+
+   - [diff]: span-by-span comparison of two dtr-obs-report JSON documents
+     (schema /1 or /2).  Two reports of the same fixed-seed run must show
+     zero span-count deltas — count deltas exit nonzero, so the diff doubles
+     as a determinism gate; wall-clock seconds are reported but never gate.
+
+   - [bench-check]: walks the BENCH_<kernel>.json performance trajectory
+     (rows stamped with git commit + ISO-8601 timestamp since PR 5; older
+     unstamped rows are tolerated and kept in file order) and flags any
+     consecutive ns/op increase beyond the threshold.  Nonzero exit turns a
+     kernel regression into a CI failure instead of a silently growing
+     number in a JSON file.
+
+   The pure entry points ([diff_reports], [check_files]) take file contents
+   and return rendered output plus a count, so tests exercise the exact
+   logic the CLI runs without spawning processes. *)
+
+module Json = Dtr_util.Json
+module Table = Dtr_util.Table
+
+(* ------------------------------------------------------------------ *)
+(* trace diff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a report's span forest into (path, count, seconds) rows, path
+   elements joined with '/', preserving first-seen order. *)
+let flatten_spans report =
+  let rows = ref [] in
+  let rec walk prefix span =
+    let name = Json.string_member "name" span ~default:"?" in
+    let path = if prefix = "" then name else prefix ^ "/" ^ name in
+    rows :=
+      ( path,
+        Json.int_member "count" span ~default:0,
+        Json.float_member "seconds" span ~default:0. )
+      :: !rows;
+    List.iter (walk path) (Json.to_list (Option.value ~default:Json.Null (Json.member "children" span)))
+  in
+  (match Json.member "spans" report with
+  | Some spans -> List.iter (walk "") (Json.to_list spans)
+  | None -> ());
+  List.rev !rows
+
+let counters report =
+  match Json.member "counters" report with
+  | Some o ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
+        (Json.to_obj o)
+  | None -> []
+
+type diff_result = {
+  rendered : string;
+  count_deltas : int;  (** spans whose call counts differ *)
+  counter_deltas : int;  (** metric counters whose values differ *)
+}
+
+let diff_reports ~label_a ~label_b ~a ~b =
+  match (Json.parse a, Json.parse b) with
+  | Error e, _ -> Error (Printf.sprintf "%s: %s" label_a e)
+  | _, Error e -> Error (Printf.sprintf "%s: %s" label_b e)
+  | Ok ja, Ok jb ->
+      let sa = flatten_spans ja and sb = flatten_spans jb in
+      let paths =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun p ->
+            if Hashtbl.mem seen p then false
+            else begin
+              Hashtbl.add seen p ();
+              true
+            end)
+          (List.map (fun (p, _, _) -> p) sa @ List.map (fun (p, _, _) -> p) sb)
+      in
+      let find rows p =
+        List.find_map (fun (q, c, s) -> if q = p then Some (c, s) else None) rows
+      in
+      let buf = Buffer.create 1024 in
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "span diff: %s vs %s" label_a label_b)
+          ~columns:[ "span"; "count A"; "count B"; "dcount"; "s A"; "s B" ]
+      in
+      let count_deltas = ref 0 in
+      List.iter
+        (fun p ->
+          let ca, sa_s = Option.value ~default:(0, 0.) (find sa p) in
+          let cb, sb_s = Option.value ~default:(0, 0.) (find sb p) in
+          if ca <> cb then incr count_deltas;
+          Table.add_row t
+            [
+              p;
+              string_of_int ca;
+              string_of_int cb;
+              (if ca = cb then "=" else Printf.sprintf "%+d" (cb - ca));
+              Table.cell_f sa_s;
+              Table.cell_f sb_s;
+            ])
+        paths;
+      Buffer.add_string buf (Table.render t);
+      Buffer.add_char buf '\n';
+      let ctr_a = counters ja and ctr_b = counters jb in
+      let ctr_names =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun k ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.map fst ctr_a @ List.map fst ctr_b)
+      in
+      let counter_deltas = ref 0 in
+      let ct =
+        Table.create ~title:"counter diff"
+          ~columns:[ "counter"; "A"; "B"; "delta" ]
+      in
+      List.iter
+        (fun k ->
+          let va = Option.value ~default:0 (List.assoc_opt k ctr_a) in
+          let vb = Option.value ~default:0 (List.assoc_opt k ctr_b) in
+          if va <> vb then begin
+            incr counter_deltas;
+            Table.add_row ct
+              [ k; string_of_int va; string_of_int vb;
+                Printf.sprintf "%+d" (vb - va) ]
+          end)
+        ctr_names;
+      if !counter_deltas > 0 then begin
+        Buffer.add_string buf (Table.render ct);
+        Buffer.add_char buf '\n'
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "span-count deltas: %d, counter deltas: %d\n"
+           !count_deltas !counter_deltas);
+      Ok
+        {
+          rendered = Buffer.contents buf;
+          count_deltas = !count_deltas;
+          counter_deltas = !counter_deltas;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* trace bench-check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type bench_row = {
+  row_name : string;
+  ns_per_op : float;
+  commit : string option;  (** absent in pre-PR-5 rows *)
+  timestamp : string option;  (** ISO-8601; absent in pre-PR-5 rows *)
+}
+
+type bench_file = { kernel : string; rows : bench_row list }
+
+let parse_bench content =
+  match Json.parse content with
+  | Error e -> Error e
+  | Ok j ->
+      let kernel = Json.string_member "kernel" j ~default:"?" in
+      let rows =
+        List.filter_map
+          (fun row ->
+            match Json.member "name" row with
+            | Some (Json.Str row_name) ->
+                Some
+                  {
+                    row_name;
+                    ns_per_op = Json.float_member "ns_per_op" row ~default:Float.nan;
+                    commit =
+                      Option.bind (Json.member "commit" row) Json.to_string_opt;
+                    timestamp =
+                      Option.bind (Json.member "timestamp" row) Json.to_string_opt;
+                  }
+            | _ -> None)
+          (Json.to_list (Option.value ~default:Json.Null (Json.member "rows" j)))
+      in
+      Ok { kernel; rows }
+
+type regression = {
+  r_kernel : string;
+  r_name : string;
+  from_ns : float;
+  to_ns : float;
+  change_pct : float;
+  from_commit : string;
+  to_commit : string;
+}
+
+(* The trajectory of one measurement is its rows in timestamp order; rows
+   without the stamp (pre-PR-5 format) sort first, among themselves in file
+   order — ISO-8601 strings order lexicographically, and the sort is stable,
+   so backfilled files interleave correctly. *)
+let check_rows ~threshold ~kernel rows =
+  let by_name = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt by_name r.row_name with
+      | Some l -> Hashtbl.replace by_name r.row_name (r :: l)
+      | None ->
+          Hashtbl.add by_name r.row_name [ r ];
+          order := r.row_name :: !order)
+    rows;
+  let regressions = ref [] in
+  List.iter
+    (fun name ->
+      let traj = List.rev (Hashtbl.find by_name name) in
+      let traj =
+        List.stable_sort
+          (fun a b ->
+            compare
+              (Option.value ~default:"" a.timestamp)
+              (Option.value ~default:"" b.timestamp))
+          traj
+      in
+      let rec walk = function
+        | prev :: next :: rest ->
+            if
+              Float.is_finite prev.ns_per_op
+              && Float.is_finite next.ns_per_op
+              && prev.ns_per_op > 0.
+              && next.ns_per_op > prev.ns_per_op *. (1. +. (threshold /. 100.))
+            then
+              regressions :=
+                {
+                  r_kernel = kernel;
+                  r_name = name;
+                  from_ns = prev.ns_per_op;
+                  to_ns = next.ns_per_op;
+                  change_pct = 100. *. ((next.ns_per_op /. prev.ns_per_op) -. 1.);
+                  from_commit = Option.value ~default:"?" prev.commit;
+                  to_commit = Option.value ~default:"?" next.commit;
+                }
+                :: !regressions;
+            walk (next :: rest)
+        | _ -> ()
+      in
+      walk traj)
+    (List.rev !order);
+  List.rev !regressions
+
+let pretty_ns ns =
+  if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+type check_result = {
+  report : string;
+  regressions : regression list;
+  files_checked : int;
+}
+
+(* [files] is (path-or-label, content).  Unreadable JSON is an error, not a
+   skip — a gate that ignores a corrupt file is no gate. *)
+let check_files ~threshold files =
+  let buf = Buffer.create 1024 in
+  let all = ref [] in
+  let err = ref None in
+  List.iter
+    (fun (label, content) ->
+      match !err with
+      | Some _ -> ()
+      | None -> (
+          match parse_bench content with
+          | Error e -> err := Some (Printf.sprintf "%s: %s" label e)
+          | Ok { kernel; rows } ->
+              let regs = check_rows ~threshold ~kernel rows in
+              let trajectories =
+                List.length
+                  (List.sort_uniq compare (List.map (fun r -> r.row_name) rows))
+              in
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "%s: kernel %S, %d rows, %d trajectories, %d regression(s)\n"
+                   label kernel (List.length rows) trajectories
+                   (List.length regs));
+              all := !all @ regs))
+    files;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let regs = !all in
+      if regs <> [] then begin
+        let t =
+          Table.create
+            ~title:
+              (Printf.sprintf "throughput regressions beyond %.0f%%" threshold)
+            ~columns:[ "kernel"; "measurement"; "from"; "to"; "change"; "commits" ]
+        in
+        List.iter
+          (fun r ->
+            Table.add_row t
+              [
+                r.r_kernel;
+                r.r_name;
+                pretty_ns r.from_ns;
+                pretty_ns r.to_ns;
+                Printf.sprintf "+%.1f%%" r.change_pct;
+                Printf.sprintf "%s -> %s" r.from_commit r.to_commit;
+              ])
+          regs;
+        Buffer.add_string buf (Table.render t);
+        Buffer.add_char buf '\n'
+      end;
+      Buffer.add_string buf
+        (if regs = [] then
+           Printf.sprintf "bench-check OK: no regression beyond %.0f%%\n" threshold
+         else
+           Printf.sprintf "bench-check FAILED: %d regression(s) beyond %.0f%%\n"
+             (List.length regs) threshold);
+      Ok
+        {
+          report = Buffer.contents buf;
+          regressions = regs;
+          files_checked = List.length files;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Convergence rendering (dtr-opt --verbose)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure-ASCII sparkline: one glyph per sample, ten intensity levels,
+   linearly rescaled over the series range. *)
+let spark_levels = " .:-=+*#%@"
+let spark_width = 72
+
+(* Long series are bucketed down to [spark_width] glyphs (bucket mean) so a
+   415-iteration run still fits one terminal line. *)
+let resample values =
+  let n = List.length values in
+  if n <= spark_width then values
+  else begin
+    let arr = Array.of_list values in
+    List.init spark_width (fun i ->
+        let lo = i * n / spark_width and hi = (i + 1) * n / spark_width in
+        let hi = max hi (lo + 1) in
+        let sum = ref 0. in
+        for k = lo to hi - 1 do
+          sum := !sum +. arr.(k)
+        done;
+        !sum /. float_of_int (hi - lo))
+  end
+
+let sparkline values =
+  match resample values with
+  | [] -> ""
+  | values ->
+      let lo = List.fold_left Float.min Float.infinity values in
+      let hi = List.fold_left Float.max Float.neg_infinity values in
+      let n = String.length spark_levels in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let level =
+               if not (Float.is_finite v) then n - 1
+               else if hi -. lo < 1e-12 then 0
+               else
+                 min (n - 1)
+                   (int_of_float (float_of_int (n - 1) *. ((v -. lo) /. (hi -. lo))))
+             in
+             String.make 1 spark_levels.[level])
+           values)
+
+let render_convergence series =
+  match series with
+  | [] -> ""
+  | _ ->
+      let buf = Buffer.create 1024 in
+      let t =
+        Table.create ~title:"search convergence (per-iteration telemetry)"
+          ~columns:
+            [ "series"; "iters"; "first best"; "final best"; "accept%"; "resets" ]
+      in
+      List.iter
+        (fun (name, points) ->
+          match (points : Dtr_obs.Convergence.point list) with
+          | [] -> ()
+          | first :: _ ->
+              let last = List.nth points (List.length points - 1) in
+              let trials =
+                List.fold_left
+                  (fun acc p -> acc + p.Dtr_obs.Convergence.trials)
+                  0 points
+              in
+              let accepts =
+                List.fold_left
+                  (fun acc p -> acc + p.Dtr_obs.Convergence.accepts)
+                  0 points
+              in
+              let resets =
+                List.fold_left
+                  (fun acc p -> max acc p.Dtr_obs.Convergence.resets)
+                  0 points
+              in
+              let cost p =
+                Printf.sprintf "<%.0f, %.0f>" p.Dtr_obs.Convergence.best_lambda
+                  p.Dtr_obs.Convergence.best_phi
+              in
+              Table.add_row t
+                [
+                  name;
+                  string_of_int (List.length points);
+                  cost first;
+                  cost last;
+                  (if trials = 0 then "-"
+                   else
+                     Printf.sprintf "%.1f"
+                       (100. *. float_of_int accepts /. float_of_int trials));
+                  string_of_int resets;
+                ])
+        series;
+      Buffer.add_string buf (Table.render t);
+      Buffer.add_char buf '\n';
+      (* One sparkline per series: the best-phi trajectory, high to low. *)
+      let width =
+        List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 series
+      in
+      List.iter
+        (fun (name, points) ->
+          if points <> [] then
+            Buffer.add_string buf
+              (Printf.sprintf "  %-*s best-phi %s\n" width name
+                 (sparkline
+                    (List.map
+                       (fun p -> p.Dtr_obs.Convergence.best_phi)
+                       points))))
+        series;
+      Buffer.contents buf
+
+let print_convergence () =
+  let s = render_convergence (Dtr_obs.Convergence.all ()) in
+  if s <> "" then print_string s
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner terms                                                      *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Exit codes: 0 clean, 1 gate tripped (count deltas / regressions), 2 bad
+   input (unreadable file, malformed JSON). *)
+let run_diff a b =
+  match (read_file a, read_file b) with
+  | exception Sys_error e ->
+      Printf.eprintf "trace diff: %s\n" e;
+      2
+  | ca, cb -> (
+      match diff_reports ~label_a:a ~label_b:b ~a:ca ~b:cb with
+      | Error e ->
+          Printf.eprintf "trace diff: %s\n" e;
+          2
+      | Ok d ->
+          print_string d.rendered;
+          if d.count_deltas = 0 then 0 else 1)
+
+let run_bench_check threshold paths =
+  match List.map (fun p -> (p, read_file p)) paths with
+  | exception Sys_error e ->
+      Printf.eprintf "trace bench-check: %s\n" e;
+      2
+  | files -> (
+      match check_files ~threshold files with
+      | Error e ->
+          Printf.eprintf "trace bench-check: %s\n" e;
+          2
+      | Ok r ->
+          print_string r.report;
+          if r.regressions = [] then 0 else 1)
+
+let diff_term =
+  let a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"A.json"
+           ~doc:"First observability report.")
+  in
+  let b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"B.json"
+           ~doc:"Second observability report.")
+  in
+  Term.(const run_diff $ a $ b)
+
+let threshold_arg =
+  Arg.(value & opt float 20. & info [ "threshold" ] ~docv:"PCT"
+         ~doc:"Flag a ns/op increase beyond $(docv) percent between \
+               consecutive rows of a measurement's trajectory.")
+
+let bench_check_term =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"BENCH.json"
+           ~doc:"BENCH_<kernel>.json files to walk.")
+  in
+  Term.(const run_bench_check $ threshold_arg $ files)
+
+let cmd_group ~wrap =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"trace tooling: report diffs and the BENCH perf-regression gate")
+    [
+      Cmd.v (Cmd.info "diff"
+               ~doc:
+                 "diff two observability reports span-by-span (exit 1 on \
+                  span-count deltas)")
+        Term.(const wrap $ diff_term);
+      Cmd.v (Cmd.info "bench-check"
+               ~doc:
+                 "walk BENCH_<kernel>.json trajectories and fail on \
+                  throughput regressions (exit 1)")
+        Term.(const wrap $ bench_check_term);
+    ]

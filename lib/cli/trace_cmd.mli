@@ -1,0 +1,86 @@
+(** The [dtr-opt trace] subcommand family: observability-report diffs and
+    the BENCH perf-regression gate.
+
+    The checking logic is pure ((label, contents) pairs in, rendered text
+    and counts out) so tests drive it without processes; the Cmdliner terms
+    wrap it with file IO and exit codes: 0 clean, 1 gate tripped
+    (span-count deltas / regressions), 2 unreadable or malformed input. *)
+
+type diff_result = {
+  rendered : string;
+  count_deltas : int;  (** spans whose call counts differ *)
+  counter_deltas : int;  (** metric counters whose values differ *)
+}
+
+val diff_reports :
+  label_a:string ->
+  label_b:string ->
+  a:string ->
+  b:string ->
+  (diff_result, string) result
+(** Span-by-span diff of two dtr-obs-report documents (schema /1 or /2).
+    Spans are matched by slash-joined path through the span forest.  Two
+    reports of the same fixed-seed run must show zero count deltas — the
+    determinism invariant — while seconds naturally jitter and never
+    gate. *)
+
+type bench_row = {
+  row_name : string;
+  ns_per_op : float;
+  commit : string option;  (** absent in pre-PR-5 rows *)
+  timestamp : string option;  (** ISO-8601; absent in pre-PR-5 rows *)
+}
+
+type bench_file = { kernel : string; rows : bench_row list }
+
+val parse_bench : string -> (bench_file, string) result
+
+type regression = {
+  r_kernel : string;
+  r_name : string;
+  from_ns : float;
+  to_ns : float;
+  change_pct : float;
+  from_commit : string;
+  to_commit : string;
+}
+
+val check_rows :
+  threshold:float -> kernel:string -> bench_row list -> regression list
+(** Group rows by measurement name, order each trajectory by timestamp
+    (unstamped legacy rows sort first, keeping file order — the sort is
+    stable), and flag every consecutive ns/op increase beyond
+    [threshold] percent. *)
+
+type check_result = {
+  report : string;
+  regressions : regression list;
+  files_checked : int;
+}
+
+val check_files :
+  threshold:float -> (string * string) list -> (check_result, string) result
+(** [check_files ~threshold [(label, contents); ...]] — malformed JSON is
+    an error, not a skip: a gate that ignores a corrupt file is no gate. *)
+
+val sparkline : float list -> string
+(** Pure-ASCII intensity sparkline (ten levels), rescaled per series. *)
+
+val render_convergence : (string * Dtr_obs.Convergence.point list) list -> string
+(** Summary table plus one best-phi sparkline per series; [""] when there
+    is nothing to show. *)
+
+val print_convergence : unit -> unit
+(** [render_convergence] over {!Dtr_obs.Convergence.all}, printed to
+    stdout ([dtr-opt --verbose]). *)
+
+val run_diff : string -> string -> int
+val run_bench_check : float -> string list -> int
+
+val diff_term : int Cmdliner.Term.t
+val bench_check_term : int Cmdliner.Term.t
+
+val cmd_group : wrap:(int -> unit) -> unit Cmdliner.Cmd.t
+(** The [trace] command group.  [wrap] receives each subcommand's exit
+    code (the caller typically passes [exit] so status propagates through
+    a unit-typed [Cmd.group]). *)

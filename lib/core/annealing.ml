@@ -1,5 +1,8 @@
 module Rng = Dtr_util.Rng
 module Lexico = Dtr_cost.Lexico
+module Metric = Dtr_obs.Metric
+module Trace = Dtr_obs.Trace
+module Convergence = Dtr_obs.Convergence
 
 type config = {
   wmax : int;
@@ -43,6 +46,7 @@ let energy config cost =
 
 let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
   validate config;
+  Convergence.with_series ~name:"annealing" @@ fun () ->
   let current = Weights.copy init in
   let current_cost =
     match engine.Local_search.start current with
@@ -54,6 +58,7 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
   let proposals = ref 0 and accepted = ref 0 and uphill = ref 0 in
   let temperature = ref config.initial_temperature in
   while !temperature >= config.min_temperature do
+    let stage_accepted = ref 0 and stage_uphill = ref 0 in
     for _ = 1 to config.moves_per_stage do
       incr proposals;
       let arc = Rng.int rng num_arcs in
@@ -61,6 +66,11 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
       Weights.perturb_arc rng current ~arc ~wmax:config.wmax;
       match engine.Local_search.try_arc current ~arc with
       | None ->
+          if Trace.enabled () then
+            Trace.emit_move ~arc ~accepted:false
+              ~old_lambda:!current_cost.Lexico.lambda
+              ~old_phi:!current_cost.Lexico.phi ~new_lambda:Float.nan
+              ~new_phi:Float.nan;
           engine.Local_search.rollback ();
           Weights.restore_arc current saved
       | Some cost ->
@@ -69,10 +79,19 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
             if delta <= 0. then true
             else Rng.float rng 1. < exp (-.delta /. !temperature)
           in
+          if Trace.enabled () then
+            Trace.emit_move ~arc ~accepted:take
+              ~old_lambda:!current_cost.Lexico.lambda
+              ~old_phi:!current_cost.Lexico.phi ~new_lambda:cost.Lexico.lambda
+              ~new_phi:cost.Lexico.phi;
           if take then begin
             engine.Local_search.commit ();
             incr accepted;
-            if delta > 0. then incr uphill;
+            incr stage_accepted;
+            if delta > 0. then begin
+              incr uphill;
+              incr stage_uphill
+            end;
             current_cost := cost;
             if Lexico.is_better cost ~than:!best_cost then begin
               best := Weights.copy current;
@@ -84,6 +103,14 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
             Weights.restore_arc current saved
           end
     done;
+    (* One convergence point per temperature stage: [resets] counts the
+       stage's uphill acceptances — the annealing analogue of
+       diversification. *)
+    if Metric.enabled () then
+      Convergence.record ~best_lambda:!best_cost.Lexico.lambda
+        ~best_phi:!best_cost.Lexico.phi ~cur_lambda:!current_cost.Lexico.lambda
+        ~cur_phi:!current_cost.Lexico.phi ~trials:config.moves_per_stage
+        ~accepts:!stage_accepted ~resets:!stage_uphill;
     temperature := !temperature *. config.cooling
   done;
   {

@@ -509,6 +509,14 @@ let sweep_array (scenario : Scenario.t) ~exec ~base_d ~base_t ~dense_rd ~dense_r
     ~sinks w failures =
   let g = scenario.Scenario.graph in
   let t0 = Unix.gettimeofday () in
+  (* Scenario id for the flight recorder: a structural hash is stable within
+     a run, so traced sweeps of the same instance correlate. *)
+  let trace_id =
+    if Dtr_obs.Trace.enabled () then Hashtbl.hash scenario land 0x3FFFFFFF else 0
+  in
+  if Dtr_obs.Trace.enabled () then
+    Dtr_obs.Trace.emit_sweep_begin ~scenario:trace_id
+      ~failures:(Array.length failures);
   let use_cache = Spf_delta.enabled () && Array.length failures >= 2 in
   let cache =
     if use_cache then
@@ -548,6 +556,9 @@ let sweep_array (scenario : Scenario.t) ~exec ~base_d ~base_t ~dense_rd ~dense_r
    else
      Dtr_obs.Metric.Counter.add Sweep_stats.full_evals (Array.length failures));
   Dtr_obs.Metric.Accum.add Sweep_stats.seconds (Unix.gettimeofday () -. t0);
+  if Dtr_obs.Trace.enabled () then
+    Dtr_obs.Trace.emit_sweep_end ~scenario:trace_id
+      ~failures:(Array.length failures);
   details
 
 (* Failure sweeps compute the no-failure routing once and re-route only the

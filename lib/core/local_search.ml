@@ -1,10 +1,13 @@
 module Rng = Dtr_util.Rng
 module Lexico = Dtr_cost.Lexico
 module Metric = Dtr_obs.Metric
+module Trace = Dtr_obs.Trace
+module Convergence = Dtr_obs.Convergence
 
-(* Per-move instrumentation is gated on [Metric.enabled]: the try/accept
-   counters sit on the single-arc hot path, so with observability off the
-   search pays one atomic load per trial and allocates nothing. *)
+(* Per-move instrumentation is gated on [Metric.enabled] (and the flight
+   recorder on [Trace.enabled]): the try/accept counters sit on the
+   single-arc hot path, so with observability off the search pays one atomic
+   load per trial and allocates nothing. *)
 let c_trials = Metric.Counter.create "local_search.trials"
 let c_accepts = Metric.Counter.create "local_search.accepts"
 let c_rounds = Metric.Counter.create "local_search.rounds"
@@ -71,6 +74,14 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
         end
         else 0.
   in
+  (* Best-so-far across rounds, seen from inside a round: the better of the
+     committed global best and the round's current cost.  Only read by the
+     convergence recorder. *)
+  let best_for_telemetry current =
+    match !best with
+    | Some (_, b) when not (Lexico.is_better current ~than:b) -> b
+    | _ -> current
+  in
   (* One diversification round: local search until [interval] stale sweeps. *)
   let run_round ~round =
     let w = Weights.copy (init ~round) in
@@ -84,6 +95,7 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
           incr sweeps;
           incr round_sweeps;
           let sweep_improved = ref false in
+          let sweep_trials = ref 0 and sweep_accepts = ref 0 in
           Rng.shuffle rng order;
           Array.iter
             (fun arc ->
@@ -101,7 +113,19 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
                 in
                 if Metric.enabled () then begin
                   Metric.Counter.incr c_trials;
-                  if accepted then Metric.Counter.incr c_accepts
+                  if accepted then Metric.Counter.incr c_accepts;
+                  incr sweep_trials;
+                  if accepted then incr sweep_accepts
+                end;
+                if Trace.enabled () then begin
+                  let new_lambda, new_phi =
+                    match verdict with
+                    | Some c -> (c.Lexico.lambda, c.Lexico.phi)
+                    | None -> (Float.nan, Float.nan)
+                  in
+                  Trace.emit_move ~arc ~accepted
+                    ~old_lambda:!current.Lexico.lambda ~old_phi:!current.Lexico.phi
+                    ~new_lambda ~new_phi
                 end;
                 observe
                   { arc; weights = w; cost_before = !current; cost_after = verdict; accepted };
@@ -120,6 +144,16 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
                 end
               end)
             order;
+          if Metric.enabled () then begin
+            (* One convergence point per sweep, into the caller's ambient
+               series (phase1a, phase2, …): best/current cost, this sweep's
+               acceptance counts, and the diversification-reset index. *)
+            let b = best_for_telemetry !current in
+            Convergence.record ~best_lambda:b.Lexico.lambda
+              ~best_phi:b.Lexico.phi ~cur_lambda:!current.Lexico.lambda
+              ~cur_phi:!current.Lexico.phi ~trials:!sweep_trials
+              ~accepts:!sweep_accepts ~resets:round
+          end;
           if !sweep_improved then stale := 0 else incr stale
         done;
         Some (note_best w !current)

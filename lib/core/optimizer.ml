@@ -94,6 +94,8 @@ let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
            ranking (or a baseline selector). *)
         let critical =
           Dtr_obs.Span.with_ ~name:"phase1c" (fun () ->
+              if Dtr_obs.Trace.enabled () then
+                Dtr_obs.Trace.emit_phase ~name:"phase1c";
               pick_critical ~rng ~selector ~fraction ?exec scenario phase1)
         in
         (critical, List.map (fun a -> Failure.Arc a) critical)

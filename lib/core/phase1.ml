@@ -4,6 +4,8 @@ module Exec = Dtr_exec.Exec
 module Scratch = Dtr_exec.Scratch
 module Metric = Dtr_obs.Metric
 module Span = Dtr_obs.Span
+module Trace = Dtr_obs.Trace
+module Convergence = Dtr_obs.Convergence
 
 let c_evals = Metric.Counter.create "phase1.evals"
 let c_sweeps = Metric.Counter.create "phase1.sweeps"
@@ -133,8 +135,10 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
   in
   let search =
     Span.with_ ~name:"phase1a" (fun () ->
-        Local_search.run_engine ~rng ~num_arcs ~engine ~init ~observer
-          ~on_improvement config)
+        if Trace.enabled () then Trace.emit_phase ~name:"phase1a";
+        Convergence.with_series ~name:"phase1a" (fun () ->
+            Local_search.run_engine ~rng ~num_arcs ~engine ~init ~observer
+              ~on_improvement config))
   in
   let best = search.Local_search.best and best_cost = search.Local_search.best_cost in
   (* Phase 1b: explicit failure-emulating sampling from the best setting
@@ -178,6 +182,8 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
     end
   in
   (Span.with_ ~name:"phase1b" @@ fun () ->
+   if Trace.enabled () then Trace.emit_phase ~name:"phase1b";
+   Convergence.with_series ~name:"phase1b" @@ fun () ->
    while needs_more () && !phase1b_sweeps < p.Scenario.max_phase1b_rounds do
      incr phase1b_sweeps;
     let w = Weights.copy best in
@@ -210,7 +216,15 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
       extra_evals := !extra_evals + num_arcs;
       Array.iteri (fun arc cost -> Sampler.record sampler ~arc cost) costs
     end;
-    converged := Criticality.Convergence.check ~exec tracker sampler
+    converged := Criticality.Convergence.check ~exec tracker sampler;
+    (* One convergence point per sampling round: cumulative probes, the
+       per-arc sample floor, and whether rankings have converged. *)
+    if Metric.enabled () then
+      Convergence.record ~best_lambda:best_cost.Lexico.lambda
+        ~best_phi:best_cost.Lexico.phi ~cur_lambda:best_cost.Lexico.lambda
+        ~cur_phi:best_cost.Lexico.phi ~trials:(Sampler.total sampler)
+        ~accepts:(Sampler.min_count sampler)
+        ~resets:(if !converged then 1 else 0)
   done);
   let criticality =
     match Criticality.Convergence.last tracker with
@@ -254,7 +268,9 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
   }
 
 let run ~rng ?(incremental = true) ?exec scenario =
-  Span.with_ ~name:"phase1" (fun () -> run_impl ~rng ~incremental ?exec scenario)
+  Span.with_ ~name:"phase1" (fun () ->
+      if Trace.enabled () then Trace.emit_phase ~name:"phase1";
+      run_impl ~rng ~incremental ?exec scenario)
 
 let critical_set (scenario : Scenario.t) output =
   let p = scenario.Scenario.params in

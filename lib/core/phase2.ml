@@ -2,6 +2,8 @@ module Lexico = Dtr_cost.Lexico
 module Failure = Dtr_topology.Failure
 module Metric = Dtr_obs.Metric
 module Span = Dtr_obs.Span
+module Trace = Dtr_obs.Trace
+module Convergence = Dtr_obs.Convergence
 
 type stats = { evals : int; sweeps : int; rounds : int }
 
@@ -19,6 +21,7 @@ let c_rounds = Metric.Counter.create "phase2.rounds"
 let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
     ~(phase1 : Phase1.output) ~failures =
   Span.with_ ~name:"phase2" @@ fun () ->
+  if Trace.enabled () then Trace.emit_phase ~name:"phase2";
   if failures = [] then invalid_arg "Phase2.run: no failure scenarios";
   let exec = match exec with Some e -> e | None -> Dtr_exec.Exec.default () in
   let p = scenario.Scenario.params in
@@ -78,7 +81,10 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
     let w, _ = starts.(round mod Array.length starts) in
     w
   in
-  let search = Local_search.run_engine ~rng ~num_arcs ~engine ~init config in
+  let search =
+    Convergence.with_series ~name:"phase2" (fun () ->
+        Local_search.run_engine ~rng ~num_arcs ~engine ~init config)
+  in
   if Metric.enabled () then begin
     Metric.Counter.add c_evals search.Local_search.evals;
     Metric.Counter.add c_sweeps search.Local_search.sweeps;

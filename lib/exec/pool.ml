@@ -56,6 +56,9 @@ let drain t task =
       else begin
         incr claimed;
         let lo, hi = Chunk.bounds task.chunks c in
+        (* Flight-recorder breadcrumb: which domain claimed which item
+           range, for the Chrome timeline's work-distribution view. *)
+        if Dtr_obs.Trace.enabled () then Dtr_obs.Trace.emit_chunk_claim ~lo ~hi;
         try
           for i = lo to hi - 1 do
             task.f i

@@ -17,7 +17,9 @@ let reset () =
       instance := [];
       results := []);
   Metric.reset_all ();
-  Span.reset ()
+  Span.reset ();
+  Trace.reset ();
+  Convergence.reset ()
 
 let escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -62,6 +64,37 @@ let rec span_json (v : Span.view) =
     (float_json v.Span.exclusive)
     (String.concat ", " (List.map span_json v.Span.children))
 
+(* Schema /2 extends /1 with the flight-recorder accounting ("trace") and
+   the per-iteration convergence series ("convergence"); every /1 key keeps
+   its name, type and order, so /1 consumers keep working unchanged. *)
+let trace_json () =
+  let s = Trace.stats () in
+  obj_json
+    [
+      ("enabled", B s.Trace.s_enabled);
+      ("capacity", I s.Trace.s_capacity);
+      ("emitted", I s.Trace.emitted);
+      ("recorded", I s.Trace.recorded);
+      ("dropped", I s.Trace.dropped);
+    ]
+
+let point_json (p : Convergence.point) =
+  obj_json
+    [
+      ("iter", I p.Convergence.iter);
+      ("best_lambda", F p.Convergence.best_lambda);
+      ("best_phi", F p.Convergence.best_phi);
+      ("cur_lambda", F p.Convergence.cur_lambda);
+      ("cur_phi", F p.Convergence.cur_phi);
+      ("trials", I p.Convergence.trials);
+      ("accepts", I p.Convergence.accepts);
+      ("resets", I p.Convergence.resets);
+    ]
+
+let series_json (name, points) =
+  Printf.sprintf "{\"name\": \"%s\", \"points\": [%s]}" (escape name)
+    (String.concat ", " (List.map point_json points))
+
 let to_string () =
   let instance, results =
     Mutex.protect state_mutex (fun () -> (!instance, !results))
@@ -69,7 +102,7 @@ let to_string () =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "{";
-  line "  \"schema\": \"dtr-obs-report/1\",";
+  line "  \"schema\": \"dtr-obs-report/2\",";
   line "  \"instance\": %s," (obj_json instance);
   line "  \"results\": %s," (obj_json results);
   line "  \"spans\": [%s],"
@@ -78,6 +111,9 @@ let to_string () =
     (obj_json (List.map (fun (k, v) -> (k, I v)) (Metric.all_counters ())));
   line "  \"accumulators\": %s,"
     (obj_json (List.map (fun (k, v) -> (k, F v)) (Metric.all_accums ())));
+  line "  \"trace\": %s," (trace_json ());
+  line "  \"convergence\": [%s],"
+    (String.concat ", " (List.map series_json (Convergence.all ())));
   line "  \"domains\": [%s]"
     (String.concat ", "
        (List.map

@@ -1,21 +1,33 @@
 (** Whole-run observability report.
 
     Serializes the instance summary and final results (set by the caller)
-    together with every registered metric, the merged span tree, and the
-    per-domain utilization breakdown into one JSON document with schema tag
-    ["dtr-obs-report/1"]:
+    together with every registered metric, the merged span tree, the
+    flight-recorder accounting, the convergence series, and the per-domain
+    utilization breakdown into one JSON document with schema tag
+    ["dtr-obs-report/2"]:
 
     {v
-    { "schema": "dtr-obs-report/1",
+    { "schema": "dtr-obs-report/2",
       "instance":     { <key>: <string|int|float|bool>, ... },
       "results":      { <key>: <value>, ... },
       "spans":        [ { "name", "count", "seconds",
                           "exclusive_seconds", "children": [...] }, ... ],
       "counters":     { <name>: <int>, ... },
       "accumulators": { <name>: <float>, ... },
+      "trace":        { "enabled", "capacity", "emitted",
+                        "recorded", "dropped" },
+      "convergence":  [ { "name", "points": [ { "iter", "best_lambda",
+                          "best_phi", "cur_lambda", "cur_phi", "trials",
+                          "accepts", "resets" }, ... ] }, ... ],
       "domains":      [ { "domain": <id>,
                           "counters": {...}, "accumulators": {...} }, ... ] }
     v}
+
+    Every ["dtr-obs-report/1"] key keeps its name, type and position — /2
+    only adds ["trace"] and ["convergence"] — so /1 consumers keep working.
+    The ["trace"] object always carries the ring capacity and the
+    dropped-events counter, so a truncated flight recording is never
+    silently read as complete.
 
     Key order is fixed (registration order for metrics, first-seen order for
     spans, ascending domain id) so reports from identical runs diff
@@ -30,8 +42,8 @@ val set_results : (string * value) list -> unit
 (** Record the final results (lexicographic costs, critical-set size, …). *)
 
 val reset : unit -> unit
-(** Clear instance/results and reset every metric and span — call at the
-    start of a run. *)
+(** Clear instance/results and reset every metric, span, flight-recorder
+    ring, and convergence series — call at the start of a run. *)
 
 val to_string : unit -> string
 (** Render the current state as a JSON document. *)

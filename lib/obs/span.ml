@@ -41,11 +41,15 @@ let with_ ~name f =
     let parent = match ctx.stack with c :: _ -> c | [] -> ctx.root in
     let node = find_or_add parent name in
     ctx.stack <- node :: ctx.stack;
+    (* The flight recorder mirrors every span as a begin/end event pair so
+       the Chrome export shows the span hierarchy on a timeline. *)
+    if Trace.enabled () then Trace.emit_span_begin ~name;
     let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         node.count <- node.count + 1;
         node.seconds <- node.seconds +. (Unix.gettimeofday () -. t0);
+        if Trace.enabled () then Trace.emit_span_end ~name;
         match ctx.stack with _ :: rest -> ctx.stack <- rest | [] -> ())
       f
   end

@@ -1,0 +1,43 @@
+(** Minimal dependency-free JSON reader.
+
+    The project emits its JSON (reports, traces, BENCH rows) by hand; this
+    module is the matching reader used by the trace tooling ([dtr-opt trace
+    diff] / [trace bench-check]).  Full value grammar, numbers as floats,
+    [\uXXXX] escapes decoded to UTF-8, object members in file order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document; trailing non-whitespace is an error. *)
+
+val parse_exn : string -> t
+(** @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** First member with that key, when the value is an object. *)
+
+val to_string_opt : t -> string option
+val to_float_opt : t -> float option
+
+val to_int_opt : t -> int option
+(** Numbers with an integral value only. *)
+
+val to_bool_opt : t -> bool option
+
+val to_list : t -> t list
+(** Array elements; [[]] for non-arrays. *)
+
+val to_obj : t -> (string * t) list
+(** Object members; [[]] for non-objects. *)
+
+val string_member : string -> t -> default:string -> string
+val float_member : string -> t -> default:float -> float
+val int_member : string -> t -> default:int -> int

@@ -1,9 +1,12 @@
 (* Tests for the shared CLI plumbing (dtr_cli): the --jobs converter must
    reject invalid counts through Cmdliner's own error channel (usage +
-   Cmd.Exit.cli_error) instead of the old eprintf-and-exit-1 bypass, and
-   exec_of_jobs must honor explicit counts. *)
+   Cmd.Exit.cli_error) instead of the old eprintf-and-exit-1 bypass,
+   exec_of_jobs must honor explicit counts, and the trace tooling
+   (report diff, BENCH perf-regression gate) must produce the documented
+   verdicts and exit codes. *)
 
 module Cli = Dtr_cli.Cli
+module Trace_cmd = Dtr_cli.Trace_cmd
 module Exec = Dtr_exec.Exec
 open Cmdliner
 
@@ -54,10 +57,192 @@ let test_exec_of_jobs () =
   Alcotest.(check bool) "default resolves to at least one job" true
     (Exec.jobs (Cli.exec_of_jobs None) >= 1)
 
+(* --- trace diff --------------------------------------------------------- *)
+
+let report_doc ~optimize_count ~sweeps =
+  Printf.sprintf
+    {|{
+  "schema": "dtr-obs-report/2",
+  "spans": [
+    {"name": "optimize", "count": %d, "seconds": 0.5, "children": [
+      {"name": "phase1", "count": 1, "seconds": 0.3, "children": []}
+    ]}
+  ],
+  "counters": {"eval.sweeps": %d}
+}|}
+    optimize_count sweeps
+
+let test_trace_diff_identical () =
+  let doc = report_doc ~optimize_count:1 ~sweeps:100 in
+  match Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B" ~a:doc ~b:doc with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+      Alcotest.(check int) "same run shows zero span-count deltas" 0
+        d.Trace_cmd.count_deltas;
+      Alcotest.(check int) "zero counter deltas" 0 d.Trace_cmd.counter_deltas
+
+let test_trace_diff_detects_deltas () =
+  match
+    Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B"
+      ~a:(report_doc ~optimize_count:1 ~sweeps:100)
+      ~b:(report_doc ~optimize_count:2 ~sweeps:140)
+  with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+      Alcotest.(check int) "span-count delta detected" 1 d.Trace_cmd.count_deltas;
+      Alcotest.(check int) "counter delta detected" 1 d.Trace_cmd.counter_deltas
+
+let test_trace_diff_malformed () =
+  match
+    Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B" ~a:"{ not json"
+      ~b:(report_doc ~optimize_count:1 ~sweeps:1)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed report must be an error"
+
+(* --- trace bench-check --------------------------------------------------- *)
+
+let bench_doc rows =
+  Printf.sprintf {|{"kernel": "synthetic", "rows": [%s]}|}
+    (String.concat ", " rows)
+
+let row ?commit ?timestamp ~name ns =
+  Printf.sprintf {|{"name": %S, "ns_per_op": %.1f%s%s}|} name ns
+    (match commit with Some c -> Printf.sprintf {|, "commit": %S|} c | None -> "")
+    (match timestamp with
+    | Some t -> Printf.sprintf {|, "timestamp": %S|} t
+    | None -> "")
+
+(* A >20% ns/op increase between consecutive trajectory rows must trip the
+   gate (exit 1 at the CLI); tightening the threshold above the injected
+   regression must clear it. *)
+let test_bench_check_injected_regression () =
+  let doc =
+    bench_doc
+      [
+        (* Unstamped pre-PR-5 row: sorts first, still part of the walk. *)
+        row ~name:"spf" 1000.;
+        row ~name:"spf" ~commit:"aaa" ~timestamp:"2026-08-01T00:00:00Z" 1050.;
+        row ~name:"spf" ~commit:"bbb" ~timestamp:"2026-08-05T00:00:00Z" 1400.;
+        row ~name:"other" ~commit:"bbb" ~timestamp:"2026-08-05T00:00:00Z" 10.;
+      ]
+  in
+  (match Trace_cmd.check_files ~threshold:20. [ ("BENCH_synthetic.json", doc) ] with
+  | Error e -> Alcotest.failf "check failed: %s" e
+  | Ok r -> (
+      match r.Trace_cmd.regressions with
+      | [ reg ] ->
+          Alcotest.(check string) "regressing measurement" "spf"
+            reg.Trace_cmd.r_name;
+          Alcotest.(check string) "blamed commit" "bbb" reg.Trace_cmd.to_commit;
+          Alcotest.(check bool) "change is the 33% step" true
+            (Float.abs (reg.Trace_cmd.change_pct -. 33.3) < 0.5)
+      | regs -> Alcotest.failf "expected one regression, got %d" (List.length regs)));
+  match Trace_cmd.check_files ~threshold:50. [ ("BENCH_synthetic.json", doc) ] with
+  | Error e -> Alcotest.failf "check failed: %s" e
+  | Ok r ->
+      Alcotest.(check int) "50% threshold clears the 33% step" 0
+        (List.length r.Trace_cmd.regressions)
+
+(* Timestamp ordering, not file order, defines the trajectory: a backfilled
+   file listing the newest row first must not report a phantom regression
+   (or miss a real one). *)
+let test_bench_check_backfill_ordering () =
+  let doc =
+    bench_doc
+      [
+        row ~name:"spf" ~commit:"new" ~timestamp:"2026-08-05T00:00:00Z" 2000.;
+        row ~name:"spf" ~commit:"old" ~timestamp:"2026-08-01T00:00:00Z" 1000.;
+      ]
+  in
+  match Trace_cmd.check_files ~threshold:20. [ ("b.json", doc) ] with
+  | Error e -> Alcotest.failf "check failed: %s" e
+  | Ok r -> (
+      match r.Trace_cmd.regressions with
+      | [ reg ] ->
+          Alcotest.(check string) "old commit is the baseline" "old"
+            reg.Trace_cmd.from_commit;
+          Alcotest.(check string) "new commit is blamed" "new"
+            reg.Trace_cmd.to_commit
+      | regs ->
+          Alcotest.failf "expected exactly one regression, got %d"
+            (List.length regs))
+
+let test_bench_check_malformed_is_error () =
+  match Trace_cmd.check_files ~threshold:20. [ ("bad.json", "{") ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt BENCH file must fail the gate, not skip"
+
+(* End-to-end through the CLI entry points: the documented exit codes. *)
+let test_trace_cli_exit_codes () =
+  let write content =
+    let path = Filename.temp_file "dtr_test_bench" ".json" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  let regressing =
+    write
+      (bench_doc
+         [
+           row ~name:"k" ~timestamp:"2026-08-01T00:00:00Z" 100.;
+           row ~name:"k" ~timestamp:"2026-08-02T00:00:00Z" 200.;
+         ])
+  in
+  let steady =
+    write
+      (bench_doc
+         [
+           row ~name:"k" ~timestamp:"2026-08-01T00:00:00Z" 100.;
+           row ~name:"k" ~timestamp:"2026-08-02T00:00:00Z" 101.;
+         ])
+  in
+  let report = write (report_doc ~optimize_count:1 ~sweeps:5) in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ regressing; steady; report ])
+    (fun () ->
+      Alcotest.(check int) "injected regression exits 1" 1
+        (Trace_cmd.run_bench_check 20. [ regressing ]);
+      Alcotest.(check int) "steady trajectory exits 0" 0
+        (Trace_cmd.run_bench_check 20. [ steady ]);
+      Alcotest.(check int) "mixed file set exits 1" 1
+        (Trace_cmd.run_bench_check 20. [ steady; regressing ]);
+      Alcotest.(check int) "diff of a report against itself exits 0" 0
+        (Trace_cmd.run_diff report report))
+
+(* --- convergence rendering ---------------------------------------------- *)
+
+let test_sparkline () =
+  Alcotest.(check string) "empty series" "" (Trace_cmd.sparkline []);
+  let s = Trace_cmd.sparkline [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check int) "one glyph per point" 4 (String.length s);
+  Alcotest.(check char) "minimum maps to the lowest level" ' ' s.[0];
+  Alcotest.(check char) "maximum maps to the highest level" '@' s.[3];
+  Alcotest.(check bool) "flat series renders at one level" true
+    (Trace_cmd.sparkline [ 5.; 5.; 5. ] = "   ");
+  (* Long series are resampled to a bounded width. *)
+  let long = Trace_cmd.sparkline (List.init 500 float_of_int) in
+  Alcotest.(check bool) "long series bounded" true (String.length long <= 72)
+
 let suite =
   [
     Alcotest.test_case "--jobs validation exit codes" `Quick
       test_jobs_conv_exit_codes;
     Alcotest.test_case "jobs_conv parser" `Quick test_jobs_conv_parse;
     Alcotest.test_case "exec_of_jobs" `Quick test_exec_of_jobs;
+    Alcotest.test_case "trace diff: identical reports" `Quick
+      test_trace_diff_identical;
+    Alcotest.test_case "trace diff: detects deltas" `Quick
+      test_trace_diff_detects_deltas;
+    Alcotest.test_case "trace diff: malformed input" `Quick
+      test_trace_diff_malformed;
+    Alcotest.test_case "bench-check: injected regression" `Quick
+      test_bench_check_injected_regression;
+    Alcotest.test_case "bench-check: backfill timestamp ordering" `Quick
+      test_bench_check_backfill_ordering;
+    Alcotest.test_case "bench-check: corrupt file is an error" `Quick
+      test_bench_check_malformed_is_error;
+    Alcotest.test_case "trace CLI exit codes" `Quick test_trace_cli_exit_codes;
+    Alcotest.test_case "sparkline rendering" `Quick test_sparkline;
   ]

@@ -1,0 +1,106 @@
+(* Tests for the minimal JSON reader (Dtr_util.Json) backing the trace
+   tooling: value grammar, string escapes, error positions as Result, and
+   a round-trip against the documents the project itself emits. *)
+
+module Json = Dtr_util.Json
+
+let json = Alcotest.testable (fun fmt _ -> Format.fprintf fmt "<json>") ( = )
+
+let test_scalars () =
+  Alcotest.(check (result json string)) "null" (Ok Json.Null) (Json.parse "null");
+  Alcotest.(check (result json string)) "true" (Ok (Json.Bool true))
+    (Json.parse "true");
+  Alcotest.(check (result json string)) "int" (Ok (Json.Num 42.))
+    (Json.parse " 42 ");
+  Alcotest.(check (result json string)) "negative exponent"
+    (Ok (Json.Num (-1.5e3)))
+    (Json.parse "-1.5e3");
+  Alcotest.(check (result json string)) "string" (Ok (Json.Str "hi"))
+    (Json.parse "\"hi\"")
+
+let test_structures () =
+  let doc = {| {"a": [1, 2, {"b": null}], "c": "x", "a": 9} |} in
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      (* Duplicate keys are kept; member returns the first. *)
+      (match Json.member "a" j with
+      | Some (Json.Arr [ Json.Num 1.; Json.Num 2.; Json.Obj [ ("b", Json.Null) ] ])
+        -> ()
+      | _ -> Alcotest.fail "first \"a\" member mismatch");
+      Alcotest.(check (list string)) "member order preserved" [ "a"; "c"; "a" ]
+        (List.map fst (Json.to_obj j));
+      Alcotest.(check string) "string accessor" "x"
+        (Json.string_member "c" j ~default:"?")
+
+let test_escapes () =
+  Alcotest.(check (result json string)) "standard escapes"
+    (Ok (Json.Str "a\"b\\c\nd\te"))
+    (Json.parse {|"a\"b\\c\nd\te"|});
+  Alcotest.(check (result json string)) "unicode escape to UTF-8"
+    (Ok (Json.Str "\xc3\xa9"))
+    (Json.parse "\"\\u00e9\"");
+  Alcotest.(check bool) "unknown escape rejected" true
+    (Result.is_error (Json.parse {|"\q"|}))
+
+let test_errors () =
+  List.iter
+    (fun (label, doc) ->
+      Alcotest.(check bool) label true (Result.is_error (Json.parse doc)))
+    [
+      ("empty input", "");
+      ("unterminated string", "\"abc");
+      ("trailing garbage", "1 2");
+      ("bare comma", "[1,]");
+      ("missing colon", "{\"a\" 1}");
+      ("unclosed object", "{\"a\": 1");
+      ("bad number", "-");
+    ];
+  match Json.parse_exn "[" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "parse_exn must raise on malformed input"
+
+let test_accessors () =
+  let j = Json.parse_exn {| {"i": 3, "f": 3.5, "s": "t", "b": false} |} in
+  Alcotest.(check (option int)) "int member" (Some 3)
+    (Option.bind (Json.member "i" j) Json.to_int_opt);
+  Alcotest.(check (option int)) "non-integral rejected by to_int_opt" None
+    (Option.bind (Json.member "f" j) Json.to_int_opt);
+  Alcotest.(check (float 0.)) "float member" 3.5
+    (Json.float_member "f" j ~default:0.);
+  Alcotest.(check (option bool)) "bool member" (Some false)
+    (Option.bind (Json.member "b" j) Json.to_bool_opt);
+  Alcotest.(check int) "defaults pass through" 7
+    (Json.int_member "missing" j ~default:7);
+  Alcotest.(check (list json)) "to_list on non-array" [] (Json.to_list j)
+
+(* The reader must accept what the project writes: an actual obs report. *)
+let test_reads_own_report () =
+  let was = Dtr_obs.Metric.enabled () in
+  Dtr_obs.Report.reset ();
+  Dtr_obs.Metric.set_enabled true;
+  Fun.protect ~finally:(fun () -> Dtr_obs.Metric.set_enabled was) @@ fun () ->
+  Dtr_obs.Span.with_ ~name:"outer" (fun () ->
+      Dtr_obs.Span.with_ ~name:"inner" (fun () -> ()));
+  Dtr_obs.Report.set_instance [ ("topology", Dtr_obs.Report.S "rand") ];
+  let j = Json.parse_exn (Dtr_obs.Report.to_string ()) in
+  Alcotest.(check string) "schema readable" "dtr-obs-report/2"
+    (Json.string_member "schema" j ~default:"?");
+  match Json.to_list (Option.get (Json.member "spans" j)) with
+  | [ outer ] ->
+      Alcotest.(check string) "span name" "outer"
+        (Json.string_member "name" outer ~default:"?");
+      Alcotest.(check int) "span count" 1
+        (Json.int_member "count" outer ~default:0)
+  | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans)
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "arrays and objects" `Quick test_structures;
+    Alcotest.test_case "string escapes" `Quick test_escapes;
+    Alcotest.test_case "malformed input is rejected" `Quick test_errors;
+    Alcotest.test_case "typed accessors" `Quick test_accessors;
+    Alcotest.test_case "reads the project's own reports" `Quick
+      test_reads_own_report;
+  ]

@@ -21,6 +21,8 @@ let () =
       ("core.eval", Test_eval.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
+      ("obs.trace", Test_trace.suite);
+      ("util.json", Test_json.suite);
       ("cli", Test_cli.suite);
       ("core.eval_incr", Test_eval_incr.suite);
       ("core.dspf", Test_dspf.suite);

@@ -110,6 +110,65 @@ let test_span_nesting () =
       Alcotest.(check int) "reset drops spans" 0 (List.length (Span.merged ()))
   | vs -> Alcotest.failf "expected one merged root span, got %d" (List.length vs)
 
+(* Exclusive-time accounting under recursion: a span nested inside itself
+   builds a chain of same-name nodes, one per depth.  No double counting
+   means the exclusives telescope — summed over the whole chain they equal
+   the outermost inclusive time — and every level stays non-negative. *)
+let test_span_recursion_exclusive () =
+  with_obs true @@ fun () ->
+  Span.reset ();
+  let sink = ref 0 in
+  let burn () =
+    for i = 1 to 100_000 do
+      sink := !sink + Sys.opaque_identity i
+    done
+  in
+  (* Binary recursion: depth d calls depth (d-1) twice, so level counts must
+     come out 1, 2, 4 while every call burns comparable time. *)
+  let rec recurse d =
+    Span.with_ ~name:"rec" (fun () ->
+        burn ();
+        if d > 0 then begin
+          recurse (d - 1);
+          recurse (d - 1)
+        end)
+  in
+  recurse 2;
+  let rec chain acc = function
+    | { Span.vname = "rec"; _ } as v -> (
+        let acc = v :: acc in
+        match v.Span.children with
+        | [] -> List.rev acc
+        | [ c ] -> chain acc c
+        | cs ->
+            Alcotest.failf "recursion must merge per depth, got %d siblings"
+              (List.length cs))
+    | v -> Alcotest.failf "unexpected span %s" v.Span.vname
+  in
+  match Span.merged () with
+  | [ top ] ->
+      let levels = chain [] top in
+      Alcotest.(check (list int))
+        "one merged node per depth, counts 1/2/4" [ 1; 2; 4 ]
+        (List.map (fun v -> v.Span.count) levels);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "exclusive non-negative" true
+            (v.Span.exclusive >= 0.);
+          Alcotest.(check bool) "exclusive <= inclusive" true
+            (v.Span.exclusive <= v.Span.seconds +. 1e-9))
+        levels;
+      let sum_exclusive =
+        List.fold_left (fun a v -> a +. v.Span.exclusive) 0. levels
+      in
+      (* The telescoping identity: any double-counted nested time would push
+         the exclusive sum above the outer inclusive. *)
+      Alcotest.(check bool)
+        "exclusives sum to the outer inclusive" true
+        (Float.abs (sum_exclusive -. top.Span.seconds) < 1e-6);
+      Span.reset ()
+  | vs -> Alcotest.failf "expected one root span, got %d" (List.length vs)
+
 (* A span raised through must still be recorded and the stack unwound. *)
 let test_span_exception_safety () =
   with_obs true @@ fun () ->
@@ -148,7 +207,7 @@ let test_report_json () =
       Alcotest.(check bool) (Printf.sprintf "report contains %s" needle) true
         (contains s needle))
     [
-      "\"schema\": \"dtr-obs-report/1\"";
+      "\"schema\": \"dtr-obs-report/2\"";
       "\"name\": \"phase_x\"";
       "\"name\": \"sub\"";
       "\"topology\": \"rand \\\"quoted\\\"\"";
@@ -157,6 +216,12 @@ let test_report_json () =
       "\"converged\": true";
       "\"test.obs.report_counter\": 7";
       "\"domains\"";
+      (* /2 additions: flight-recorder accounting and convergence series are
+         always present, even when empty. *)
+      "\"trace\"";
+      "\"dropped\"";
+      "\"capacity\"";
+      "\"convergence\"";
     ];
   Report.reset ();
   let s = Report.to_string () in
@@ -198,6 +263,8 @@ let suite =
     Alcotest.test_case "overlapping sweeps keep exact totals" `Quick
       test_overlapping_sweep_totals;
     Alcotest.test_case "span nesting and merge" `Quick test_span_nesting;
+    Alcotest.test_case "recursive spans keep exclusive time exact" `Quick
+      test_span_recursion_exclusive;
     Alcotest.test_case "span exception safety" `Quick test_span_exception_safety;
     Alcotest.test_case "spans are no-ops when disabled" `Quick
       test_span_disabled_is_noop;
