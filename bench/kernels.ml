@@ -99,68 +99,104 @@ let incremental_tests () =
    measures CPU-time-per-run, which is blind to parallel speedup, so this
    kernel times wall clock by hand (best of a few runs) and cross-checks
    that every job count returns the exact serial result. *)
+(* The scale tier: the 50-node RandTopo case keeps its original BENCH row
+   names ("sweep jobs=N") so its trajectory stays comparable across PRs; the
+   Barabasi-Albert large tier and the measured 41-PoP backbone write rows
+   under their own prefixes.  DTR_LARGE=full adds the 500- and 1000-node BA
+   instances (minutes, not seconds).  Identity across job counts is a hard
+   failure, not a table footnote: a "NO" cell aborts the kernel. *)
 let parallel_sweep () =
   Harness.section "parallel_sweep: domain-pool failure sweep (dtr_exec)";
   Harness.with_span_report ~kernel:"parallel_sweep" @@ fun () ->
-  let rng = Rng.create 4242 in
-  let scenario =
-    Scenario.random_instance ~params:Scenario.quick_params ~nodes:50 ~degree:6. rng
-      Gen.Rand_topo
+  let json = ref [] in
+  let run_case ~prefix ~topology ~kind ~nodes ~degree ~seed ~timed_runs =
+    let rng = Rng.create seed in
+    let scenario =
+      Scenario.random_instance ~params:Scenario.quick_params ~nodes ~degree rng kind
+    in
+    let g = scenario.Scenario.graph in
+    let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
+    let failures = Failure.all_single_arcs g in
+    let time_sweep exec =
+      Dtr_obs.Span.with_
+        ~name:
+          (Printf.sprintf "sweep.%dn.jobs_%d" (Graph.num_nodes g)
+             (Dtr_exec.Exec.jobs exec))
+      @@ fun () ->
+      (* The first sweep warms the per-domain scratch (Dijkstra buffers,
+         failure masks); only the warm runs are timed. *)
+      let result = ref (Eval.sweep scenario ~exec w failures) in
+      let best = ref Float.infinity in
+      for _ = 1 to timed_runs do
+        let t0 = Unix.gettimeofday () in
+        result := Eval.sweep scenario ~exec w failures;
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      (!result, !best)
+    in
+    let serial_result, serial_time = time_sweep Dtr_exec.Exec.serial in
+    let t =
+      Dtr_util.Table.create
+        ~title:
+          (Printf.sprintf "full single-link sweep: %s, %d nodes, %d failures"
+             topology (Graph.num_nodes g) (List.length failures))
+        ~columns:[ "jobs"; "time"; "speedup"; "identical" ]
+    in
+    let timings = ref [] in
+    List.iter
+      (fun jobs ->
+        let result, time =
+          if jobs = 1 then (serial_result, serial_time)
+          else time_sweep (Dtr_exec.Exec.of_jobs jobs)
+        in
+        let identical = result = serial_result in
+        timings := !timings @ [ (jobs, time) ];
+        Dtr_util.Table.add_row t
+          [
+            string_of_int jobs;
+            Printf.sprintf "%.1f ms" (1e3 *. time);
+            Printf.sprintf "%.2fx" (serial_time /. time);
+            (if identical then "yes" else "NO");
+          ];
+        if not identical then begin
+          Dtr_util.Table.print t;
+          failwith
+            (Printf.sprintf
+               "parallel_sweep: %s at jobs=%d is NOT identical to the serial \
+                sweep — the bit-identity contract is broken"
+               prefix jobs)
+        end)
+      [ 1; 2; 4 ];
+    Dtr_util.Table.print t;
+    let arcs = Graph.num_arcs g and nf = float_of_int (List.length failures) in
+    json :=
+      !json
+      @ List.map
+          (fun (jobs, time) ->
+            Harness.bench_json_row
+              ~name:(Printf.sprintf "%s jobs=%d" prefix jobs)
+              ~topology ~nodes:(Graph.num_nodes g) ~arcs ~seed
+              ~ns_per_op:(1e9 *. time /. nf)
+              ~speedup:(serial_time /. time))
+          !timings
   in
-  let g = scenario.Scenario.graph in
-  let w = Weights.random rng ~num_arcs:(Graph.num_arcs g) ~wmax:20 in
-  let failures = Failure.all_single_arcs g in
-  let time_sweep exec =
-    Dtr_obs.Span.with_
-      ~name:(Printf.sprintf "sweep.jobs_%d" (Dtr_exec.Exec.jobs exec))
-    @@ fun () ->
-    (* The first sweep warms the per-domain scratch (Dijkstra buffers,
-       failure masks); only the warm runs are timed. *)
-    let result = ref (Eval.sweep scenario ~exec w failures) in
-    let best = ref Float.infinity in
-    for _ = 1 to 3 do
-      let t0 = Unix.gettimeofday () in
-      result := Eval.sweep scenario ~exec w failures;
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt
-    done;
-    (!result, !best)
-  in
-  let serial_result, serial_time = time_sweep Dtr_exec.Exec.serial in
-  let t =
-    Dtr_util.Table.create
-      ~title:
-        (Printf.sprintf "full single-link sweep: %d nodes, %d failures"
-           (Graph.num_nodes g) (List.length failures))
-      ~columns:[ "jobs"; "time"; "speedup"; "identical" ]
-  in
-  let timings = ref [] in
-  List.iter
-    (fun jobs ->
-      let result, time =
-        if jobs = 1 then (serial_result, serial_time)
-        else time_sweep (Dtr_exec.Exec.of_jobs jobs)
-      in
-      timings := !timings @ [ (jobs, time) ];
-      Dtr_util.Table.add_row t
-        [
-          string_of_int jobs;
-          Printf.sprintf "%.1f ms" (1e3 *. time);
-          Printf.sprintf "%.2fx" (serial_time /. time);
-          (if result = serial_result then "yes" else "NO");
-        ])
-    [ 1; 2; 4 ];
-  Dtr_util.Table.print t;
-  let arcs = Graph.num_arcs g and nf = float_of_int (List.length failures) in
-  Harness.write_bench_json ~kernel:"parallel_sweep"
-    (List.map
-       (fun (jobs, time) ->
-         Harness.bench_json_row
-           ~name:(Printf.sprintf "sweep jobs=%d" jobs)
-           ~topology:"RandTopo" ~nodes:(Graph.num_nodes g) ~arcs ~seed:4242
-           ~ns_per_op:(1e9 *. time /. nf)
-           ~speedup:(serial_time /. time))
-       !timings)
+  run_case ~prefix:"sweep" ~topology:"RandTopo" ~kind:Gen.Rand_topo ~nodes:50
+    ~degree:6. ~seed:4242 ~timed_runs:3;
+  run_case ~prefix:"backbone sweep" ~topology:"Backbone" ~kind:Gen.Backbone
+    ~nodes:41 ~degree:3.9 ~seed:4242 ~timed_runs:3;
+  run_case ~prefix:"large sweep 250n" ~topology:"PLTopo" ~kind:Gen.Pl_topo
+    ~nodes:250 ~degree:6. ~seed:4242 ~timed_runs:2;
+  if Sys.getenv_opt "DTR_LARGE" = Some "full" then begin
+    run_case ~prefix:"large sweep 500n" ~topology:"PLTopo" ~kind:Gen.Pl_topo
+      ~nodes:500 ~degree:6. ~seed:4242 ~timed_runs:2;
+    run_case ~prefix:"large sweep 1000n" ~topology:"PLTopo" ~kind:Gen.Pl_topo
+      ~nodes:1000 ~degree:6. ~seed:4242 ~timed_runs:1
+  end
+  else
+    Harness.note
+      "large tier capped at 250 nodes (set DTR_LARGE=full for 500/1000)";
+  Harness.write_bench_json ~kernel:"parallel_sweep" !json
 
 (* Failure-sweep pricing at three incrementality tiers — the tentpole
    benchmark of the dynamic-SPF repair engine:
@@ -291,6 +327,8 @@ let failure_sweep () =
     ~degree:4.4 ~seed:2008;
   run_case ~label:"RandTopo (30n)" ~topology:"RandTopo" ~kind:Gen.Rand_topo ~nodes:30
     ~degree:6. ~seed:99;
+  run_case ~label:"Backbone (41n)" ~topology:"Backbone" ~kind:Gen.Backbone ~nodes:41
+    ~degree:3.9 ~seed:2008;
   Dtr_util.Table.print t;
   Harness.write_bench_json ~kernel:"failure_sweep" !json
 

@@ -30,7 +30,10 @@ let topo_conv =
     | "near" -> Ok Gen.Near_topo
     | "pl" -> Ok Gen.Pl_topo
     | "isp" -> Ok Gen.Isp
-    | s -> Error (`Msg (Printf.sprintf "unknown topology %S (rand|near|pl|isp)" s))
+    | "backbone" -> Ok Gen.Backbone
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown topology %S (rand|near|pl|isp|backbone)" s))
   in
   let print ppf k = Format.pp_print_string ppf (Gen.kind_name k) in
   Cmdliner.Arg.conv (parse, print)
@@ -51,15 +54,15 @@ open Cmdliner
 
 let topo =
   Arg.(value & opt topo_conv Gen.Rand_topo & info [ "t"; "topology" ] ~docv:"KIND"
-         ~doc:"Topology family: rand, near, pl or isp.")
+         ~doc:"Topology family: rand, near, pl, isp or backbone.")
 
 let nodes =
   Arg.(value & opt int 16 & info [ "n"; "nodes" ] ~docv:"N"
-         ~doc:"Number of nodes (ignored for isp).")
+         ~doc:"Number of nodes (ignored for isp and backbone).")
 
 let degree =
   Arg.(value & opt float 5. & info [ "d"; "degree" ] ~docv:"D"
-         ~doc:"Mean undirected node degree (ignored for isp).")
+         ~doc:"Mean undirected node degree (ignored for isp and backbone).")
 
 let avg_util =
   Arg.(value & opt float 0.43 & info [ "u"; "avg-util" ] ~docv:"U"
@@ -77,6 +80,17 @@ let jobs =
 (* Explicit flag wins over DTR_JOBS; absent both, run serially.  Validation
    happens in Dtr_cli.Cli.jobs_conv, through Cmdliner's own error channel. *)
 let exec_of_jobs = Dtr_cli.Cli.exec_of_jobs
+
+let chunk_size =
+  Arg.(value & opt (some Dtr_cli.Cli.chunk_size_conv) None
+       & info [ "chunk-size" ] ~docv:"ITEMS"
+           ~doc:"Pin the pool's work-queue chunk size to $(docv) items per \
+                 claim instead of the adaptive policy.  Chunking only \
+                 affects scheduling: results are bit-identical for every \
+                 chunk size.  Overrides the DTR_CHUNK_SIZE environment \
+                 variable.")
+
+let apply_chunk_size = Dtr_cli.Cli.apply_chunk_size
 
 let no_dspf =
   Arg.(value & flag & info [ "no-dspf" ]
@@ -265,8 +279,9 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs no_dspf verbose report trace =
+    topology_file traffic_file out_weights jobs chunk_size no_dspf verbose report trace =
   let exec = exec_of_jobs jobs in
+  apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
@@ -332,8 +347,9 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs no_dspf verbose report trace =
+    weights_file node_failures jobs chunk_size no_dspf verbose report trace =
   let exec = exec_of_jobs jobs in
+  apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
   (* Resets all counters at entry — without it, in-process reuse (and the
      sweeps below) reported stale totals accumulated by earlier runs. *)
@@ -432,8 +448,8 @@ let optimize_term =
   in
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
-    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs $ no_dspf
-    $ verbose $ report_path $ trace_path)
+    $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs
+    $ chunk_size $ no_dspf $ verbose $ report_path $ trace_path)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -451,8 +467,8 @@ let evaluate_cmd =
     (Cmd.info "evaluate" ~doc:"price a saved weight setting under failures")
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
-      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs $ no_dspf
-      $ verbose $ report_path $ trace_path)
+      $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs
+      $ chunk_size $ no_dspf $ verbose $ report_path $ trace_path)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

@@ -18,3 +18,18 @@ let jobs_conv =
 let exec_of_jobs = function
   | Some n -> Dtr_exec.Exec.of_jobs n
   | None -> Dtr_exec.Exec.default ()
+
+let chunk_size_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid chunk size %S, expected an integer" s))
+    | Some n when n < 1 ->
+        Error (`Msg (Printf.sprintf "chunk size must be at least 1 (got %d)" n))
+    | Some n -> Ok n
+  in
+  Cmdliner.Arg.conv ~docv:"ITEMS" (parse, Format.pp_print_int)
+
+let apply_chunk_size = function
+  | Some _ as s -> Dtr_exec.Exec.set_chunk_size s
+  | None -> ()

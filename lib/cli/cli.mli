@@ -9,3 +9,12 @@ val exec_of_jobs : int option -> Dtr_exec.Exec.t
 (** [exec_of_jobs jobs] resolves an execution context: [Some n] forces [n]
     domains (the explicit flag wins over [DTR_JOBS]); [None] falls back to
     [Exec.default ()] (the [DTR_JOBS] environment variable, else serial). *)
+
+val chunk_size_conv : int Cmdliner.Arg.conv
+(** Pool chunk-size converter for [--chunk-size]: accepts integers [>= 1],
+    mirroring {!jobs_conv}'s validation-in-converter style. *)
+
+val apply_chunk_size : int option -> unit
+(** [apply_chunk_size (Some n)] pins the pool chunk size process-wide via
+    [Exec.set_chunk_size] (the explicit flag wins over [DTR_CHUNK_SIZE]);
+    [None] leaves the environment/adaptive default in place. *)

@@ -462,19 +462,56 @@ let run_diff a b =
           print_string d.rendered;
           if d.count_deltas = 0 then 0 else 1)
 
+(* A positional argument may be a BENCH file or a directory of them.  A
+   directory expands to its BENCH_*.json entries in name order; a missing
+   path, or a directory holding no BENCH files, is a hard error (exit 2) —
+   the historical failure mode was a CI glob that matched nothing, fed the
+   gate zero files and let it "pass" without checking anything. *)
+let expand_bench_path p =
+  if Sys.file_exists p && Sys.is_directory p then begin
+    let entries =
+      Array.to_list (Sys.readdir p)
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (Filename.concat p)
+    in
+    if entries = [] then
+      Error (Printf.sprintf "%s: directory contains no BENCH_*.json files" p)
+    else Ok entries
+  end
+  else if Sys.file_exists p then Ok [ p ]
+  else Error (Printf.sprintf "%s: no such file or directory" p)
+
 let run_bench_check threshold paths =
-  match List.map (fun p -> (p, read_file p)) paths with
-  | exception Sys_error e ->
+  let expanded =
+    List.fold_left
+      (fun acc p ->
+        match (acc, expand_bench_path p) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok l, Ok files -> Ok (l @ files))
+      (Ok []) paths
+  in
+  match expanded with
+  | Error e ->
       Printf.eprintf "trace bench-check: %s\n" e;
       2
-  | files -> (
-      match check_files ~threshold files with
-      | Error e ->
+  | Ok paths -> (
+      match List.map (fun p -> (p, read_file p)) paths with
+      | exception Sys_error e ->
           Printf.eprintf "trace bench-check: %s\n" e;
           2
-      | Ok r ->
-          print_string r.report;
-          if r.regressions = [] then 0 else 1)
+      | files -> (
+          match check_files ~threshold files with
+          | Error e ->
+              Printf.eprintf "trace bench-check: %s\n" e;
+              2
+          | Ok r ->
+              print_string r.report;
+              if r.regressions = [] then 0 else 1))
 
 let diff_term =
   let a =
@@ -493,9 +530,14 @@ let threshold_arg =
                consecutive rows of a measurement's trajectory.")
 
 let bench_check_term =
+  (* [string], not [file]: existence is checked in [expand_bench_path] so a
+     missing path reports through the gate's own exit-2 channel (and
+     directories are accepted and expanded). *)
   let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"BENCH.json"
-           ~doc:"BENCH_<kernel>.json files to walk.")
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH"
+           ~doc:"BENCH_<kernel>.json files, or directories containing them \
+                 (a directory expands to its BENCH_*.json entries; empty or \
+                 missing is an error).")
   in
   Term.(const run_bench_check $ threshold_arg $ files)
 

@@ -304,7 +304,7 @@ let build_sweep_cache (scenario : Scenario.t) ~base_d ~base_t ~dense_rd ~dense_r
     ~sinks =
   let g = scenario.Scenario.graph in
   let params = scenario.Scenario.params in
-  let arcs = Graph.arcs g in
+  let cap = Graph.arc_capacities g in
   let n = Graph.num_nodes g and m = Graph.num_arcs g in
   let rows_t = contribution_rows base_t ~demands:dense_rt ~n ~m in
   let rows_d = contribution_rows base_d ~demands:dense_rd ~n ~m in
@@ -318,7 +318,7 @@ let build_sweep_cache (scenario : Scenario.t) ~base_d ~base_t ~dense_rd ~dense_r
   let base_phi =
     Array.init m (fun a ->
         if base_tloads.(a) > 1e-9 then
-          Congestion.arc_cost ~capacity:arcs.(a).Graph.capacity ~load:base_loads.(a)
+          Congestion.arc_cost ~capacity:cap.(a) ~load:base_loads.(a)
         else 0.)
   in
   let base_lam = Array.make n 0. in
@@ -358,7 +358,7 @@ let assess_failure_cached (scenario : Scenario.t) ~cache ~scratch ~base_d ~base_
     ~dense_rd ~dense_rt ~sinks w f =
   let g = scenario.Scenario.graph in
   let params = scenario.Scenario.params in
-  let arcs = Graph.arcs g in
+  let cap = Graph.arc_capacities g and prop = Graph.arc_prop_delays g in
   let n = Graph.num_nodes g and m = Graph.num_arcs g in
   let { buffers; mask; touched; dest_flag } = scratch in
   Failure.set_mask g f mask;
@@ -440,10 +440,9 @@ let assess_failure_cached (scenario : Scenario.t) ~cache ~scratch ~base_d ~base_
   let delay_arcs = ref [] in
   List.iter
     (fun a ->
-      let arc = arcs.(a) in
       let d =
-        Delay_model.arc_delay params.Scenario.delay ~capacity:arc.Graph.capacity
-          ~prop:arc.Graph.delay ~load:loads.(a)
+        Delay_model.arc_delay params.Scenario.delay ~capacity:cap.(a)
+          ~prop:prop.(a) ~load:loads.(a)
       in
       (* The queueing term is 0 up to utilisation µ, so most touched arcs
          keep their propagation-only delay — and every delay-DP over a DAG
@@ -481,7 +480,7 @@ let assess_failure_cached (scenario : Scenario.t) ~cache ~scratch ~base_d ~base_
     let term =
       if touched.(a) then
         if tloads.(a) > 1e-9 then
-          Congestion.arc_cost ~capacity:arcs.(a).Graph.capacity ~load:loads.(a)
+          Congestion.arc_cost ~capacity:cap.(a) ~load:loads.(a)
         else 0.
       else cache.base_phi.(a)
     in

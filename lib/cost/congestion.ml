@@ -33,12 +33,13 @@ let derivative ~capacity ~load =
   find 0
 
 let total g ~loads ~carries_throughput =
+  let cap = Graph.arc_capacities g in
+  let m = Graph.num_arcs g in
   let acc = ref 0. in
-  Array.iter
-    (fun a ->
-      if carries_throughput a.Graph.id then
-        acc := !acc +. arc_cost ~capacity:a.Graph.capacity ~load:loads.(a.Graph.id))
-    (Graph.arcs g);
+  for a = 0 to m - 1 do
+    if carries_throughput a then
+      acc := !acc +. arc_cost ~capacity:cap.(a) ~load:loads.(a)
+  done;
   !acc
 
 (* Min-hop distances to [dest] by reverse BFS. *)

@@ -25,14 +25,13 @@ let queueing_delay p ~capacity ~load =
 let arc_delay p ~capacity ~prop ~load = prop +. queueing_delay p ~capacity ~load
 
 let fill_arc_delays p g ~loads ~into =
-  let arcs = Graph.arcs g in
-  if Array.length loads <> Array.length arcs || Array.length into <> Array.length arcs
-  then invalid_arg "Delay_model.fill_arc_delays: length mismatch";
-  Array.iter
-    (fun a ->
-      into.(a.Graph.id) <-
-        arc_delay p ~capacity:a.Graph.capacity ~prop:a.Graph.delay ~load:loads.(a.Graph.id))
-    arcs
+  let m = Graph.num_arcs g in
+  if Array.length loads <> m || Array.length into <> m then
+    invalid_arg "Delay_model.fill_arc_delays: length mismatch";
+  let cap = Graph.arc_capacities g and prop = Graph.arc_prop_delays g in
+  for a = 0 to m - 1 do
+    into.(a) <- arc_delay p ~capacity:cap.(a) ~prop:prop.(a) ~load:loads.(a)
+  done
 
 let arc_delays p g ~loads =
   let into = Array.make (Graph.num_arcs g) 0. in

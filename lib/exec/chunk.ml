@@ -5,12 +5,22 @@ type t = { items : int; size : int; count : int }
    claim is noise. *)
 let chunks_per_job = 4
 
-let plan ~items ~jobs =
-  if items < 0 then invalid_arg "Chunk.plan: negative item count";
-  if jobs < 1 then invalid_arg "Chunk.plan: jobs must be positive";
-  let size = max 1 (items / (jobs * chunks_per_job)) in
+let make ~items ~size =
   let count = if items = 0 then 0 else (items + size - 1) / size in
   { items; size; count }
+
+let validate ~items ~jobs =
+  if items < 0 then invalid_arg "Chunk.plan: negative item count";
+  if jobs < 1 then invalid_arg "Chunk.plan: jobs must be positive"
+
+let plan ~items ~jobs =
+  validate ~items ~jobs;
+  make ~items ~size:(max 1 (items / (jobs * chunks_per_job)))
+
+let plan_sized ~size ~items ~jobs =
+  validate ~items ~jobs;
+  if size < 1 then invalid_arg "Chunk.plan: chunk size must be positive";
+  make ~items ~size:(if items > 0 then min size items else size)
 
 let bounds t c =
   if c < 0 || c >= t.count then invalid_arg "Chunk.bounds: chunk id out of range";

@@ -13,8 +13,15 @@ type t = private { items : int; size : int; count : int }
     covering [0, items). *)
 
 val plan : items:int -> jobs:int -> t
-(** Chunking of [items] indices for a pool of [jobs] workers.
+(** Chunking of [items] indices for a pool of [jobs] workers under the
+    default policy: [max 1 (items / (jobs * 4))] indices per chunk.
     @raise Invalid_argument if [items < 0] or [jobs < 1]. *)
+
+val plan_sized : size:int -> items:int -> jobs:int -> t
+(** Chunking with an explicit chunk length (the
+    [--chunk-size]/[DTR_CHUNK_SIZE] override, or the pool's adaptive
+    choice), clamped down to [items].
+    @raise Invalid_argument if [items < 0], [jobs < 1], or [size < 1]. *)
 
 val bounds : t -> int -> int * int
 (** [bounds t c] is the half-open index range [\[lo, hi)] of chunk [c].

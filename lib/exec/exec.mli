@@ -35,6 +35,22 @@ val jobs : t -> int
 val env_var : string
 (** ["DTR_JOBS"]. *)
 
+val chunk_env_var : string
+(** ["DTR_CHUNK_SIZE"]. *)
+
+val set_chunk_size : int option -> unit
+(** Pin the pool chunk size for every subsequent parallel operation (the
+    CLI's [--chunk-size]); [None] restores the default behaviour (the
+    [DTR_CHUNK_SIZE] environment variable if set, the pool's adaptive
+    policy otherwise).  Chunking is a scheduling knob only: results are
+    bit-identical whatever the granularity.
+    @raise Invalid_argument on [Some n] with [n < 1]. *)
+
+val chunk_size : unit -> int option
+(** The effective explicit chunk-size override, if any: the value set via
+    {!set_chunk_size}, else a valid positive [DTR_CHUNK_SIZE], else
+    [None] (adaptive). *)
+
 val default : unit -> t
 (** The context library entry points fall back on when the caller passes
     none: [of_jobs n] when the [DTR_JOBS] environment variable holds a

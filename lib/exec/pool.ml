@@ -13,6 +13,18 @@ type task = {
   cancelled : bool Atomic.t;  (* set on the first exception; stops claiming *)
 }
 
+(* [next] is the one mutable word every domain hammers with fetch-and-add;
+   [cancelled] is read once per claim.  OCaml 5.1 has no
+   [Atomic.make_contended], so space the two allocations a cache line apart
+   (best-effort: they are adjacent in the minor heap at creation, which is
+   exactly when a task is hottest) to keep the claim traffic from
+   invalidating the flag's line. *)
+let make_task ~f ~chunks =
+  let next = Atomic.make 0 in
+  let (_ : int array) = Sys.opaque_identity (Array.make 8 0) in
+  let cancelled = Atomic.make false in
+  { f; chunks; next; cancelled }
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -24,6 +36,9 @@ type t = {
   mutable stop : bool;
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable busy : bool;  (* an operation is in flight (re-entrancy guard) *)
+  mutable est_item_s : float;
+      (* EWMA of observed wall seconds per item, 0. until the first batch
+         completes; drives the adaptive chunk size *)
   mutable domains : unit Domain.t array;
 }
 
@@ -108,6 +123,7 @@ let create ~jobs =
       stop = false;
       failure = None;
       busy = false;
+      est_item_s = 0.;
       domains = [||];
     }
   in
@@ -119,20 +135,56 @@ let run_serial ~n ~f =
     f i
   done
 
-let run t ~n ~f =
+(* Target wall-clock work per chunk claim.  A claim costs one fetch-and-add
+   plus a cache-line ping; at >= 1ms of work per claim that overhead is
+   noise even with every worker contending. *)
+let target_chunk_seconds = 1e-3
+
+(* Chunk size for a batch of [n] items: an explicit override wins; otherwise,
+   once a previous batch has calibrated [est_item_s], size chunks so each
+   claim carries about [target_chunk_seconds] of work — capped at an even
+   jobs-way split so no worker is left idle by construction.  Before any
+   estimate exists, fall back to the legacy [Chunk.plan] policy. *)
+let chunk_size_for t ~n = function
+  | Some _ as override -> override
+  | None ->
+      if t.est_item_s <= 0. then None
+      else begin
+        let by_time =
+          int_of_float (Float.ceil (target_chunk_seconds /. t.est_item_s))
+        in
+        let fair = (n + t.jobs - 1) / t.jobs in
+        Some (max 1 (min by_time fair))
+      end
+
+let note_batch t ~n ~elapsed =
+  if n > 0 && elapsed > 0. then begin
+    (* Wall seconds per item as seen by the orchestrator.  With [jobs]
+       domains genuinely in parallel this understates the per-item worker
+       cost by up to [jobs]x, which only biases chunks larger — the
+       direction that amortizes claims — while the jobs-way cap above keeps
+       every worker fed. *)
+    let per = elapsed /. float_of_int n in
+    t.est_item_s <-
+      (if t.est_item_s > 0. then 0.5 *. (t.est_item_s +. per) else per)
+  end
+
+let run ?chunk_size t ~n ~f =
   if n < 0 then invalid_arg "Pool.run: negative item count";
+  (match chunk_size with
+  | Some s when s < 1 -> invalid_arg "Pool.run: chunk size must be positive"
+  | _ -> ());
   if n = 0 then ()
   else if Array.length t.domains = 0 || t.busy then run_serial ~n ~f
   else begin
     if Dtr_obs.Metric.enabled () then Dtr_obs.Metric.Counter.incr m_batches;
-    let task =
-      {
-        f;
-        chunks = Chunk.plan ~items:n ~jobs:t.jobs;
-        next = Atomic.make 0;
-        cancelled = Atomic.make false;
-      }
+    let t0 = Unix.gettimeofday () in
+    let chunks =
+      match chunk_size_for t ~n chunk_size with
+      | Some size -> Chunk.plan_sized ~size ~items:n ~jobs:t.jobs
+      | None -> Chunk.plan ~items:n ~jobs:t.jobs
     in
+    let task = make_task ~f ~chunks in
     Mutex.lock t.mutex;
     t.busy <- true;
     t.task <- Some task;
@@ -151,17 +203,18 @@ let run t ~n ~f =
     let failure = t.failure in
     t.failure <- None;
     Mutex.unlock t.mutex;
+    note_batch t ~n ~elapsed:(Unix.gettimeofday () -. t0);
     match failure with
     | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
     | None -> ()
   end
 
-let map t ~f n =
+let map ?chunk_size t ~f n =
   if n < 0 then invalid_arg "Pool.map: negative item count";
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    run t ~n ~f:(fun i -> results.(i) <- Some (f i));
+    run ?chunk_size t ~n ~f:(fun i -> results.(i) <- Some (f i));
     Array.map (function Some x -> x | None -> assert false) results
   end
 

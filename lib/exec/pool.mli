@@ -29,15 +29,23 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
-val run : t -> n:int -> f:(int -> unit) -> unit
+val run : ?chunk_size:int -> t -> n:int -> f:(int -> unit) -> unit
 (** Calls [f i] exactly once for every [i] in [0, n), distributing chunks of
     indices over the pool (including the calling domain).  Returns once every
     index has been processed.  If any [f i] raises, remaining chunks are
     abandoned (indices within a claimed chunk may still run), and the first
     exception observed is re-raised in the caller once all workers have
-    stopped. *)
+    stopped.
 
-val map : t -> f:(int -> 'a) -> int -> 'a array
+    Chunk granularity is a scheduling knob only — results never depend on
+    it.  [?chunk_size] pins the indices-per-claim; without it the pool sizes
+    chunks {e adaptively}, targeting about 1ms of work per claim based on
+    the measured per-item cost of previous batches (capped at an even
+    jobs-way split), and falls back to the legacy [items/(jobs*4)] policy on
+    the first, uncalibrated batch.
+    @raise Invalid_argument if [n < 0] or [chunk_size < 1]. *)
+
+val map : ?chunk_size:int -> t -> f:(int -> 'a) -> int -> 'a array
 (** [map t ~f n] is [[| f 0; …; f (n-1) |]], computed as {!run} —
     order-preserving regardless of pool size and scheduling. *)
 

@@ -30,13 +30,20 @@ type shard = { domain : int; ints : int array; floats : float array }
 
 let shards : shard list ref = ref []
 
+(* Shard arrays are over-allocated by one cache line (8 words) so that the
+   low-indexed counters one domain hammers cannot land on the same line as
+   the tail of another domain's shard allocated right next to it — the
+   classic false-sharing pattern for per-worker counter blocks.  The padding
+   indices are simply never used. *)
+let line_pad = 8
+
 let shard_slot : shard Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       let s =
         {
           domain = (Domain.self () :> int);
-          ints = Array.make max_metrics 0;
-          floats = Array.make max_metrics 0.;
+          ints = Array.make (max_metrics + line_pad) 0;
+          floats = Array.make (max_metrics + line_pad) 0.;
         }
       in
       Mutex.protect registry_mutex (fun () -> shards := s :: !shards);

@@ -1,5 +1,5 @@
 module Graph = Dtr_topology.Graph
-module Heap = Dtr_util.Heap
+module Int_heap = Dtr_util.Int_heap
 
 let infinity = max_int / 4
 
@@ -8,49 +8,62 @@ let check g weights =
     invalid_arg "Dijkstra: weights length mismatch";
   Array.iter (fun w -> if w <= 0 then invalid_arg "Dijkstra: weights must be positive") weights
 
-(* Standard Dijkstra with lazy deletion; [arcs_of] and [other_end] select the
-   direction (reverse arcs for distances-to-destination). *)
-let run g ~weights ~disabled ~start ~arcs_of ~other_end ~dist ~heap =
+(* Standard Dijkstra with lazy deletion over the CSR adjacency; [off]/[ids]
+   select the direction ([in_offsets]/[in_csr] with [arc_sources] as heads
+   for distances-to-destination).  Everything touched per relaxation — the
+   offset table, packed arc ids, weights, head nodes, distances and the heap
+   — is a flat int array, so the loop allocates nothing and walks contiguous
+   memory.  The final distance array is canonical (independent of heap tie
+   order), which is what every bit-identity argument downstream rests on. *)
+let run ~weights ~disabled ~start ~off ~ids ~head ~dist ~heap =
   Array.fill dist 0 (Array.length dist) infinity;
-  Heap.clear heap;
+  Int_heap.clear heap;
   dist.(start) <- 0;
-  Heap.push heap 0. start;
-  let arcs = Graph.arcs g in
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (key, u) ->
-        if int_of_float key = dist.(u) then begin
-          let adjacent = arcs_of u in
-          for i = 0 to Array.length adjacent - 1 do
-            let id = adjacent.(i) in
-            let skip = match disabled with None -> false | Some mask -> mask.(id) in
-            if not skip then begin
-              let v = other_end arcs.(id) in
-              let alt = dist.(u) + weights.(id) in
+  Int_heap.push heap 0 start;
+  match disabled with
+  | None ->
+      while not (Int_heap.is_empty heap) do
+        let key = Int_heap.min_key heap in
+        let u = Int_heap.pop_min heap in
+        if key = dist.(u) then
+          for i = off.(u) to off.(u + 1) - 1 do
+            let id = ids.(i) in
+            let v = head.(id) in
+            let alt = key + weights.(id) in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              Int_heap.push heap alt v
+            end
+          done
+      done
+  | Some mask ->
+      while not (Int_heap.is_empty heap) do
+        let key = Int_heap.min_key heap in
+        let u = Int_heap.pop_min heap in
+        if key = dist.(u) then
+          for i = off.(u) to off.(u + 1) - 1 do
+            let id = ids.(i) in
+            if not mask.(id) then begin
+              let v = head.(id) in
+              let alt = key + weights.(id) in
               if alt < dist.(v) then begin
                 dist.(v) <- alt;
-                Heap.push heap (float_of_int alt) v
+                Int_heap.push heap alt v
               end
             end
           done
-        end;
-        loop ()
-  in
-  loop ()
+      done
 
 let fill_to_destination g ~weights ~disabled ~dest ~dist ~heap =
   check g weights;
   if Array.length dist <> Graph.num_nodes g then
     invalid_arg "Dijkstra: dist length mismatch";
-  run g ~weights ~disabled ~start:dest
-    ~arcs_of:(Graph.in_arcs_array g)
-    ~other_end:(fun a -> a.Graph.src)
-    ~dist ~heap
+  run ~weights ~disabled ~start:dest ~off:(Graph.in_offsets g)
+    ~ids:(Graph.in_csr g) ~head:(Graph.arc_sources g) ~dist ~heap
 
 let to_destination g ~weights ?disabled ~dest () =
   let dist = Array.make (Graph.num_nodes g) infinity in
-  let heap = Heap.create ~capacity:(Graph.num_nodes g) () in
+  let heap = Int_heap.create ~capacity:(Graph.num_nodes g) () in
   fill_to_destination g ~weights ~disabled ~dest ~dist ~heap;
   dist
 
@@ -61,18 +74,19 @@ let to_destination g ~weights ?disabled ~dest () =
    repaired cone).  Distances outside [affected] are read but never
    written. *)
 let repair_arc_removal g ~weights ~disabled ~dist ~heap ~is_affected ~affected =
-  let arcs = Graph.arcs g in
+  let out_off = Graph.out_offsets g and out_ids = Graph.out_csr g in
+  let in_off = Graph.in_offsets g and in_ids = Graph.in_csr g in
+  let arc_src = Graph.arc_sources g and arc_dst = Graph.arc_dests g in
   let enabled id = match disabled with None -> true | Some m -> not m.(id) in
-  Heap.clear heap;
+  Int_heap.clear heap;
   List.iter (fun x -> dist.(x) <- infinity) affected;
   List.iter
     (fun x ->
-      let out = Graph.out_arcs_array g x in
       let best = ref infinity in
-      for i = 0 to Array.length out - 1 do
-        let id = out.(i) in
+      for i = out_off.(x) to out_off.(x + 1) - 1 do
+        let id = out_ids.(i) in
         if enabled id then begin
-          let y = arcs.(id).Graph.dst in
+          let y = arc_dst.(id) in
           if not (is_affected y) then begin
             let alt = weights.(id) + dist.(y) in
             if alt < !best then best := alt
@@ -81,39 +95,32 @@ let repair_arc_removal g ~weights ~disabled ~dist ~heap ~is_affected ~affected =
       done;
       if !best < infinity then begin
         dist.(x) <- !best;
-        Heap.push heap (float_of_int !best) x
+        Int_heap.push heap !best x
       end)
     affected;
-  let rec loop () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (key, u) ->
-        if int_of_float key = dist.(u) then begin
-          let inc = Graph.in_arcs_array g u in
-          for i = 0 to Array.length inc - 1 do
-            let id = inc.(i) in
-            if enabled id then begin
-              let p = arcs.(id).Graph.src in
-              if is_affected p then begin
-                let alt = dist.(u) + weights.(id) in
-                if alt < dist.(p) then begin
-                  dist.(p) <- alt;
-                  Heap.push heap (float_of_int alt) p
-                end
-              end
+  while not (Int_heap.is_empty heap) do
+    let key = Int_heap.min_key heap in
+    let u = Int_heap.pop_min heap in
+    if key = dist.(u) then
+      for i = in_off.(u) to in_off.(u + 1) - 1 do
+        let id = in_ids.(i) in
+        if enabled id then begin
+          let p = arc_src.(id) in
+          if is_affected p then begin
+            let alt = key + weights.(id) in
+            if alt < dist.(p) then begin
+              dist.(p) <- alt;
+              Int_heap.push heap alt p
             end
-          done
-        end;
-        loop ()
-  in
-  loop ()
+          end
+        end
+      done
+  done
 
 let from_source g ~weights ?disabled ~src () =
   check g weights;
   let dist = Array.make (Graph.num_nodes g) infinity in
-  let heap = Heap.create ~capacity:(Graph.num_nodes g) () in
-  run g ~weights ~disabled ~start:src
-    ~arcs_of:(Graph.out_arcs_array g)
-    ~other_end:(fun a -> a.Graph.dst)
-    ~dist ~heap;
+  let heap = Int_heap.create ~capacity:(Graph.num_nodes g) () in
+  run ~weights ~disabled ~start:src ~off:(Graph.out_offsets g)
+    ~ids:(Graph.out_csr g) ~head:(Graph.arc_dests g) ~dist ~heap;
   dist

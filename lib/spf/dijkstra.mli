@@ -37,17 +37,19 @@ val fill_to_destination :
   disabled:bool array option ->
   dest:Dtr_topology.Graph.node ->
   dist:int array ->
-  heap:Dtr_topology.Graph.node Dtr_util.Heap.t ->
+  heap:Dtr_util.Int_heap.t ->
   unit
 (** Allocation-free variant used by the optimizer's inner loop: writes into
-    [dist] and reuses [heap]. *)
+    [dist] and reuses [heap].  Iterates the graph's flat-CSR adjacency with
+    an unboxed int-keyed heap, so a settled run touches only contiguous int
+    arrays. *)
 
 val repair_arc_removal :
   Dtr_topology.Graph.t ->
   weights:int array ->
   disabled:bool array option ->
   dist:int array ->
-  heap:Dtr_topology.Graph.node Dtr_util.Heap.t ->
+  heap:Dtr_util.Int_heap.t ->
   is_affected:(Dtr_topology.Graph.node -> bool) ->
   affected:Dtr_topology.Graph.node list ->
   unit

@@ -93,7 +93,17 @@ val distance : t -> src:Graph.node -> dst:Graph.node -> int
 
 val next_hops : t -> dest:Graph.node -> node:Graph.node -> Graph.arc_id array
 (** Arcs leaving [node] on shortest paths towards [dest] (empty for the
-    destination itself and for unreachable nodes).  Do not mutate. *)
+    destination itself and for unreachable nodes).  Returns a fresh array
+    sliced out of the destination's packed CSR row — convenient for
+    inspection and tests; hot loops inside the library iterate the CSR
+    directly instead. *)
+
+val shares_dest : t -> t -> dest:Graph.node -> bool
+(** Whether the two states share [dest]'s routing data {e physically} (same
+    arrays, not merely equal contents).  The incremental paths
+    ({!with_failed_arcs}, {!with_changed_arc}) reuse untouched destinations'
+    state by reference; tests use this to assert the sharing actually
+    happens. *)
 
 val add_loads :
   t -> demands:float array array -> ?exclude_node:Graph.node -> into:float array -> unit -> float

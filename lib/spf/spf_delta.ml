@@ -1,5 +1,5 @@
 module Graph = Dtr_topology.Graph
-module Heap = Dtr_util.Heap
+module Int_heap = Dtr_util.Int_heap
 
 (* DTR_NO_DSPF=1 forces every failure evaluation back onto the from-scratch
    per-destination Dijkstra, both here and in the evaluator's sweep cache.
@@ -53,7 +53,9 @@ type outcome = {
   changed_dist : bool;
 }
 
-let in_row row id = Array.exists (fun x -> x = id) row
+let in_row hop_ids ~lo ~hi id =
+  let rec scan i = i < hi && (hop_ids.(i) = id || scan (i + 1)) in
+  scan lo
 
 (* Affected-cone identification (Ramalingam–Reps deletion phase), specialised
    to the reverse per-destination SPF.  The worklist pops nodes in increasing
@@ -63,66 +65,64 @@ let in_row row id = Array.exists (fun x -> x = id) row
    their hop row: none of their hop arcs failed (else they would be seeds) and
    none lead to an affected head (else the predecessor scan of that head would
    have enqueued them), and arc deletion never decreases a distance, so no new
-   arc can join their DAG row. *)
-let repair g ~weights ~mask ~failed ~dist:base_dist ~hops ~heap ~scratch =
-  let arcs = Graph.arcs g in
+   arc can join their DAG row.  Hop rows arrive as the destination's CSR pair
+   ([hop_off]/[hop_ids]); all per-arc lookups go through the graph's flat
+   arrays. *)
+let repair g ~weights ~mask ~failed ~dist:base_dist ~hop_off ~hop_ids ~heap
+    ~scratch =
+  let arc_src = Graph.arc_sources g and arc_dst = Graph.arc_dests g in
+  let in_off = Graph.in_offsets g and in_ids = Graph.in_csr g in
   let st = scratch.state in
   let mark_touched v =
     scratch.touched.(scratch.n_touched) <- v;
     scratch.n_touched <- scratch.n_touched + 1
   in
-  Heap.clear heap;
+  Int_heap.clear heap;
   (* Seeds: tails of failed arcs that lie on some old shortest path. *)
   List.iter
     (fun id ->
-      let s = arcs.(id).Graph.src in
+      let s = arc_src.(id) in
       if
         st.(s) = untouched
         && base_dist.(s) < Dijkstra.infinity
-        && in_row hops.(s) id
+        && in_row hop_ids ~lo:hop_off.(s) ~hi:hop_off.(s + 1) id
       then begin
         st.(s) <- queued;
         mark_touched s;
-        Heap.push heap (float_of_int base_dist.(s)) s
+        Int_heap.push heap base_dist.(s) s
       end)
     failed;
-  let rec drain () =
-    match Heap.pop heap with
-    | None -> ()
-    | Some (_, x) ->
-        (* Each node is pushed at most once (guarded by [state]). *)
-        let nh = hops.(x) in
-        let supported = ref false in
-        for i = 0 to Array.length nh - 1 do
-          let id = nh.(i) in
-          if (not mask.(id)) && st.(arcs.(id).Graph.dst) <> affected then
-            supported := true
-        done;
-        scratch.processed.(scratch.n_processed) <- x;
-        scratch.n_processed <- scratch.n_processed + 1;
-        if !supported then st.(x) <- unaffected
-        else begin
-          st.(x) <- affected;
-          scratch.affected_rev <- x :: scratch.affected_rev;
-          (* Enqueue the old-DAG predecessors: arcs (p -> x) with
-             w + dist(x) = dist(p).  The base state has every arc enabled, so
-             the distance criterion is exactly hop-row membership.  All such p
-             have strictly larger old distance than x, hence are unsettled. *)
-          let inc = Graph.in_arcs_array g x in
-          for i = 0 to Array.length inc - 1 do
-            let id = inc.(i) in
-            let p = arcs.(id).Graph.src in
-            if st.(p) = untouched && weights.(id) + base_dist.(x) = base_dist.(p)
-            then begin
-              st.(p) <- queued;
-              mark_touched p;
-              Heap.push heap (float_of_int base_dist.(p)) p
-            end
-          done
-        end;
-        drain ()
-  in
-  drain ();
+  while not (Int_heap.is_empty heap) do
+    (* Each node is pushed at most once (guarded by [state]). *)
+    let x = Int_heap.pop_min heap in
+    let supported = ref false in
+    for i = hop_off.(x) to hop_off.(x + 1) - 1 do
+      let id = hop_ids.(i) in
+      if (not mask.(id)) && st.(arc_dst.(id)) <> affected then
+        supported := true
+    done;
+    scratch.processed.(scratch.n_processed) <- x;
+    scratch.n_processed <- scratch.n_processed + 1;
+    if !supported then st.(x) <- unaffected
+    else begin
+      st.(x) <- affected;
+      scratch.affected_rev <- x :: scratch.affected_rev;
+      (* Enqueue the old-DAG predecessors: arcs (p -> x) with
+         w + dist(x) = dist(p).  The base state has every arc enabled, so
+         the distance criterion is exactly hop-row membership.  All such p
+         have strictly larger old distance than x, hence are unsettled. *)
+      for i = in_off.(x) to in_off.(x + 1) - 1 do
+        let id = in_ids.(i) in
+        let p = arc_src.(id) in
+        if st.(p) = untouched && weights.(id) + base_dist.(x) = base_dist.(p)
+        then begin
+          st.(p) <- queued;
+          mark_touched p;
+          Int_heap.push heap base_dist.(p) p
+        end
+      done
+    end
+  done;
   let affected_nodes = List.rev scratch.affected_rev in
   let dist, changed_dist =
     if affected_nodes = [] then (base_dist, false)

@@ -52,13 +52,17 @@ val repair :
   mask:bool array ->
   failed:Graph.arc_id list ->
   dist:int array ->
-  hops:Graph.arc_id array array ->
-  heap:Graph.node Dtr_util.Heap.t ->
+  hop_off:int array ->
+  hop_ids:Graph.arc_id array ->
+  heap:Dtr_util.Int_heap.t ->
   scratch:scratch ->
   outcome
-(** [repair g ~weights ~mask ~failed ~dist ~hops ~heap ~scratch] repairs one
-    destination's distance array after the arcs in [failed] go down.  [dist]
-    and [hops] are the destination's {e base} (no-failure) state for the same
-    weights and must have been computed with every arc enabled; they are not
-    mutated.  [mask] is the disabled-arc mask corresponding to [failed].
-    [heap] is free for reuse by the caller afterwards. *)
+(** [repair g ~weights ~mask ~failed ~dist ~hop_off ~hop_ids ~heap ~scratch]
+    repairs one destination's distance array after the arcs in [failed] go
+    down.  [dist] and the CSR hop rows ([hop_off]/[hop_ids], node [u]'s
+    shortest-path out-arcs at [hop_ids.(hop_off.(u)) ..
+    hop_ids.(hop_off.(u+1) - 1)]) are the destination's {e base} (no-failure)
+    state for the same weights and must have been computed with every arc
+    enabled; they are not mutated.  [mask] is the disabled-arc mask
+    corresponding to [failed].  [heap] is free for reuse by the caller
+    afterwards. *)

@@ -215,35 +215,114 @@ let isp_links =
     (1, 3); (6, 7); (2, 6); (11, 14); (8, 14);
   ]
 
-let isp_backbone ?(options = default_options) () =
-  let n = Array.length isp_cities in
+(* Shared construction for the measured city maps: great-circle propagation
+   delays at fibre speed and a rough continental-US planar embedding for
+   display purposes. *)
+let city_backbone ~options cities links =
+  let n = Array.length cities in
   let speed_ms_per_km = 0.005 (* 5 us/km: light in fibre, ~2/3 c *) in
   let prop u v =
-    let _, lat1, lon1 = isp_cities.(u) and _, lat2, lon2 = isp_cities.(v) in
+    let _, lat1, lon1 = cities.(u) and _, lat2, lon2 = cities.(v) in
     let km = Geometry.great_circle_km ~lat1 ~lon1 ~lat2 ~lon2 in
     Float.max options.min_delay (km *. speed_ms_per_km /. 1000.)
   in
-  (* Project (lat, lon) to a rough planar embedding for display purposes. *)
   let coords =
     Array.map
       (fun (_, lat, lon) ->
         Geometry.point ((lon +. 125.) /. 60.) ((lat -. 24.) /. 25.))
-      isp_cities
+      cities
   in
   let edges =
     List.map
       (fun (u, v) -> Graph.{ u; v; cap = options.capacity; prop = prop u v })
-      isp_links
+      links
   in
   Graph.of_edges ~coords ~n edges
 
-type kind = Rand_topo | Near_topo | Pl_topo | Isp
+let isp_backbone ?(options = default_options) () =
+  city_backbone ~options isp_cities isp_links
+
+(* Rocketfuel-style measured tier-1 backbone: 41 PoPs at real US city
+   coordinates with a link map in the shape of published PoP-level ISP maps
+   (coastal chains, parallel transcontinental long-hauls, a dense north-east
+   mesh and a Texas/Gulf loop).  80 bidirectional links = 160 arcs, mean
+   degree 3.9 — the large measured instance for the bench scale tier. *)
+let backbone_cities =
+  [|
+    ("Seattle", 47.61, -122.33);
+    ("Portland", 45.52, -122.68);
+    ("Sacramento", 38.58, -121.49);
+    ("San Francisco", 37.77, -122.42);
+    ("San Jose", 37.34, -121.89);
+    ("Los Angeles", 34.05, -118.24);
+    ("Anaheim", 33.84, -117.91);
+    ("San Diego", 32.72, -117.16);
+    ("Las Vegas", 36.17, -115.14);
+    ("Phoenix", 33.45, -112.07);
+    ("Salt Lake City", 40.76, -111.89);
+    ("Denver", 39.74, -104.99);
+    ("Albuquerque", 35.08, -106.65);
+    ("El Paso", 31.76, -106.49);
+    ("Dallas", 32.78, -96.80);
+    ("Fort Worth", 32.76, -97.33);
+    ("Austin", 30.27, -97.74);
+    ("San Antonio", 29.42, -98.49);
+    ("Houston", 29.76, -95.36);
+    ("New Orleans", 29.95, -90.07);
+    ("Kansas City", 39.10, -94.58);
+    ("St. Louis", 38.63, -90.20);
+    ("Minneapolis", 44.98, -93.27);
+    ("Chicago", 41.88, -87.63);
+    ("Milwaukee", 43.04, -87.91);
+    ("Detroit", 42.33, -83.05);
+    ("Cleveland", 41.50, -81.69);
+    ("Columbus", 39.96, -83.00);
+    ("Indianapolis", 39.77, -86.16);
+    ("Cincinnati", 39.10, -84.51);
+    ("Nashville", 36.16, -86.78);
+    ("Memphis", 35.15, -90.05);
+    ("Atlanta", 33.75, -84.39);
+    ("Orlando", 28.54, -81.38);
+    ("Miami", 25.76, -80.19);
+    ("Tampa", 27.95, -82.46);
+    ("Raleigh", 35.78, -78.64);
+    ("Washington DC", 38.91, -77.04);
+    ("Philadelphia", 39.95, -75.17);
+    ("New York", 40.71, -74.01);
+    ("Boston", 42.36, -71.06);
+  |]
+
+let backbone_links =
+  [
+    (0, 1); (0, 10); (0, 22); (0, 23); (1, 2);
+    (1, 3); (2, 3); (2, 10); (3, 4); (3, 5);
+    (4, 5); (4, 11); (5, 6); (5, 7); (5, 8);
+    (5, 9); (5, 14); (6, 7); (7, 9); (8, 9);
+    (8, 10); (9, 12); (9, 13); (9, 14); (10, 11);
+    (11, 12); (11, 14); (11, 20); (12, 13); (13, 17);
+    (14, 15); (14, 16); (14, 18); (14, 20); (14, 21);
+    (14, 31); (15, 16); (16, 17); (17, 18); (18, 19);
+    (19, 31); (19, 32); (19, 35); (20, 21); (20, 22);
+    (20, 23); (21, 23); (21, 28); (21, 31); (22, 23);
+    (22, 24); (23, 24); (23, 25); (23, 26); (23, 28);
+    (23, 39); (23, 40); (25, 26); (26, 27); (26, 38);
+    (26, 39); (27, 28); (27, 29); (27, 37); (28, 29);
+    (29, 30); (30, 31); (30, 32); (31, 32); (32, 33);
+    (32, 36); (32, 37); (33, 34); (33, 35); (34, 35);
+    (36, 37); (37, 38); (37, 39); (38, 39); (39, 40);
+  ]
+
+let backbone ?(options = default_options) () =
+  city_backbone ~options backbone_cities backbone_links
+
+type kind = Rand_topo | Near_topo | Pl_topo | Isp | Backbone
 
 let kind_name = function
   | Rand_topo -> "RandTopo"
   | Near_topo -> "NearTopo"
   | Pl_topo -> "PLTopo"
   | Isp -> "ISP"
+  | Backbone -> "Backbone"
 
 let generate ?(options = default_options) rng kind ~nodes ~degree =
   match kind with
@@ -253,3 +332,4 @@ let generate ?(options = default_options) rng kind ~nodes ~degree =
       let m_attach = max 1 (int_of_float (Float.round (degree /. 2.))) in
       power_law ~options rng ~nodes ~m_attach
   | Isp -> isp_backbone ~options ()
+  | Backbone -> backbone ~options ()

@@ -57,15 +57,21 @@ val isp_backbone : ?options:options -> unit -> Graph.t
     great-circle distances at 5 µs/km, floored at 2 ms.  Ignores the delay
     scaling fields of [options]. *)
 
+val backbone : ?options:options -> unit -> Graph.t
+(** Rocketfuel-style measured tier-1 backbone: 41 PoPs at real US city
+    coordinates, 80 bidirectional links (160 arcs) in the shape of published
+    PoP-level ISP maps.  Same great-circle delay model as {!isp_backbone};
+    the large measured instance of the bench scale tier. *)
+
 (** {1 Named families for experiment drivers} *)
 
-type kind = Rand_topo | Near_topo | Pl_topo | Isp
+type kind = Rand_topo | Near_topo | Pl_topo | Isp | Backbone
 
 val kind_name : kind -> string
-(** "RandTopo", "NearTopo", "PLTopo", "ISP". *)
+(** "RandTopo", "NearTopo", "PLTopo", "ISP", "Backbone". *)
 
 val generate :
   ?options:options -> Dtr_util.Rng.t -> kind -> nodes:int -> degree:float -> Graph.t
 (** Dispatch on [kind] with a uniform parameter interface.  For [Pl_topo],
-    [m_attach = max 1 (round (degree / 2))]; for [Isp], [nodes] and [degree]
-    are ignored. *)
+    [m_attach = max 1 (round (degree / 2))]; for [Isp] and [Backbone],
+    [nodes] and [degree] are ignored. *)

@@ -17,6 +17,23 @@ type t = {
   in_arcs : arc_id list array;
   out_arr : arc_id array array;
   in_arr : arc_id array array;
+  (* CSR adjacency: node [v]'s out-arc ids are [out_ids.(out_off.(v)) ..
+     out_ids.(out_off.(v + 1) - 1)], in increasing arc id — the same order as
+     [out_arcs]/[out_arr].  Likewise for in-arcs.  The hot path (Dijkstra,
+     routing, pricing) iterates these contiguous slices instead of chasing
+     per-node structures. *)
+  out_off : int array;
+  out_ids : arc_id array;
+  in_off : int array;
+  in_ids : arc_id array;
+  (* Structure-of-arrays view of [arcs], indexed by arc id.  Float arrays are
+     unboxed in OCaml, so capacity/delay lookups in the pricing loops touch a
+     flat double array instead of a boxed record per arc. *)
+  arc_src : node array;
+  arc_dst : node array;
+  arc_cap : float array;
+  arc_prop : float array;
+  arc_rev : arc_id array;
   coords : Geometry.point array option;
 }
 
@@ -55,13 +72,37 @@ let of_edges ?coords ~n edges =
     out_arcs.(a.src) <- id :: out_arcs.(a.src);
     in_arcs.(a.dst) <- id :: in_arcs.(a.dst)
   done;
+  let out_arr = Array.map Array.of_list out_arcs in
+  let in_arr = Array.map Array.of_list in_arcs in
+  let pack adj =
+    let off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      off.(v + 1) <- off.(v) + Array.length adj.(v)
+    done;
+    let ids = Array.make off.(n) 0 in
+    for v = 0 to n - 1 do
+      Array.blit adj.(v) 0 ids off.(v) (Array.length adj.(v))
+    done;
+    (off, ids)
+  in
+  let out_off, out_ids = pack out_arr in
+  let in_off, in_ids = pack in_arr in
   {
     n;
     arcs;
     out_arcs;
     in_arcs;
-    out_arr = Array.map Array.of_list out_arcs;
-    in_arr = Array.map Array.of_list in_arcs;
+    out_arr;
+    in_arr;
+    out_off;
+    out_ids;
+    in_off;
+    in_ids;
+    arc_src = Array.map (fun a -> a.src) arcs;
+    arc_dst = Array.map (fun a -> a.dst) arcs;
+    arc_cap = Array.map (fun a -> a.capacity) arcs;
+    arc_prop = Array.map (fun a -> a.delay) arcs;
+    arc_rev = Array.map (fun a -> a.rev) arcs;
     coords;
   }
 
@@ -77,6 +118,15 @@ let out_arcs g v = g.out_arcs.(v)
 let in_arcs g v = g.in_arcs.(v)
 let out_arcs_array g v = g.out_arr.(v)
 let in_arcs_array g v = g.in_arr.(v)
+let out_offsets g = g.out_off
+let out_csr g = g.out_ids
+let in_offsets g = g.in_off
+let in_csr g = g.in_ids
+let arc_sources g = g.arc_src
+let arc_dests g = g.arc_dst
+let arc_capacities g = g.arc_cap
+let arc_prop_delays g = g.arc_prop
+let arc_reverses g = g.arc_rev
 
 let find_arc g src dst =
   List.find_opt (fun id -> g.arcs.(id).dst = dst) g.out_arcs.(src)

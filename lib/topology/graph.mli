@@ -67,6 +67,42 @@ val out_arcs_array : t -> node -> arc_id array
 val in_arcs_array : t -> node -> arc_id array
 (** Shared array counterpart of {!in_arcs}.  Do not mutate. *)
 
+(** {2 Flat-CSR views}
+
+    The routing core iterates adjacency and per-arc attributes as contiguous
+    arrays: node [v]'s out-arcs occupy the slice
+    [out_csr.(out_offsets.(v)) .. out_csr.(out_offsets.(v+1) - 1)], in
+    increasing arc id (the same order as {!out_arcs}).  The per-arc arrays
+    are the structure-of-arrays view of {!arcs}; float arrays are unboxed.
+    All returned arrays are shared — do not mutate. *)
+
+val out_offsets : t -> int array
+(** CSR row offsets for out-adjacency; length [num_nodes + 1]. *)
+
+val out_csr : t -> arc_id array
+(** Packed out-arc ids; length [num_arcs]. *)
+
+val in_offsets : t -> int array
+(** CSR row offsets for in-adjacency; length [num_nodes + 1]. *)
+
+val in_csr : t -> arc_id array
+(** Packed in-arc ids; length [num_arcs]. *)
+
+val arc_sources : t -> node array
+(** [arc_sources g].(id) = [(arc g id).src]. *)
+
+val arc_dests : t -> node array
+(** [arc_dests g].(id) = [(arc g id).dst]. *)
+
+val arc_capacities : t -> float array
+(** [arc_capacities g].(id) = [(arc g id).capacity] (Mb/s, unboxed). *)
+
+val arc_prop_delays : t -> float array
+(** [arc_prop_delays g].(id) = [(arc g id).delay] (seconds, unboxed). *)
+
+val arc_reverses : t -> arc_id array
+(** [arc_reverses g].(id) = [(arc g id).rev]. *)
+
 val find_arc : t -> node -> node -> arc_id option
 (** First arc from [src] to [dst], if any. *)
 

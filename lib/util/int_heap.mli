@@ -1,0 +1,26 @@
+(** Flat binary min-heap over [int] keys and [int] values.
+
+    The Dijkstra hot path pushes and pops millions of (distance, node) pairs
+    per optimization run.  The generic {!Heap} boxes every payload in an
+    [option] and keys on floats; this specialized heap keeps both keys and
+    values in unboxed [int array]s, so the priority queue never allocates
+    after warm-up.  Duplicate keys are allowed (lazy deletion: callers check
+    popped entries against the current distance array). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val clear : t -> unit
+val is_empty : t -> bool
+val size : t -> int
+
+val push : t -> int -> int -> unit
+(** [push h key v] inserts [v] with priority [key]. *)
+
+val min_key : t -> int
+(** Key of the minimum entry.  Read it {e before} {!pop_min}.
+    @raise Invalid_argument when the heap is empty. *)
+
+val pop_min : t -> int
+(** Removes and returns the value of the minimum entry.
+    @raise Invalid_argument when the heap is empty. *)

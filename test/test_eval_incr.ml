@@ -117,11 +117,7 @@ let prop_changed_arc_equivalence =
          state physically, not just by value *)
       for dest = 0 to n - 1 do
         if not (List.mem dest affected) then
-          for u = 0 to n - 1 do
-            if
-              not (Routing.next_hops inc ~dest ~node:u == Routing.next_hops base ~dest ~node:u)
-            then ok := false
-          done
+          if not (Routing.shares_dest inc base ~dest) then ok := false
       done;
       !ok)
 

@@ -14,6 +14,7 @@ let () =
       ("topology.srlg", Test_srlg.suite);
       ("spf.dijkstra", Test_dijkstra.suite);
       ("spf.routing", Test_routing.suite);
+      ("spf.csr", Test_csr.suite);
       ("traffic.matrix", Test_matrix.suite);
       ("traffic.models", Test_traffic.suite);
       ("cost", Test_cost.suite);
