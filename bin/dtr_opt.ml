@@ -126,16 +126,7 @@ let trace_path =
                chrome://tracing and Perfetto.  Tracing never changes \
                optimization results.")
 
-(* Observability bracket for a CLI run: reset all metrics/spans/traces
-   (fixes the stale-counter carry-over between in-process runs), and turn
-   the optional instrumentation on only when something will consume it.
-   --trace also enables metrics: the flight recorder piggybacks on the
-   Metric-gated span and convergence instrumentation. *)
-let obs_start ~verbose ~report ~trace =
-  Dtr_obs.Report.reset ();
-  if verbose || report <> None || trace <> None then
-    Dtr_obs.Metric.set_enabled true;
-  if trace <> None then Dtr_obs.Trace.set_enabled true
+let obs_start = Dtr_cli.Cli.obs_start
 
 let obs_trace ~trace =
   match trace with

@@ -33,3 +33,15 @@ let chunk_size_conv =
 let apply_chunk_size = function
   | Some _ as s -> Dtr_exec.Exec.set_chunk_size s
   | None -> ()
+
+(* Observability bracket for a CLI run: reset all metrics/spans/traces
+   (fixes the stale-counter carry-over between in-process runs), and set the
+   optional instrumentation to exactly what this run will consume — on when
+   something reads it, off otherwise, so a plain run after an instrumented
+   in-process run doesn't keep paying for (or leaking into) stale
+   instrumentation.  --trace also enables metrics: the flight recorder
+   piggybacks on the Metric-gated span and convergence instrumentation. *)
+let obs_start ~verbose ~report ~trace =
+  Dtr_obs.Report.reset ();
+  Dtr_obs.Metric.set_enabled (verbose || report <> None || trace <> None);
+  Dtr_obs.Trace.set_enabled (trace <> None)

@@ -18,3 +18,11 @@ val apply_chunk_size : int option -> unit
 (** [apply_chunk_size (Some n)] pins the pool chunk size process-wide via
     [Exec.set_chunk_size] (the explicit flag wins over [DTR_CHUNK_SIZE]);
     [None] leaves the environment/adaptive default in place. *)
+
+val obs_start : verbose:bool -> report:string option -> trace:string option -> unit
+(** Observability bracket at the start of a CLI run: resets every
+    metric/span/trace/convergence accumulator, then sets Metric and Trace
+    enablement to exactly what this run consumes — metrics on iff one of
+    [verbose], [--report] or [--trace] will read them, the flight recorder
+    on iff [--trace] will write it.  Symmetric: a run with instrumentation
+    off also {e disables} whatever an earlier in-process run switched on. *)

@@ -309,8 +309,17 @@ let check_files ~threshold files =
         (if regs = [] then
            Printf.sprintf "bench-check OK: no regression beyond %.0f%%\n" threshold
          else
-           Printf.sprintf "bench-check FAILED: %d regression(s) beyond %.0f%%\n"
-             (List.length regs) threshold);
+           (* The failure line names every offender: CI logs often show only
+              the last line, and "2 regression(s)" alone sends the reader
+              back up the page to find out which kernel to care about. *)
+           Printf.sprintf "bench-check FAILED: %d regression(s) beyond %.0f%%: %s\n"
+             (List.length regs) threshold
+             (String.concat ", "
+                (List.map
+                   (fun r ->
+                     Printf.sprintf "%s/%s +%.1f%%" r.r_kernel r.r_name
+                       r.change_pct)
+                   regs)));
       Ok
         {
           report = Buffer.contents buf;

@@ -617,6 +617,24 @@ let normal_and_sweep (scenario : Scenario.t) ?exec w ~failures ~feasible =
         (compound_sweep_from scenario ~exec ~routing_d:base_d ~routing_t:base_t w
            ~failures) )
 
+(* What-if pricing from resident bases: the daemon holds its incumbent's
+   no-failure routing states alive across events, so a query needs no SPF at
+   all in the no-failure case and only the affected-destination re-route
+   under a failure.  Scratch comes from the per-domain sweep cache, so
+   repeated queries allocate no buffers. *)
+let evaluate_from (scenario : Scenario.t) ~routing_d ~routing_t ?failure w =
+  let dense_rd = scenario.Scenario.dense_rd
+  and dense_rt = scenario.Scenario.dense_rt
+  and sinks = scenario.Scenario.delay_sinks in
+  match failure with
+  | None ->
+      assess scenario ~routing_d ~routing_t ~exclude_node:None ~dense_rd ~dense_rt
+        ~sinks ~want_pair_delays:false
+  | Some f ->
+      let scratch = sweep_scratch_for scenario.Scenario.graph in
+      assess_failure scenario ~buffers:scratch.buffers ~mask:scratch.mask
+        ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+
 let compound costs = Array.fold_left Lexico.add Lexico.zero costs
 
 module Internal = struct

@@ -98,6 +98,22 @@ val compound_sweep_from :
     cached bases, so a single-arc move never recomputes the no-failure
     routing from scratch. *)
 
+val evaluate_from :
+  Scenario.t ->
+  routing_d:Dtr_spf.Routing.t ->
+  routing_t:Dtr_spf.Routing.t ->
+  ?failure:Failure.t ->
+  Weights.t ->
+  detail
+(** Price [w] from already-computed no-failure routing bases (the scenario's
+    own matrices).  With no [failure] this is a pure assessment — no SPF runs
+    at all; under a failure only the destinations whose ECMP DAG lost an arc
+    are re-routed ({!Dtr_spf.Routing.with_failed_arcs}).  [w] must be the
+    setting the bases were computed from.  Results are bit-identical to
+    {!evaluate} on the same inputs.  This is the serve daemon's what-if
+    query path: the bases stay resident across events, so a query costs
+    milliseconds instead of a cold evaluation. *)
+
 val compound : Lexico.t array -> Lexico.t
 (** Componentwise sum over scenarios — [Kfail] of Eq. (4) (or its
     critical-set restriction, Eq. (7)). *)

@@ -52,9 +52,14 @@ let eval_engine eval =
     rollback = (fun () -> ());
   }
 
-let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
+let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
+    config =
   if config.interval < 1 || config.rounds < 1 then
     invalid_arg "Local_search.run: interval and rounds must be positive";
+  let exception Target_reached in
+  let target_hit cost =
+    match target with Some t -> Lexico.compare cost t <= 0 | None -> false
+  in
   let best = ref None in
   let evals = ref 0 and sweeps = ref 0 in
   let order = Array.init num_arcs (fun i -> i) in
@@ -89,6 +94,10 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
     | None -> None
     | Some start_cost ->
         incr evals;
+        if target_hit start_cost then begin
+          ignore (note_best w start_cost);
+          raise Target_reached
+        end;
         let current = ref start_cost in
         let stale = ref 0 and round_sweeps = ref 0 in
         while !stale < config.interval && !round_sweeps < config.max_sweeps do
@@ -136,7 +145,11 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
                       current := cost;
                       improved w cost
                   | None -> assert false);
-                  sweep_improved := true
+                  sweep_improved := true;
+                  if target_hit !current then begin
+                    ignore (note_best w !current);
+                    raise Target_reached
+                  end
                 end
                 else begin
                   engine.rollback ();
@@ -160,14 +173,17 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement config =
   in
   let low_streak = ref 0 and rounds_run = ref 0 in
   let round = ref 0 in
-  while !low_streak < config.rounds && !round < config.max_rounds do
-    (match run_round ~round:!round with
-    | None -> incr low_streak (* unusable start counts as a fruitless round *)
-    | Some gain ->
-        incr rounds_run;
-        if gain < config.c then incr low_streak else low_streak := 0);
-    incr round
-  done;
+  (try
+     while !low_streak < config.rounds && !round < config.max_rounds do
+       (match run_round ~round:!round with
+       | None ->
+           incr low_streak (* unusable start counts as a fruitless round *)
+       | Some gain ->
+           incr rounds_run;
+           if gain < config.c then incr low_streak else low_streak := 0);
+       incr round
+     done
+   with Target_reached -> incr rounds_run);
   if Metric.enabled () then Metric.Counter.add c_rounds !rounds_run;
   match !best with
   | None -> invalid_arg "Local_search.run: no feasible starting point"

@@ -72,6 +72,7 @@ val run_engine :
   init:(round:int -> Weights.t) ->
   ?observer:(observation -> unit) ->
   ?on_improvement:(Weights.t -> Lexico.t -> unit) ->
+  ?target:Lexico.t ->
   config ->
   result
 (** [init ~round] provides the starting setting of each diversification
@@ -79,6 +80,11 @@ val run_engine :
     infeasible the round is skipped (counts towards [max_rounds]).
     [on_improvement] fires whenever the {e round-local} cost improves —
     Phase 1 uses it to record constraint-satisfying settings.
+    [target], when given, turns the search into a recovery run: it stops
+    mid-sweep the moment the running cost is lexicographically [<= target]
+    (the committed crossing setting becomes [best]).  The check happens
+    after RNG consumption for the accepted move, so runs with and without
+    a target follow the same trajectory up to the stopping point.
     @raise Invalid_argument if every starting point is infeasible. *)
 
 val run :

@@ -83,6 +83,91 @@ let robust_with ~rng ?(incremental = true) ?exec scenario ~phase1 ~failures ~cri
   in
   assemble scenario ~phase1 ~phase1_seconds:0. ~phase2 ~phase2_seconds ~critical ~failures
 
+(* --- warm start ---------------------------------------------------------
+   Bounded re-optimization from an incumbent setting: the serve daemon's
+   answer to a traffic or topology event.  Instead of re-running Phase 1a→2
+   (fresh random starts, criticality re-estimation, feasibility gates), the
+   search starts at the incumbent and minimises the single unconstrained
+   objective J(W) = K_normal(W) + Kfail(W) over the caller's retained
+   failure set, under a hard sweep/round budget.  Every diversification
+   restarts from the incumbent — the RNG stream alone varies the
+   trajectory — so the result can never be worse than the incumbent's own
+   objective. *)
+
+type warm_budget = { max_sweeps : int; max_rounds : int }
+
+let default_warm_budget = { max_sweeps = 40; max_rounds = 3 }
+
+type warm_result = {
+  weights : Weights.t;
+  objective : Lexico.t;
+  start_objective : Lexico.t;
+  warm_sweeps : int;
+  warm_evals : int;
+  warm_rounds : int;
+}
+
+let c_warm_evals = Dtr_obs.Metric.Counter.create "warm_start.evals"
+let c_warm_sweeps = Dtr_obs.Metric.Counter.create "warm_start.sweeps"
+
+let warm_start ~rng ?exec ?(failures = []) ?(budget = default_warm_budget)
+    ?target ~incumbent (scenario : Scenario.t) =
+  Dtr_obs.Span.with_ ~name:"warm_start" @@ fun () ->
+  if Dtr_obs.Trace.enabled () then Dtr_obs.Trace.emit_phase ~name:"warm_start";
+  let exec = match exec with Some e -> e | None -> Dtr_exec.Exec.default () in
+  let p = scenario.Scenario.params in
+  let num_arcs = Scenario.num_arcs scenario in
+  let e = Eval_incr.create scenario in
+  let sweep w =
+    let routing_d, routing_t = Eval_incr.current_routing e in
+    Eval.compound_sweep_from scenario ~exec ~routing_d ~routing_t w ~failures
+  in
+  let objective w normal =
+    if failures = [] then normal else Lexico.add normal (sweep w)
+  in
+  let start_obj = ref None in
+  let engine =
+    Local_search.
+      {
+        start =
+          (fun w ->
+            let j = objective w (Eval_incr.anchor e w) in
+            if !start_obj = None then start_obj := Some j;
+            Some j);
+        try_arc = (fun w ~arc -> Some (objective w (Eval_incr.try_arc e w ~arc)));
+        commit = (fun () -> Eval_incr.commit e);
+        rollback = (fun () -> Eval_incr.rollback e);
+      }
+  in
+  let config =
+    Local_search.
+      {
+        wmax = p.Scenario.wmax;
+        interval = p.Scenario.p2_interval;
+        rounds = 1;
+        c = p.Scenario.c_improvement;
+        max_rounds = budget.max_rounds;
+        max_sweeps = budget.max_sweeps;
+      }
+  in
+  let init ~round:_ = incumbent in
+  let search =
+    Dtr_obs.Convergence.with_series ~name:"warm_start" (fun () ->
+        Local_search.run_engine ~rng ~num_arcs ~engine ~init ?target config)
+  in
+  if Dtr_obs.Metric.enabled () then begin
+    Dtr_obs.Metric.Counter.add c_warm_evals search.Local_search.evals;
+    Dtr_obs.Metric.Counter.add c_warm_sweeps search.Local_search.sweeps
+  end;
+  {
+    weights = search.Local_search.best;
+    objective = search.Local_search.best_cost;
+    start_objective = Option.get !start_obj;
+    warm_sweeps = search.Local_search.sweeps;
+    warm_evals = search.Local_search.evals;
+    warm_rounds = search.Local_search.rounds_run;
+  }
+
 let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
     ?(incremental = true) ?exec scenario =
   Dtr_obs.Span.with_ ~name:"optimize" @@ fun () ->

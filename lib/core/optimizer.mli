@@ -66,6 +66,50 @@ val regular_only :
 (** Phase 1 alone (the "no robust" routing of the evaluation) and its
     wall-clock seconds. *)
 
+(** {1 Warm-started re-optimization}
+
+    The serve daemon's bounded alternative to a full {!optimize}: local
+    search started at an incumbent setting, minimising the unconstrained
+    objective [J(W) = K_normal(W) + Kfail(W)] over a retained failure set
+    under a hard budget. *)
+
+type warm_budget = {
+  max_sweeps : int;  (** sweep cap within one diversification round *)
+  max_rounds : int;  (** diversification cap (each restarts at the incumbent) *)
+}
+
+val default_warm_budget : warm_budget
+(** [{ max_sweeps = 40; max_rounds = 3 }]. *)
+
+type warm_result = {
+  weights : Weights.t;  (** best setting found (the incumbent if no move won) *)
+  objective : Lexico.t;  (** J of [weights] *)
+  start_objective : Lexico.t;  (** J of the incumbent, for improvement deltas *)
+  warm_sweeps : int;
+  warm_evals : int;
+  warm_rounds : int;
+}
+
+val warm_start :
+  rng:Dtr_util.Rng.t ->
+  ?exec:Dtr_exec.Exec.t ->
+  ?failures:Failure.t list ->
+  ?budget:warm_budget ->
+  ?target:Lexico.t ->
+  incumbent:Weights.t ->
+  Scenario.t ->
+  warm_result
+(** Bounded local search from [incumbent] on the scenario's current traffic.
+    [failures] (default none — normal-conditions objective only) adds the
+    compounded failure cost of each listed scenario to the objective, priced
+    through the incremental engine's cached bases and the per-sweep pricing
+    cache.  Unlike {!optimize} there is no Phase-1 feasibility gate: the
+    search is monotone in J from the incumbent, so the result never scores
+    worse than the incumbent.  [target] makes the repair stop mid-sweep as
+    soon as J reaches it (see {!Local_search.run_engine}) — the daemon's
+    "repair until recovered" mode.  Deterministic for a given RNG state at
+    any job count. *)
+
 val robust_with :
   rng:Dtr_util.Rng.t ->
   ?incremental:bool ->

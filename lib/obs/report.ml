@@ -1,8 +1,12 @@
 (* Whole-run report: instance summary and final results (set by the caller),
    plus everything the metric registry and span trees currently hold,
-   serialized as one stable JSON document.  The emission is hand-rolled —
-   the project deliberately has no JSON dependency — and keeps a fixed key
-   order so reports diff cleanly across runs. *)
+   serialized as one stable JSON document.  String escaping and float
+   formatting come from [Dtr_util.Json]'s writer so every emitter in the
+   project produces byte-compatible primitives; the document layout itself
+   stays hand-assembled to keep the fixed key order and line structure that
+   reports diff cleanly with. *)
+
+module Json = Dtr_util.Json
 
 type value = S of string | I of int | F of float | B of bool
 
@@ -21,26 +25,8 @@ let reset () =
   Trace.reset ();
   Convergence.reset ()
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let float_json f =
-  if not (Float.is_finite f) then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.9g" f
+let escape = Json.escaped
+let float_json = Json.number_string
 
 let value_json = function
   | S s -> "\"" ^ escape s ^ "\""

@@ -1,0 +1,574 @@
+module Rng = Dtr_util.Rng
+module Stat = Dtr_util.Stat
+module Json = Dtr_util.Json
+module Graph = Dtr_topology.Graph
+module Failure = Dtr_topology.Failure
+module Matrix = Dtr_traffic.Matrix
+module Perturb = Dtr_traffic.Perturb
+module Routing = Dtr_spf.Routing
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Eval = Dtr_core.Eval
+module Optimizer = Dtr_core.Optimizer
+module Resize = Dtr_core.Resize
+module Lexico = Dtr_cost.Lexico
+module Metric = Dtr_obs.Metric
+module Span = Dtr_obs.Span
+module P = Protocol
+
+type config = {
+  scenario : Scenario.t;
+  incumbent : Weights.t;
+  critical : int list;
+  fraction : float option;
+  seed : int;
+  exec : Dtr_exec.Exec.t;
+  cache_capacity : int;
+}
+
+(* A cached what-if answer: just the scalars — the load arrays of a full
+   [Eval.detail] would pin O(arcs) memory per entry for data no query
+   reads. *)
+type priced = { lambda : float; phi : float; violations : int; unreachable : int }
+
+type t = {
+  mutable scenario : Scenario.t;
+  mutable incumbent : Weights.t;
+  mutable critical : int list;
+  mutable failed : int list;  (* failed arc ids, strictly increasing *)
+  (* Resident no-failure routing bases of the incumbent on the current
+     graph.  Invalidated by weight and graph changes only: traffic updates
+     never move shortest paths, and link failures are priced incrementally
+     from the full-topology bases via [with_failed_arcs]. *)
+  mutable routing_d : Routing.t option;
+  mutable routing_t : Routing.t option;
+  mutable graph_epoch : int;
+  mutable matrix_epoch : int;
+  mutable weights_epoch : int;
+  cache : (string, priced) Lru.t;
+  perturb_rng : Rng.t;
+  warm_rng : Rng.t;
+  fraction : float option;
+  seed : int;
+  exec : Dtr_exec.Exec.t;
+  (* event accounting for the [stats] reply *)
+  mutable events : int;
+  mutable errors : int;
+  mutable lat : float array;  (* seconds, one per handled request *)
+  mutable lat_len : int;
+}
+
+let c_events = Metric.Counter.create "serve.events"
+let c_errors = Metric.Counter.create "serve.errors"
+
+let create (cfg : config) =
+  {
+    scenario = cfg.scenario;
+    incumbent = cfg.incumbent;
+    critical = List.sort_uniq compare cfg.critical;
+    failed = [];
+    routing_d = None;
+    routing_t = None;
+    graph_epoch = 0;
+    matrix_epoch = 0;
+    weights_epoch = 0;
+    cache = Lru.create ~capacity:cfg.cache_capacity;
+    perturb_rng = Rng.create (cfg.seed + 2);
+    warm_rng = Rng.create (cfg.seed + 3);
+    fraction = cfg.fraction;
+    seed = cfg.seed;
+    exec = cfg.exec;
+    events = 0;
+    errors = 0;
+    lat = Array.make 256 0.;
+    lat_len = 0;
+  }
+
+let incumbent t = t.incumbent
+let cache_stats t = Lru.stats t.cache
+
+let record_latency t secs =
+  if t.lat_len = Array.length t.lat then begin
+    let bigger = Array.make (2 * t.lat_len) 0. in
+    Array.blit t.lat 0 bigger 0 t.lat_len;
+    t.lat <- bigger
+  end;
+  t.lat.(t.lat_len) <- secs;
+  t.lat_len <- t.lat_len + 1
+
+let invalidate_bases t =
+  t.routing_d <- None;
+  t.routing_t <- None
+
+let bases t =
+  match (t.routing_d, t.routing_t) with
+  | Some d, Some tt -> (d, tt)
+  | _ ->
+      let g = t.scenario.Scenario.graph in
+      let buffers = Routing.make_buffers g in
+      let d =
+        Routing.compute g ~weights:(Weights.delay_of t.incumbent) ~buffers ()
+      in
+      let tt =
+        Routing.compute g ~weights:(Weights.throughput_of t.incumbent) ~buffers ()
+      in
+      t.routing_d <- Some d;
+      t.routing_t <- Some tt;
+      (d, tt)
+
+(* --- request plumbing ---------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let resolve_arc t r =
+  let g = t.scenario.Scenario.graph in
+  match r with
+  | P.By_id id ->
+      if id < 0 || id >= Graph.num_arcs g then
+        Error (P.Bad_arc, Printf.sprintf "arc %d out of range" id)
+      else Ok id
+  | P.By_endpoints (u, v) -> (
+      let n = Graph.num_nodes g in
+      if u < 0 || u >= n || v < 0 || v >= n then
+        Error (P.Bad_arc, Printf.sprintf "endpoint out of range in %d->%d" u v)
+      else
+        match Graph.find_arc g u v with
+        | Some id -> Ok id
+        | None -> Error (P.Bad_arc, Printf.sprintf "no arc %d->%d" u v))
+
+let failure_of_arcs = function [] -> None | arcs -> Some (Failure.Arcs arcs)
+
+(* The failure state an [eval] prices: currently-down arcs plus the query's
+   what-if spec.  Node what-ifs cannot be combined with down links — the
+   scenario type has no node+arcs constructor — so that mix is rejected
+   rather than silently ignoring the down links. *)
+let combined_failure t spec =
+  match spec with
+  | None -> Ok (failure_of_arcs t.failed)
+  | Some (P.F_node v) ->
+      if v < 0 || v >= Scenario.num_nodes t.scenario then
+        Error (P.Bad_arc, Printf.sprintf "node %d out of range" v)
+      else if t.failed <> [] then
+        Error
+          ( P.Bad_request,
+            "node what-if queries cannot be combined with failed links" )
+      else Ok (Some (Failure.Node v))
+  | Some (P.F_arc r) ->
+      let* id = resolve_arc t r in
+      Ok (failure_of_arcs (List.sort_uniq compare (id :: t.failed)))
+  | Some (P.F_edge r) ->
+      let* id = resolve_arc t r in
+      let rev = (Graph.arc_reverses t.scenario.Scenario.graph).(id) in
+      Ok (failure_of_arcs (List.sort_uniq compare (id :: rev :: t.failed)))
+
+let cache_key t failure =
+  let fkey =
+    match failure with
+    | None -> "-"
+    | Some (Failure.Arcs arcs) -> String.concat "," (List.map string_of_int arcs)
+    | Some (Failure.Arc a) -> string_of_int a
+    | Some (Failure.Edge e) -> "e" ^ string_of_int e
+    | Some (Failure.Node v) -> "n" ^ string_of_int v
+    | Some Failure.No_failure -> "-"
+  in
+  Printf.sprintf "g%d.m%d.w%d.%s" t.graph_epoch t.matrix_epoch t.weights_epoch
+    fkey
+
+let num f = Json.Num f
+let int i = Json.Num (float_of_int i)
+let cost_fields (c : Lexico.t) = [ ("lambda", num c.Lexico.lambda); ("phi", num c.Lexico.phi) ]
+
+(* --- event handlers ------------------------------------------------------ *)
+
+let handle_hello t =
+  let g = t.scenario.Scenario.graph in
+  Ok
+    (Json.Obj
+       [
+         ("server", Json.Str "dtr-serve");
+         ("nodes", int (Graph.num_nodes g));
+         ("arcs", int (Graph.num_arcs g));
+         ("jobs", int (Dtr_exec.Exec.jobs t.exec));
+         ("dspf", Json.Bool (Dtr_spf.Spf_delta.enabled ()));
+       ])
+
+let handle_tm_update t ev =
+  let rd, rt =
+    Perturb.apply_event t.perturb_rng ~rd:t.scenario.Scenario.rd
+      ~rt:t.scenario.Scenario.rt ev
+  in
+  t.scenario <- Scenario.with_traffic t.scenario ~rd ~rt;
+  t.matrix_epoch <- t.matrix_epoch + 1;
+  Ok
+    (Json.Obj
+       [
+         ("matrix_epoch", int t.matrix_epoch);
+         ("rd_total", num (Matrix.total rd));
+         ("rt_total", num (Matrix.total rt));
+       ])
+
+let link_result t =
+  let g = t.scenario.Scenario.graph in
+  let connected =
+    match t.failed with
+    | [] -> Graph.strongly_connected g
+    | arcs ->
+        Graph.strongly_connected ~disabled:(Failure.mask g (Failure.Arcs arcs)) g
+  in
+  Json.Obj
+    [
+      ("failed", Json.Arr (List.map int t.failed));
+      ("connected", Json.Bool connected);
+    ]
+
+let handle_link_down t r =
+  let* id = resolve_arc t r in
+  if List.mem id t.failed then
+    Error (P.Bad_arc, Printf.sprintf "arc %d is already down" id)
+  else begin
+    t.failed <- List.sort_uniq compare (id :: t.failed);
+    Ok (link_result t)
+  end
+
+let handle_link_up t r =
+  let* id = resolve_arc t r in
+  if not (List.mem id t.failed) then
+    Error (P.Bad_arc, Printf.sprintf "arc %d is not down" id)
+  else begin
+    t.failed <- List.filter (fun a -> a <> id) t.failed;
+    Ok (link_result t)
+  end
+
+let handle_resize t ~max_util ~step =
+  let scenario, report =
+    Resize.resize_congested ?step ?max_util t.scenario t.incumbent
+  in
+  t.scenario <- scenario;
+  t.graph_epoch <- t.graph_epoch + 1;
+  invalidate_bases t;
+  Ok
+    (Json.Obj
+       [
+         ("upgrades", int (List.length report.Resize.upgrades));
+         ("added_capacity", num report.Resize.added_capacity);
+         ("graph_epoch", int t.graph_epoch);
+       ])
+
+let handle_eval t spec =
+  let* failure = combined_failure t spec in
+  let key = cache_key t failure in
+  let priced, cached =
+    match Lru.find t.cache key with
+    | Some p -> (p, true)
+    | None ->
+        let routing_d, routing_t = bases t in
+        let d = Eval.evaluate_from t.scenario ~routing_d ~routing_t ?failure t.incumbent in
+        let p =
+          {
+            lambda = d.Eval.cost.Lexico.lambda;
+            phi = d.Eval.cost.Lexico.phi;
+            violations = d.Eval.violations;
+            unreachable = d.Eval.unreachable_pairs;
+          }
+        in
+        Lru.add t.cache key p;
+        (p, false)
+  in
+  Ok
+    (Json.Obj
+       [
+         ("lambda", num priced.lambda);
+         ("phi", num priced.phi);
+         ("violations", int priced.violations);
+         ("unreachable_pairs", int priced.unreachable);
+         ("cached", Json.Bool cached);
+       ])
+
+let set_incumbent t w =
+  if not (Weights.equal w t.incumbent) then begin
+    t.incumbent <- w;
+    t.weights_epoch <- t.weights_epoch + 1;
+    invalidate_bases t
+  end
+
+let handle_reopt_warm t ~max_sweeps ~max_rounds ~target =
+  let default = Optimizer.default_warm_budget in
+  let budget =
+    Optimizer.
+      {
+        max_sweeps = Option.value max_sweeps ~default:default.max_sweeps;
+        max_rounds = Option.value max_rounds ~default:default.max_rounds;
+      }
+  in
+  let target =
+    Option.map (fun (lambda, phi) -> Lexico.{ lambda; phi }) target
+  in
+  let failures =
+    List.sort_uniq compare (t.critical @ t.failed)
+    |> List.map (fun a -> Failure.Arc a)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Optimizer.warm_start ~rng:t.warm_rng ~exec:t.exec ~failures ~budget ?target
+      ~incumbent:t.incumbent t.scenario
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  set_incumbent t r.Optimizer.weights;
+  Ok
+    (Json.Obj
+       ([ ("mode", Json.Str "warm") ]
+       @ cost_fields r.Optimizer.objective
+       @ [
+           ("start_lambda", num r.Optimizer.start_objective.Lexico.lambda);
+           ("start_phi", num r.Optimizer.start_objective.Lexico.phi);
+           ("sweeps", int r.Optimizer.warm_sweeps);
+           ("evals", int r.Optimizer.warm_evals);
+           ("rounds", int r.Optimizer.warm_rounds);
+           ("failures", int (List.length failures));
+           ("seconds", num seconds);
+           ("weights_epoch", int t.weights_epoch);
+         ]
+       @
+       match target with
+       | None -> []
+       | Some tgt ->
+           [
+             ( "target_reached",
+               Json.Bool (Lexico.compare r.Optimizer.objective tgt <= 0) );
+           ]))
+
+let handle_reopt_full t =
+  (* A fresh (seed + 1) stream — the same one a cold [dtr-opt optimize] on
+     these matrices builds, so full re-optimization in a long-lived daemon
+     is byte-identical to a cold restart whatever happened before. *)
+  let rng = Rng.create (t.seed + 1) in
+  let sol = Optimizer.optimize ~rng ?fraction:t.fraction ~exec:t.exec t.scenario in
+  set_incumbent t sol.Optimizer.robust;
+  t.critical <- List.sort_uniq compare sol.Optimizer.critical;
+  Ok
+    (Json.Obj
+       ([ ("mode", Json.Str "full") ]
+       @ cost_fields sol.Optimizer.robust_normal_cost
+       @ [
+           ("fail_lambda", num sol.Optimizer.robust_fail_cost.Lexico.lambda);
+           ("fail_phi", num sol.Optimizer.robust_fail_cost.Lexico.phi);
+           ("regular_lambda", num sol.Optimizer.regular_cost.Lexico.lambda);
+           ("regular_phi", num sol.Optimizer.regular_cost.Lexico.phi);
+           ("critical_arcs", int (List.length sol.Optimizer.critical));
+           ("phase1_seconds", num sol.Optimizer.phase1_seconds);
+           ("phase2_seconds", num sol.Optimizer.phase2_seconds);
+           ("weights_epoch", int t.weights_epoch);
+         ]))
+
+let percentile_ms t p =
+  if t.lat_len = 0 then 0.
+  else 1000. *. Stat.percentile (Array.sub t.lat 0 t.lat_len) p
+
+let handle_stats t =
+  let s = Lru.stats t.cache in
+  Ok
+    (Json.Obj
+       [
+         ("events", int t.events);
+         ("errors", int t.errors);
+         ( "latency_ms",
+           Json.Obj
+             [
+               ("count", int t.lat_len);
+               ("p50", num (percentile_ms t 50.));
+               ("p99", num (percentile_ms t 99.));
+               ("max", num (percentile_ms t 100.));
+             ] );
+         ( "cache",
+           Json.Obj
+             [
+               ("hits", int s.Lru.hits);
+               ("misses", int s.Lru.misses);
+               ("evictions", int s.Lru.evictions);
+               ("length", int s.Lru.length);
+               ("capacity", int s.Lru.capacity);
+             ] );
+         ( "epochs",
+           Json.Obj
+             [
+               ("graph", int t.graph_epoch);
+               ("matrix", int t.matrix_epoch);
+               ("weights", int t.weights_epoch);
+             ] );
+         ("failed", Json.Arr (List.map int t.failed));
+         ("critical_arcs", int (List.length t.critical));
+       ])
+
+let dispatch t (event : P.event) =
+  match event with
+  | P.Hello -> handle_hello t
+  | P.Tm_update ev -> handle_tm_update t ev
+  | P.Link_down r -> handle_link_down t r
+  | P.Link_up r -> handle_link_up t r
+  | P.Resize { max_util; step } -> handle_resize t ~max_util ~step
+  | P.Eval { failure } -> handle_eval t failure
+  | P.Reoptimize { mode = P.Warm; max_sweeps; max_rounds; target } ->
+      handle_reopt_warm t ~max_sweeps ~max_rounds ~target
+  | P.Reoptimize { mode = P.Full; max_sweeps = _; max_rounds = _; target = _ }
+    ->
+      handle_reopt_full t
+  | P.Stats -> handle_stats t
+  | P.Shutdown -> Ok (Json.Obj [])
+
+let handle_line t line =
+  t.events <- t.events + 1;
+  if Metric.enabled () then Metric.Counter.incr c_events;
+  match P.parse_request line with
+  | Error (code, message) ->
+      t.errors <- t.errors + 1;
+      if Metric.enabled () then Metric.Counter.incr c_errors;
+      (P.error_response ~id:None ~code ~message, true)
+  | Ok { P.id; event } -> (
+      let name = P.event_name event in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        Span.with_ ~name:("serve." ^ name) @@ fun () ->
+        match dispatch t event with
+        | result -> result
+        | exception Invalid_argument msg -> Error (P.Bad_request, msg)
+        | exception exn -> Error (P.Internal, Printexc.to_string exn)
+      in
+      record_latency t (Unix.gettimeofday () -. t0);
+      match outcome with
+      | Ok result ->
+          (P.ok_response ~id ~event:name result, event <> P.Shutdown)
+      | Error (code, message) ->
+          t.errors <- t.errors + 1;
+          if Metric.enabled () then Metric.Counter.incr c_errors;
+          (P.error_response ~id:(Some id) ~code ~message, true))
+
+(* --- event loops --------------------------------------------------------- *)
+
+let run_pipe t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        let resp, continue = handle_line t line in
+        output_string oc resp;
+        output_char oc '\n';
+        flush oc;
+        if continue then loop ()
+  in
+  loop ()
+
+(* Socket mode: one select loop over the listening socket, the connected
+   clients and (optionally) stdio, all newline-framed.  Single-threaded:
+   requests are handled to completion in readiness order, so daemon state
+   needs no locking and responses never interleave. *)
+
+type peer = {
+  fd : Unix.file_descr;
+  mutable pending : string;  (* bytes after the last newline *)
+  reply : string -> unit;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let split_lines peer data =
+  match String.split_on_char '\n' (peer.pending ^ data) with
+  | [] -> []
+  | parts ->
+      let rec go = function
+        | [ last ] ->
+            peer.pending <- last;
+            []
+        | line :: rest -> line :: go rest
+        | [] -> []
+      in
+      go parts
+
+let run_socket t ~socket ?stdio () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 8;
+  let peers = ref [] in
+  let stdio_peer =
+    Option.map
+      (fun (ic, oc) ->
+        {
+          fd = Unix.descr_of_in_channel ic;
+          pending = "";
+          reply =
+            (fun s ->
+              output_string oc s;
+              output_char oc '\n';
+              flush oc);
+        })
+      stdio
+  in
+  let stdio_open = ref (stdio_peer <> None) in
+  let stop = ref false in
+  let drop peer =
+    peers := List.filter (fun p -> p.fd != peer.fd) !peers;
+    try Unix.close peer.fd with Unix.Unix_error _ -> ()
+  in
+  let serve_lines peer data =
+    List.iter
+      (fun line ->
+        if (not !stop) && String.trim line <> "" then begin
+          let resp, continue = handle_line t line in
+          (try peer.reply resp with Sys_error _ | Unix.Unix_error _ -> ());
+          if not continue then stop := true
+        end)
+      (split_lines peer data)
+  in
+  let chunk = Bytes.create 65536 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Unix.close p.fd with Unix.Unix_error _ -> ()) !peers;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  while not !stop do
+    let watched =
+      (listen_fd :: List.map (fun p -> p.fd) !peers)
+      @
+      match stdio_peer with
+      | Some p when !stdio_open -> [ p.fd ]
+      | _ -> []
+    in
+    let readable, _, _ = Unix.select watched [] [] (-1.) in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then begin
+          let client_fd, _ = Unix.accept listen_fd in
+          peers :=
+            {
+              fd = client_fd;
+              pending = "";
+              reply = (fun s -> write_all client_fd (s ^ "\n"));
+            }
+            :: !peers
+        end
+        else begin
+          let peer =
+            match stdio_peer with
+            | Some p when p.fd = fd -> p
+            | _ -> List.find (fun p -> p.fd = fd) !peers
+          in
+          let n = try Unix.read fd chunk 0 (Bytes.length chunk) with
+            | Unix.Unix_error _ -> 0
+          in
+          if n = 0 then begin
+            match stdio_peer with
+            | Some p when p.fd = fd -> stdio_open := false
+            | _ -> drop peer
+          end
+          else serve_lines peer (Bytes.sub_string chunk 0 n)
+        end)
+      readable
+  done

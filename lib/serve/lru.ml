@@ -1,0 +1,86 @@
+(* LRU over a hashtable with per-entry recency stamps.  Eviction scans for
+   the minimum stamp — O(capacity), which at the daemon's cache sizes (tens
+   of entries) beats maintaining an intrusive list, and keeps the structure
+   trivially correct under the qcheck eviction properties. *)
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, 'v entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some _ -> Hashtbl.remove t.tbl k
+  | None -> if Hashtbl.length t.tbl >= t.cap then evict_lru t);
+  let e = { value = v; stamp = 0 } in
+  touch t e;
+  Hashtbl.replace t.tbl k e
+
+let clear t = Hashtbl.reset t.tbl
+
+let stats (t : ('k, 'v) t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    length = Hashtbl.length t.tbl;
+    capacity = t.cap;
+  }

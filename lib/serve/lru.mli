@@ -1,0 +1,38 @@
+(** Bounded least-recently-used cache for the daemon's pricing results.
+
+    The serve daemon answers repeated what-if queries against slowly-moving
+    state (failure set, matrix epoch, incumbent weights); this cache bounds
+    the memory those answers pin while keeping the hot keys resident.
+    Capacity is small by design — eviction is an O(capacity) scan, which at
+    the daemon's cache sizes costs less than the hashing it saves. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit; counts a hit or a miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Recency- and stats-neutral membership probe. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Inserts or replaces; at capacity, the least-recently-used entry is
+    evicted first.  An insert counts as a use. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drops every entry (stats survive; no evictions are counted). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+val stats : ('k, 'v) t -> stats

@@ -1,0 +1,222 @@
+module Json = Dtr_util.Json
+module Perturb = Dtr_traffic.Perturb
+
+let schema = "dtr-serve/1"
+
+type arc_ref = By_id of int | By_endpoints of int * int
+type failure_spec = F_arc of arc_ref | F_edge of arc_ref | F_node of int
+type reopt_mode = Warm | Full
+
+type event =
+  | Hello
+  | Tm_update of Perturb.event
+  | Link_down of arc_ref
+  | Link_up of arc_ref
+  | Resize of { max_util : float option; step : float option }
+  | Eval of { failure : failure_spec option }
+  | Reoptimize of {
+      mode : reopt_mode;
+      max_sweeps : int option;
+      max_rounds : int option;
+      target : (float * float) option;
+    }
+  | Stats
+  | Shutdown
+
+type request = { id : int; event : event }
+type error_code = Parse_error | Unknown_event | Bad_request | Bad_arc | Internal
+
+let error_code_name = function
+  | Parse_error -> "parse_error"
+  | Unknown_event -> "unknown_event"
+  | Bad_request -> "bad_request"
+  | Bad_arc -> "bad_arc"
+  | Internal -> "internal"
+
+let event_name = function
+  | Hello -> "hello"
+  | Tm_update _ -> "tm_update"
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Resize _ -> "resize"
+  | Eval _ -> "eval"
+  | Reoptimize _ -> "reoptimize"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+(* --- request parsing ----------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+let bad msg = Error (Bad_request, msg)
+
+let int_field j key =
+  match Json.member key j with
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some i -> Ok (Some i)
+      | None -> bad (Printf.sprintf "%S must be an integer" key))
+  | None -> Ok None
+
+let float_field j key =
+  match Json.member key j with
+  | Some v -> (
+      match Json.to_float_opt v with
+      | Some f -> Ok (Some f)
+      | None -> bad (Printf.sprintf "%S must be a number" key))
+  | None -> Ok None
+
+let require what = function Some x -> Ok x | None -> bad (what ^ " is required")
+
+(* An arc is named either by id ("arc") or by endpoints ("src"/"dst"). *)
+let arc_ref_of j =
+  let* arc = int_field j "arc" in
+  match arc with
+  | Some id -> Ok (By_id id)
+  | None -> (
+      let* src = int_field j "src" in
+      let* dst = int_field j "dst" in
+      match (src, dst) with
+      | Some u, Some v -> Ok (By_endpoints (u, v))
+      | _ -> bad "arc events need \"arc\" or both \"src\" and \"dst\"")
+
+let failure_spec_of j =
+  match Json.member "failure" j with
+  | None -> Ok None
+  | Some f -> (
+      let* node = int_field f "node" in
+      match node with
+      | Some v -> Ok (Some (F_node v))
+      | None -> (
+          let* edge = int_field f "edge" in
+          match edge with
+          | Some id -> Ok (Some (F_edge (By_id id)))
+          | None ->
+              let* r = arc_ref_of f in
+              Ok (Some (F_arc r))))
+
+let tm_update_of j =
+  match Json.member "model" j with
+  | Some (Json.Str "gaussian") ->
+      let* eps = float_field j "eps" in
+      let* eps = require "\"eps\"" eps in
+      Ok (Tm_update (Perturb.Gaussian { eps }))
+  | Some (Json.Str "hotspot") ->
+      let* direction =
+        match Json.member "direction" j with
+        | Some (Json.Str "upload") -> Ok Perturb.Upload
+        | Some (Json.Str "download") -> Ok Perturb.Download
+        | Some _ -> bad "\"direction\" must be \"upload\" or \"download\""
+        | None -> Ok Perturb.Upload
+      in
+      let d = Perturb.default_hotspot in
+      let* server_fraction = float_field j "server_fraction" in
+      let* client_fraction = float_field j "client_fraction" in
+      let* factor_min = float_field j "factor_min" in
+      let* factor_max = float_field j "factor_max" in
+      let spec =
+        Perturb.
+          {
+            server_fraction =
+              Option.value server_fraction ~default:d.server_fraction;
+            client_fraction =
+              Option.value client_fraction ~default:d.client_fraction;
+            factor_min = Option.value factor_min ~default:d.factor_min;
+            factor_max = Option.value factor_max ~default:d.factor_max;
+          }
+      in
+      Ok (Tm_update (Perturb.Hotspot { spec; direction }))
+  | Some _ -> bad "\"model\" must be \"gaussian\" or \"hotspot\""
+  | None -> bad "\"model\" is required"
+
+let reoptimize_of j =
+  let* mode =
+    match Json.member "mode" j with
+    | Some (Json.Str "warm") | None -> Ok Warm
+    | Some (Json.Str "full") -> Ok Full
+    | Some _ -> bad "\"mode\" must be \"warm\" or \"full\""
+  in
+  let* max_sweeps = int_field j "max_sweeps" in
+  let* max_rounds = int_field j "max_rounds" in
+  let* target_lambda = float_field j "target_lambda" in
+  let* target_phi = float_field j "target_phi" in
+  let* target =
+    match (target_lambda, target_phi) with
+    | None, None -> Ok None
+    | Some l, Some p -> Ok (Some (l, p))
+    | _ -> bad "\"target_lambda\" and \"target_phi\" must be given together"
+  in
+  Ok (Reoptimize { mode; max_sweeps; max_rounds; target })
+
+let resize_of j =
+  let* max_util = float_field j "max_util" in
+  let* step = float_field j "step" in
+  Ok (Resize { max_util; step })
+
+let event_of j = function
+  | "hello" -> Ok Hello
+  | "tm_update" -> tm_update_of j
+  | "link_down" ->
+      let* r = arc_ref_of j in
+      Ok (Link_down r)
+  | "link_up" ->
+      let* r = arc_ref_of j in
+      Ok (Link_up r)
+  | "resize" -> resize_of j
+  | "eval" ->
+      let* failure = failure_spec_of j in
+      Ok (Eval { failure })
+  | "reoptimize" -> reoptimize_of j
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | kind -> Error (Unknown_event, Printf.sprintf "unknown event %S" kind)
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Parse_error, msg)
+  | Ok (Json.Obj _ as j) -> (
+      let* id =
+        match Json.member "id" j with
+        | Some v -> (
+            match Json.to_int_opt v with
+            | Some i -> Ok i
+            | None -> bad "\"id\" must be an integer")
+        | None -> bad "\"id\" is required"
+      in
+      match Json.member "event" j with
+      | Some (Json.Str kind) ->
+          let* event = event_of j kind in
+          Ok { id; event }
+      | Some _ -> bad "\"event\" must be a string"
+      | None -> bad "\"event\" is required")
+  | Ok _ -> Error (Parse_error, "request must be a JSON object")
+
+(* --- response printing --------------------------------------------------- *)
+
+let ok_response ~id ~event result =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("id", Json.Num (float_of_int id));
+         ("ok", Json.Bool true);
+         ("event", Json.Str event);
+         ("result", result);
+       ])
+
+let error_response ~id ~code ~message =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ( "id",
+           match id with
+           | Some i -> Json.Num (float_of_int i)
+           | None -> Json.Null );
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (error_code_name code));
+               ("message", Json.Str message);
+             ] );
+       ])

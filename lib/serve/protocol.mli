@@ -1,0 +1,76 @@
+(** The [dtr-serve/1] wire protocol.
+
+    Newline-delimited JSON over a byte stream (stdin/stdout or a
+    Unix-domain socket).  Each request is one object
+    [{"id": N, "event": "<kind>", ...}]; each response is one envelope
+
+    {v
+      {"schema": "dtr-serve/1", "id": N, "ok": true,
+       "event": "<kind>", "result": {...}}
+      {"schema": "dtr-serve/1", "id": N, "ok": false,
+       "error": {"code": "<code>", "message": "..."}}
+    v}
+
+    The same schema-versioning discipline as [dtr-obs-report] applies:
+    additive changes keep the [/1] name, renames or removals bump it.  This
+    module is pure parsing/printing on {!Dtr_util.Json.t}; the daemon
+    interprets the events. *)
+
+module Json = Dtr_util.Json
+
+val schema : string
+(** ["dtr-serve/1"]. *)
+
+(** How a link event or an eval query names arcs. *)
+type arc_ref =
+  | By_id of int  (** ["arc": id] *)
+  | By_endpoints of int * int  (** ["src": u, "dst": v] *)
+
+(** What-if failure of an [eval] query, applied on top of the daemon's
+    currently-failed arcs. *)
+type failure_spec =
+  | F_arc of arc_ref
+  | F_edge of arc_ref  (** the arc and its reverse *)
+  | F_node of int
+
+type reopt_mode = Warm | Full
+
+type event =
+  | Hello
+  | Tm_update of Dtr_traffic.Perturb.event
+  | Link_down of arc_ref
+  | Link_up of arc_ref
+  | Resize of { max_util : float option; step : float option }
+  | Eval of { failure : failure_spec option }
+  | Reoptimize of {
+      mode : reopt_mode;
+      max_sweeps : int option;  (** warm-mode budget override *)
+      max_rounds : int option;
+      target : (float * float) option;
+          (** warm-mode recovery target [(lambda, phi)]: stop the repair as
+              soon as J reaches it ("target_lambda"/"target_phi" on the
+              wire, both or neither) *)
+    }
+  | Stats
+  | Shutdown
+
+type request = { id : int; event : event }
+
+(** Machine-readable failure classes of the error envelope. *)
+type error_code = Parse_error | Unknown_event | Bad_request | Bad_arc | Internal
+
+val error_code_name : error_code -> string
+
+val event_name : event -> string
+(** The [event] discriminator string echoed in response envelopes. *)
+
+val parse_request : string -> (request, error_code * string) result
+(** One request line.  [Parse_error] for malformed JSON or a non-object;
+    [Bad_request] for a missing/non-integral [id] or malformed parameters;
+    [Unknown_event] for an unrecognized [event] kind. *)
+
+val ok_response : id:int -> event:string -> Json.t -> string
+(** Success envelope, serialized (no trailing newline). *)
+
+val error_response : id:int option -> code:error_code -> message:string -> string
+(** Error envelope; [id] is [null] when the request's id never parsed. *)

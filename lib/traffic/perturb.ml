@@ -51,3 +51,20 @@ let hotspot rng ?(spec = default_hotspot) ~direction ~rd ~rt () =
   let rd' = apply_assignment rng spec ~direction ~assignment rd in
   let rt' = apply_assignment rng spec ~direction ~assignment rt in
   (rd', rt')
+
+(* Perturbations as a replayable event stream.  The RNG draw order is part
+   of the contract: the delay matrix is perturbed before the throughput
+   matrix, so replaying the same events against the same RNG state
+   reproduces the same matrices — the serve daemon's synthetic streams and
+   the warm-start identity tests both depend on it. *)
+
+type event =
+  | Gaussian of { eps : float }
+  | Hotspot of { spec : hotspot; direction : direction }
+
+let apply_event rng ~rd ~rt = function
+  | Gaussian { eps } ->
+      let rd' = gaussian rng ~eps rd in
+      let rt' = gaussian rng ~eps rt in
+      (rd', rt')
+  | Hotspot { spec; direction } -> hotspot rng ~spec ~direction ~rd ~rt ()

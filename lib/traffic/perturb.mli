@@ -48,3 +48,21 @@ val hotspot :
     (client [i], server [j]) pair the affected demand — [r (i, j)] for
     [Upload], [r (j, i)] for [Download] — is multiplied by an independent
     uniform factor per class, as in the paper's ν and µ multipliers. *)
+
+(** {1 Event stream}
+
+    Perturbations packaged as replayable events — the serve daemon's
+    synthetic traffic streams are sequences of these, and the warm-start
+    identity tests replay the same sequence out-of-process. *)
+
+type event =
+  | Gaussian of { eps : float }
+  | Hotspot of { spec : hotspot; direction : direction }
+
+val apply_event :
+  Dtr_util.Rng.t -> rd:Matrix.t -> rt:Matrix.t -> event -> Matrix.t * Matrix.t
+(** Applies one event to both matrices and returns the perturbed pair.
+    The RNG draw order is fixed — delay matrix first, then throughput — so
+    replaying the same events against an equal RNG state reproduces the
+    same matrices bit-for-bit.
+    @raise Invalid_argument as {!gaussian}/{!hotspot} do. *)

@@ -1,9 +1,11 @@
-(* Minimal recursive-descent JSON reader.  The project deliberately carries
-   no JSON dependency — reports and traces are emitted by hand — so the
-   trace tooling (report diff, BENCH trajectory checks) parses with this:
-   the full value grammar, UTF-8 passed through opaquely, [\uXXXX] escapes
-   decoded to UTF-8, no streaming.  Object members keep file order and
-   duplicates; [member] returns the first. *)
+(* Minimal recursive-descent JSON reader and writer.  The project
+   deliberately carries no JSON dependency, so the trace tooling (report
+   diff, BENCH trajectory checks) parses with the reader — full value
+   grammar, UTF-8 passed through opaquely, [\uXXXX] escapes decoded to
+   UTF-8, no streaming; object members keep file order and duplicates, and
+   [member] returns the first — while the serve wire protocol and the
+   report emitters serialize with the writer below instead of ad-hoc
+   [Printf] emission. *)
 
 type t =
   | Null
@@ -205,3 +207,83 @@ let int_member key j ~default =
   match member key j with
   | Some (Num f) when Float.is_integer f -> int_of_float f
   | _ -> default
+
+(* --- writer ------------------------------------------------------------- *)
+
+(* String escaping for emission: the inverse of [parse_string].  Quotes,
+   backslashes and the C0 control characters are escaped (the named escapes
+   where JSON has them, [\u00XX] otherwise); everything else — including
+   UTF-8 multibyte sequences — passes through verbatim, matching the
+   reader's opaque treatment. *)
+let escape_to_buffer b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let escaped s =
+  let b = Buffer.create (String.length s + 8) in
+  escape_to_buffer b s;
+  Buffer.contents b
+
+(* Float emission: integral values in the exactly-representable range keep
+   the report files' historical "N.0" form; everything else uses the
+   shortest of %.15g / %.17g that parses back to the same bits, so values
+   round-trip exactly through [parse].  JSON has no non-finite numbers:
+   those emit [null], the same substitution the report emitter always
+   made. *)
+let number_string f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_buffer b j =
+  let rec emit = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Num f -> Buffer.add_string b (number_string f)
+    | Str s ->
+        Buffer.add_char b '"';
+        escape_to_buffer b s;
+        Buffer.add_char b '"'
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string b ", ";
+            emit v)
+          items;
+        Buffer.add_char b ']'
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            Buffer.add_char b '"';
+            escape_to_buffer b k;
+            Buffer.add_string b "\": ";
+            emit v)
+          kvs;
+        Buffer.add_char b '}'
+  in
+  emit j
+
+let to_string j =
+  let b = Buffer.create 256 in
+  to_buffer b j;
+  Buffer.contents b
+
+let to_channel oc j = output_string oc (to_string j)

@@ -1,9 +1,13 @@
-(** Minimal dependency-free JSON reader.
+(** Minimal dependency-free JSON reader and writer.
 
-    The project emits its JSON (reports, traces, BENCH rows) by hand; this
-    module is the matching reader used by the trace tooling ([dtr-opt trace
-    diff] / [trace bench-check]).  Full value grammar, numbers as floats,
-    [\uXXXX] escapes decoded to UTF-8, object members in file order. *)
+    The reader backs the trace tooling ([dtr-opt trace diff] / [trace
+    bench-check]): full value grammar, numbers as floats, [\uXXXX] escapes
+    decoded to UTF-8, object members in file order.  The writer is its
+    inverse — the serve wire protocol serializes whole values with
+    {!to_string}/{!to_channel}, and the report emitters use the
+    {!escaped}/{!number_string} primitives so string escaping and float
+    round-tripping are single-sourced instead of hand-rolled per
+    emitter. *)
 
 type t =
   | Null
@@ -41,3 +45,22 @@ val to_obj : t -> (string * t) list
 val string_member : string -> t -> default:string -> string
 val float_member : string -> t -> default:float -> float
 val int_member : string -> t -> default:int -> int
+
+(** {1 Writer} *)
+
+val escaped : string -> string
+(** JSON string-body escaping (no surrounding quotes): quote, backslash and
+    C0 controls are escaped; UTF-8 multibyte bytes pass through verbatim. *)
+
+val number_string : float -> string
+(** Shortest decimal form that {!parse} reads back to the same bits:
+    integral values as ["N.0"], others via %.15g with a %.17g fallback.
+    Non-finite floats — which JSON cannot represent — become ["null"]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Single-line emission, [", "]/[": "] separators; [parse (to_string j)]
+    yields [j] up to non-finite numbers (emitted as [Null]). *)
+
+val to_channel : out_channel -> t -> unit

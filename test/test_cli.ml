@@ -57,6 +57,31 @@ let test_exec_of_jobs () =
   Alcotest.(check bool) "default resolves to at least one job" true
     (Exec.jobs (Cli.exec_of_jobs None) >= 1)
 
+(* The observability bracket must be symmetric: after an instrumented run
+   switches Metric/Trace on, a subsequent plain run (no --verbose, --report
+   or --trace) must switch them back off, not inherit stale enablement. *)
+let test_obs_start_symmetry () =
+  let saved_metric = Dtr_obs.Metric.enabled () in
+  let saved_trace = Dtr_obs.Trace.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Dtr_obs.Metric.set_enabled saved_metric;
+      Dtr_obs.Trace.set_enabled saved_trace)
+    (fun () ->
+      Cli.obs_start ~verbose:false ~report:None ~trace:(Some "t.json");
+      Alcotest.(check bool) "--trace enables metrics" true (Dtr_obs.Metric.enabled ());
+      Alcotest.(check bool) "--trace enables the recorder" true
+        (Dtr_obs.Trace.enabled ());
+      Cli.obs_start ~verbose:false ~report:None ~trace:None;
+      Alcotest.(check bool) "plain run disables metrics again" false
+        (Dtr_obs.Metric.enabled ());
+      Alcotest.(check bool) "plain run disables the recorder again" false
+        (Dtr_obs.Trace.enabled ());
+      Cli.obs_start ~verbose:false ~report:(Some "r.json") ~trace:None;
+      Alcotest.(check bool) "--report enables metrics" true (Dtr_obs.Metric.enabled ());
+      Alcotest.(check bool) "--report alone leaves the recorder off" false
+        (Dtr_obs.Trace.enabled ()))
+
 (* --- trace diff --------------------------------------------------------- *)
 
 let report_doc ~optimize_count ~sweeps =
@@ -168,6 +193,40 @@ let test_bench_check_backfill_ordering () =
           Alcotest.failf "expected exactly one regression, got %d"
             (List.length regs))
 
+(* The FAILED verdict line must name the offending kernel/measurement (with
+   the observed step) so a CI log tail is actionable without scrolling back
+   to the regression table. *)
+let test_bench_check_failure_names_offender () =
+  let doc =
+    bench_doc
+      [
+        row ~name:"spf" ~commit:"aaa" ~timestamp:"2026-08-01T00:00:00Z" 1000.;
+        row ~name:"spf" ~commit:"bbb" ~timestamp:"2026-08-05T00:00:00Z" 1400.;
+      ]
+  in
+  match Trace_cmd.check_files ~threshold:20. [ ("b.json", doc) ] with
+  | Error e -> Alcotest.failf "check failed: %s" e
+  | Ok r ->
+      let last_line =
+        match
+          List.rev
+            (List.filter (fun l -> l <> "") (String.split_on_char '\n' r.Trace_cmd.report))
+        with
+        | l :: _ -> l
+        | [] -> ""
+      in
+      let contains needle =
+        let n = String.length needle and h = String.length last_line in
+        let rec go i = i + n <= h && (String.sub last_line i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "verdict line is the FAILED line" true
+        (contains "bench-check FAILED");
+      Alcotest.(check bool) "verdict names kernel/measurement" true
+        (contains "synthetic/spf");
+      Alcotest.(check bool) "verdict includes the step size" true
+        (contains "+40.0%")
+
 let test_bench_check_malformed_is_error () =
   match Trace_cmd.check_files ~threshold:20. [ ("bad.json", "{") ] with
   | Error _ -> ()
@@ -231,6 +290,7 @@ let suite =
       test_jobs_conv_exit_codes;
     Alcotest.test_case "jobs_conv parser" `Quick test_jobs_conv_parse;
     Alcotest.test_case "exec_of_jobs" `Quick test_exec_of_jobs;
+    Alcotest.test_case "obs_start symmetry" `Quick test_obs_start_symmetry;
     Alcotest.test_case "trace diff: identical reports" `Quick
       test_trace_diff_identical;
     Alcotest.test_case "trace diff: detects deltas" `Quick
@@ -241,6 +301,8 @@ let suite =
       test_bench_check_injected_regression;
     Alcotest.test_case "bench-check: backfill timestamp ordering" `Quick
       test_bench_check_backfill_ordering;
+    Alcotest.test_case "bench-check: FAILED line names the offender" `Quick
+      test_bench_check_failure_names_offender;
     Alcotest.test_case "bench-check: corrupt file is an error" `Quick
       test_bench_check_malformed_is_error;
     Alcotest.test_case "trace CLI exit codes" `Quick test_trace_cli_exit_codes;

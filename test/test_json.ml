@@ -1,6 +1,8 @@
-(* Tests for the minimal JSON reader (Dtr_util.Json) backing the trace
-   tooling: value grammar, string escapes, error positions as Result, and
-   a round-trip against the documents the project itself emits. *)
+(* Tests for the minimal JSON reader and writer (Dtr_util.Json).  Reader:
+   value grammar, string escapes, error positions as Result, and a
+   round-trip against the documents the project itself emits.  Writer:
+   escaping inverts the reader's unescaping, floats round-trip to the same
+   bits, and parse ∘ to_string is the identity on random values. *)
 
 module Json = Dtr_util.Json
 
@@ -94,6 +96,92 @@ let test_reads_own_report () =
         (Json.int_member "count" outer ~default:0)
   | spans -> Alcotest.failf "expected one root span, got %d" (List.length spans)
 
+(* --- writer -------------------------------------------------------------- *)
+
+let test_writer_scalars () =
+  List.iter
+    (fun (label, j, expect) ->
+      Alcotest.(check string) label expect (Json.to_string j))
+    [
+      ("null", Json.Null, "null");
+      ("true", Json.Bool true, "true");
+      ("false", Json.Bool false, "false");
+      ("integral float", Json.Num 42., "42.0");
+      ("negative zero is integral", Json.Num (-0.), "-0.0");
+      ("fraction", Json.Num 3.5, "3.5");
+      ("nan becomes null", Json.Num Float.nan, "null");
+      ("infinity becomes null", Json.Num Float.infinity, "null");
+      ("plain string", Json.Str "hi", {|"hi"|});
+      ("empty array", Json.Arr [], "[]");
+      ("empty object", Json.Obj [], "{}");
+      ( "nested",
+        Json.Obj [ ("a", Json.Arr [ Json.Num 1.; Json.Null ]) ],
+        {|{"a": [1.0, null]}|} );
+    ]
+
+let test_writer_escaping () =
+  Alcotest.(check string) "named escapes" {|"a\"b\\c\nd\te\rf\bg\fh"|}
+    (Json.to_string (Json.Str "a\"b\\c\nd\te\rf\bg\012h"));
+  Alcotest.(check string) "control characters as \\u00XX" "\"\\u0000\\u001f\""
+    (Json.to_string (Json.Str "\000\031"));
+  Alcotest.(check string) "UTF-8 passes through" "\"\xc3\xa9\""
+    (Json.to_string (Json.Str "\xc3\xa9"));
+  (* The writer's escaping must invert the reader's unescaping exactly. *)
+  let hostile = "quote\" slash\\ nl\n tab\t ctl\001 é" in
+  Alcotest.(check (result json string)) "escape round-trip"
+    (Ok (Json.Str hostile))
+    (Json.parse (Json.to_string (Json.Str hostile)))
+
+let test_float_round_trip () =
+  List.iter
+    (fun f ->
+      let s = Json.number_string f in
+      Alcotest.(check (float 0.)) (Printf.sprintf "%h round-trips" f) f
+        (float_of_string s))
+    [
+      0.1; 1. /. 3.; Float.pi; 1e-300; 1.7976931348623157e308; 4e-323;
+      0.30000000000000004; 123456789.123456789; -2.5e-8;
+    ]
+
+let json_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) float;
+        map (fun f -> Json.Num (float_of_int f)) int;
+        map (fun s -> Json.Str s) string_printable;
+        map (fun s -> Json.Str s) string;
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun l -> Json.Arr l) (list_size (0 -- 4) (self (n / 2)));
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (0 -- 4) (pair string_printable (self (n / 2))));
+          ])
+
+(* NaN can't survive (emitted as null), so normalize both sides. *)
+let rec finite = function
+  | Json.Num f when not (Float.is_finite f) -> Json.Null
+  | Json.Arr l -> Json.Arr (List.map finite l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, finite v)) kvs)
+  | j -> j
+
+let prop_write_parse_identity =
+  QCheck2.Test.make ~name:"parse (to_string j) = j" ~count:500 json_gen
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> j' = finite j
+      | Error e -> QCheck2.Test.fail_reportf "writer output unparseable: %s" e)
+
 let suite =
   [
     Alcotest.test_case "scalars" `Quick test_scalars;
@@ -103,4 +191,8 @@ let suite =
     Alcotest.test_case "typed accessors" `Quick test_accessors;
     Alcotest.test_case "reads the project's own reports" `Quick
       test_reads_own_report;
+    Alcotest.test_case "writer scalars" `Quick test_writer_scalars;
+    Alcotest.test_case "writer escaping" `Quick test_writer_escaping;
+    Alcotest.test_case "float round-trip" `Quick test_float_round_trip;
+    QCheck_alcotest.to_alcotest prop_write_parse_identity;
   ]

@@ -34,6 +34,7 @@ let () =
       ("spf.paths", Test_paths.suite);
       ("spf.oracle", Test_oracle.suite);
       ("io", Test_io.suite);
+      ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("integration", Test_integration.suite);

@@ -1,0 +1,434 @@
+(* Tests for the dtr-serve daemon stack (dtr_serve): the warm-vs-cold
+   identity contract — a long-lived daemon's [reoptimize full] after a
+   stream of perturbation events is byte-identical to a cold optimize on the
+   final matrices, at any job count — plus the pricing LRU (eviction must
+   never change results, only latency) and the dtr-serve/1 protocol
+   parser/printer. *)
+
+module Rng = Dtr_util.Rng
+module Json = Dtr_util.Json
+module Graph = Dtr_topology.Graph
+module Gen = Dtr_topology.Gen
+module Gravity = Dtr_traffic.Gravity
+module Scaling = Dtr_traffic.Scaling
+module Perturb = Dtr_traffic.Perturb
+module Scenario = Dtr_core.Scenario
+module Weights = Dtr_core.Weights
+module Optimizer = Dtr_core.Optimizer
+module Lexico = Dtr_cost.Lexico
+module Exec = Dtr_exec.Exec
+module Lru = Dtr_serve.Lru
+module Protocol = Dtr_serve.Protocol
+module Daemon = Dtr_serve.Daemon
+
+(* The same construction as dtr-serve's default startup path (and
+   dtr-opt's): generation from [seed], optimization from [seed + 1]. *)
+let build_scenario ~seed ~nodes =
+  let rng = Rng.create seed in
+  let graph = Gen.generate rng Gen.Rand_topo ~nodes ~degree:4. in
+  let rd, rt = Gravity.pair rng ~nodes:(Graph.num_nodes graph) ~total:1000. in
+  let rd, rt =
+    Scaling.calibrate graph ~rd ~rt (Scaling.Avg_utilization 0.43)
+  in
+  Scenario.make ~graph ~rd ~rt ~params:Scenario.quick_params
+
+let make_daemon ?(cache_capacity = 16) ~scenario ~incumbent ~critical ~seed
+    ~exec () =
+  Daemon.create
+    {
+      Daemon.scenario;
+      incumbent;
+      critical;
+      fraction = Some 0.15;
+      seed;
+      exec;
+      cache_capacity;
+    }
+
+(* Feed one request line and fail the test on an error envelope. *)
+let ok_line d line =
+  let resp, _continue = Daemon.handle_line d line in
+  let j = match Json.parse resp with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparseable response %S: %s" resp e
+  in
+  (match Json.member "ok" j with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.failf "request %S failed: %s" line resp);
+  j
+
+(* --- warm-vs-cold identity ----------------------------------------------- *)
+
+(* The daemon's synthetic perturbation stream: two gaussian shocks and a
+   hot-spot surge, exactly as the protocol parses them. *)
+let tm_events =
+  [
+    {|{"id": 1, "event": "tm_update", "model": "gaussian", "eps": 0.1}|};
+    {|{"id": 2, "event": "tm_update", "model": "hotspot", "direction": "download"}|};
+    {|{"id": 3, "event": "tm_update", "model": "gaussian", "eps": 0.25}|};
+  ]
+
+let replayed_events =
+  [
+    Perturb.Gaussian { eps = 0.1 };
+    Perturb.Hotspot { spec = Perturb.default_hotspot; direction = Perturb.Download };
+    Perturb.Gaussian { eps = 0.25 };
+  ]
+
+(* A daemon that lived through N tm_update events — plus unrelated history:
+   evals, a link flap, a bounded warm re-optimization — must produce, on
+   [reoptimize full], exactly the weights a cold [dtr-opt optimize] computes
+   on the final matrices.  The keystone is the fresh (seed + 1) stream the
+   full re-optimization builds; the noise events prove the identity is
+   history-independent.  Checked at jobs = 1 and jobs = 2, which must also
+   agree with each other (bit-identity across job counts). *)
+let test_warm_vs_cold_identity () =
+  let seed = 424 in
+  let nodes = 8 in
+  let scenario = build_scenario ~seed ~nodes in
+  let serial = Exec.of_jobs 1 in
+  let startup =
+    Optimizer.optimize ~rng:(Rng.create (seed + 1)) ~fraction:0.15 ~exec:serial
+      scenario
+  in
+  (* Out-of-process replay of the perturbation stream: same (seed + 2)
+     stream, same rd-then-rt draw order. *)
+  let prng = Rng.create (seed + 2) in
+  let rd, rt =
+    List.fold_left
+      (fun (rd, rt) ev -> Perturb.apply_event prng ~rd ~rt ev)
+      (scenario.Scenario.rd, scenario.Scenario.rt)
+      replayed_events
+  in
+  let final_scenario = Scenario.with_traffic scenario ~rd ~rt in
+  let daemon_incumbent exec =
+    let d =
+      make_daemon ~scenario ~incumbent:startup.Optimizer.robust
+        ~critical:startup.Optimizer.critical ~seed ~exec ()
+    in
+    List.iter (fun line -> ignore (ok_line d line)) tm_events;
+    (* History that must NOT leak into the full re-optimization. *)
+    ignore (ok_line d {|{"id": 4, "event": "eval"}|});
+    ignore (ok_line d {|{"id": 5, "event": "link_down", "arc": 0}|});
+    ignore (ok_line d {|{"id": 6, "event": "eval", "failure": {"arc": 2}}|});
+    ignore (ok_line d {|{"id": 7, "event": "link_up", "arc": 0}|});
+    ignore
+      (ok_line d
+         {|{"id": 8, "event": "reoptimize", "mode": "warm", "max_sweeps": 3, "max_rounds": 1}|});
+    ignore (ok_line d {|{"id": 9, "event": "reoptimize", "mode": "full"}|});
+    Daemon.incumbent d
+  in
+  let cold exec =
+    (Optimizer.optimize ~rng:(Rng.create (seed + 1)) ~fraction:0.15 ~exec
+       final_scenario)
+      .Optimizer.robust
+  in
+  let d1 = daemon_incumbent serial in
+  Alcotest.(check bool) "daemon full == cold optimize (jobs = 1)" true
+    (Weights.equal d1 (cold serial));
+  let two = Exec.of_jobs 2 in
+  let d2 = daemon_incumbent two in
+  Alcotest.(check bool) "daemon full == cold optimize (jobs = 2)" true
+    (Weights.equal d2 (cold two));
+  Alcotest.(check bool) "jobs = 1 and jobs = 2 daemons agree" true
+    (Weights.equal d1 d2)
+
+(* Warm re-optimization never worsens the incumbent's objective, and spends
+   no more than its budget. *)
+let test_warm_start_monotone () =
+  let seed = 77 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let incumbent = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  let budget = Optimizer.{ max_sweeps = 5; max_rounds = 2 } in
+  let r =
+    Optimizer.warm_start ~rng:(Rng.create 1) ~budget ~incumbent scenario
+  in
+  Alcotest.(check bool) "objective <= start objective" true
+    (Lexico.compare r.Optimizer.objective r.Optimizer.start_objective <= 0);
+  Alcotest.(check bool) "sweep budget respected" true
+    (r.Optimizer.warm_sweeps <= budget.Optimizer.max_sweeps * budget.Optimizer.max_rounds)
+
+(* A recovery target at the incumbent's own objective stops the repair
+   before it runs a single sweep; an unreachable target exhausts the budget
+   and stops exactly where the untargeted run does (shared trajectory). *)
+let test_warm_start_target () =
+  let seed = 78 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let incumbent = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  let budget = Optimizer.{ max_sweeps = 3; max_rounds = 1 } in
+  let free =
+    Optimizer.warm_start ~rng:(Rng.create 1) ~budget ~incumbent scenario
+  in
+  let at_start =
+    Optimizer.warm_start ~rng:(Rng.create 1) ~budget
+      ~target:free.Optimizer.start_objective ~incumbent scenario
+  in
+  Alcotest.(check int) "target at start objective: no sweeps" 0
+    at_start.Optimizer.warm_sweeps;
+  Alcotest.(check bool) "target at start objective: incumbent returned" true
+    (Weights.equal at_start.Optimizer.weights incumbent);
+  let unreachable =
+    Optimizer.warm_start ~rng:(Rng.create 1) ~budget
+      ~target:Lexico.{ lambda = -1.; phi = 0. }
+      ~incumbent scenario
+  in
+  Alcotest.(check bool) "unreachable target: same result as untargeted" true
+    (Weights.equal unreachable.Optimizer.weights free.Optimizer.weights);
+  Alcotest.(check int) "unreachable target: same sweep count"
+    free.Optimizer.warm_sweeps unreachable.Optimizer.warm_sweeps
+
+(* --- LRU ------------------------------------------------------------------ *)
+
+type lru_op = Op_add of int * int | Op_find of int | Op_clear
+
+let lru_op_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Op_add (k, v)) (int_bound 12) (int_bound 1000));
+        (4, map (fun k -> Op_find k) (int_bound 12));
+        (1, return Op_clear);
+      ])
+
+let lru_ops_print ops =
+  String.concat "; "
+    (List.map
+       (function
+         | Op_add (k, v) -> Printf.sprintf "add %d %d" k v
+         | Op_find k -> Printf.sprintf "find %d" k
+         | Op_clear -> "clear")
+       ops)
+
+(* Model check against an unbounded association list: a bounded LRU may
+   forget (eviction), but a [find] must never return a value other than the
+   most recently added one for that key, and occupancy never exceeds
+   capacity.  This is the "eviction never changes results" contract the
+   daemon's pricing cache relies on: a hit is always the true answer. *)
+let prop_lru_never_lies =
+  QCheck2.Test.make ~name:"lru: finds are exact, occupancy bounded" ~count:500
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list_size (int_bound 40) lru_op_gen))
+    ~print:(fun (cap, ops) ->
+      Printf.sprintf "capacity %d, ops [%s]" cap (lru_ops_print ops))
+    (fun (capacity, ops) ->
+      let lru = Lru.create ~capacity in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Op_add (k, v) ->
+              Lru.add lru k v;
+              Hashtbl.replace model k v
+          | Op_find k -> (
+              match Lru.find lru k with
+              | None -> ()
+              | Some v ->
+                  let expected = Hashtbl.find_opt model k in
+                  if expected <> Some v then
+                    QCheck2.Test.fail_reportf
+                      "find %d returned %d, model says %s" k v
+                      (match expected with
+                      | Some e -> string_of_int e
+                      | None -> "absent"))
+          | Op_clear ->
+              Lru.clear lru;
+              Hashtbl.reset model)
+        ops;
+      Lru.length lru <= capacity)
+
+(* A key added while there is spare capacity must be found back immediately:
+   the structure only forgets under pressure. *)
+let test_lru_basics () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Alcotest.(check (option int)) "a resident" (Some 1) (Lru.find l "a");
+  (* "b" is now least-recent; adding "c" evicts it. *)
+  Lru.add l "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find l "a");
+  Alcotest.(check (option int)) "c resident" (Some 3) (Lru.find l "c");
+  let s = Lru.stats l in
+  Alcotest.(check int) "one eviction" 1 s.Lru.evictions;
+  Alcotest.(check int) "length bounded" 2 s.Lru.length;
+  (match Lru.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected")
+
+(* Daemon-level restatement of the same contract: a capacity-1 cache (evicts
+   on nearly every query) and a roomy one answer an identical event stream
+   with identical results — only the "cached" flag may differ. *)
+let test_eval_capacity_independence () =
+  let seed = 99 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let incumbent = Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1 in
+  let queries =
+    [
+      {|{"id": 1, "event": "eval"}|};
+      {|{"id": 2, "event": "eval", "failure": {"arc": 1}}|};
+      {|{"id": 3, "event": "eval", "failure": {"arc": 2}}|};
+      {|{"id": 4, "event": "eval", "failure": {"arc": 1}}|};
+      {|{"id": 5, "event": "eval"}|};
+      {|{"id": 6, "event": "link_down", "arc": 3}|};
+      {|{"id": 7, "event": "eval"}|};
+      {|{"id": 8, "event": "eval", "failure": {"edge": 1}}|};
+      {|{"id": 9, "event": "link_up", "arc": 3}|};
+      {|{"id": 10, "event": "eval"}|};
+      {|{"id": 11, "event": "eval", "failure": {"node": 2}}|};
+    ]
+  in
+  let run capacity =
+    let d =
+      make_daemon ~cache_capacity:capacity ~scenario ~incumbent ~critical:[]
+        ~seed ~exec:(Exec.of_jobs 1) ()
+    in
+    List.map
+      (fun line ->
+        let j = ok_line d line in
+        (* Everything but the cache-hit flag must match. *)
+        match Json.member "result" j with
+        | Some (Json.Obj fields) ->
+            Json.to_string
+              (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+        | other -> Json.to_string (Option.value ~default:Json.Null other))
+      queries
+  in
+  let tight = run 1 and roomy = run 64 in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "query %d result independent of capacity" (i + 1))
+        b a)
+    (List.combine tight roomy)
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let test_protocol_parse () =
+  (match Protocol.parse_request {|{"id": 3, "event": "eval", "failure": {"arc": 7}}|} with
+  | Ok { Protocol.id = 3; event = Protocol.Eval { failure = Some (Protocol.F_arc (Protocol.By_id 7)) } } -> ()
+  | Ok _ -> Alcotest.fail "parsed to the wrong event"
+  | Error (_, m) -> Alcotest.failf "parse failed: %s" m);
+  (match Protocol.parse_request {|{"id": 4, "event": "eval", "failure": {"src": 1, "dst": 2}}|} with
+  | Ok { Protocol.event = Protocol.Eval { failure = Some (Protocol.F_arc (Protocol.By_endpoints (1, 2))) }; _ } -> ()
+  | _ -> Alcotest.fail "src/dst failure spec");
+  (match Protocol.parse_request {|{"id": 5, "event": "reoptimize"}|} with
+  | Ok { Protocol.event = Protocol.Reoptimize { mode = Protocol.Warm; max_sweeps = None; max_rounds = None; target = None }; _ } -> ()
+  | _ -> Alcotest.fail "reoptimize defaults to warm with no overrides");
+  (match
+     Protocol.parse_request
+       {|{"id": 5, "event": "reoptimize", "target_lambda": 1200.5, "target_phi": 3e6}|}
+   with
+  | Ok { Protocol.event = Protocol.Reoptimize { target = Some (l, p); _ }; _ } ->
+      Alcotest.(check (float 1e-9)) "target lambda" 1200.5 l;
+      Alcotest.(check (float 1e-9)) "target phi" 3e6 p
+  | _ -> Alcotest.fail "reoptimize recovery target");
+  (match Protocol.parse_request {|{"id": 6, "event": "tm_update", "model": "gaussian", "eps": 0.2}|} with
+  | Ok { Protocol.event = Protocol.Tm_update (Perturb.Gaussian { eps }); _ } ->
+      Alcotest.(check (float 1e-9)) "eps carried" 0.2 eps
+  | _ -> Alcotest.fail "gaussian tm_update");
+  match Protocol.parse_request {|{"id": 7, "event": "link_down", "arc": 12}|} with
+  | Ok { Protocol.event = Protocol.Link_down (Protocol.By_id 12); _ } -> ()
+  | _ -> Alcotest.fail "link_down by arc id"
+
+let expect_error line code =
+  match Protocol.parse_request line with
+  | Error (c, _) when c = code -> ()
+  | Error (c, m) ->
+      Alcotest.failf "expected %s for %S, got %s: %s"
+        (Protocol.error_code_name code) line (Protocol.error_code_name c) m
+  | Ok _ -> Alcotest.failf "expected %s for %S" (Protocol.error_code_name code) line
+
+let test_protocol_errors () =
+  expect_error "nonsense" Protocol.Parse_error;
+  expect_error {|[1, 2]|} Protocol.Parse_error;
+  expect_error {|{"event": "hello"}|} Protocol.Bad_request;
+  expect_error {|{"id": 1.5, "event": "hello"}|} Protocol.Bad_request;
+  expect_error {|{"id": 1, "event": "frobnicate"}|} Protocol.Unknown_event;
+  expect_error {|{"id": 1, "event": "tm_update", "model": "gaussian"}|}
+    Protocol.Bad_request;
+  expect_error {|{"id": 1, "event": "tm_update", "model": "weird"}|}
+    Protocol.Bad_request;
+  expect_error {|{"id": 1, "event": "link_down"}|} Protocol.Bad_request
+
+(* Response envelopes parse back with the documented shape. *)
+let test_protocol_envelopes () =
+  let ok = Protocol.ok_response ~id:9 ~event:"eval" (Json.Obj [ ("x", Json.Num 1.) ]) in
+  (match Json.parse ok with
+  | Error e -> Alcotest.failf "ok envelope unparseable: %s" e
+  | Ok j ->
+      (match Json.member "schema" j with
+      | Some (Json.Str s) -> Alcotest.(check string) "schema" Protocol.schema s
+      | _ -> Alcotest.fail "schema field");
+      (match Json.member "ok" j with
+      | Some (Json.Bool b) -> Alcotest.(check bool) "ok flag" true b
+      | _ -> Alcotest.fail "ok field");
+      match Json.member "id" j with
+      | Some (Json.Num n) -> Alcotest.(check (float 0.)) "id echoed" 9. n
+      | _ -> Alcotest.fail "id field");
+  let err =
+    Protocol.error_response ~id:None ~code:Protocol.Parse_error ~message:{|bad "x"|}
+  in
+  match Json.parse err with
+  | Error e -> Alcotest.failf "error envelope unparseable: %s" e
+  | Ok j -> (
+      (match Json.member "id" j with
+      | Some Json.Null -> ()
+      | _ -> Alcotest.fail "unparsed id must be null");
+      match Json.member "error" j with
+      | Some (Json.Obj _ as e) -> (
+          match Json.member "code" e with
+          | Some (Json.Str s) -> Alcotest.(check string) "code name" "parse_error" s
+          | _ -> Alcotest.fail "code field")
+      | _ -> Alcotest.fail "error object")
+
+(* The daemon never raises on hostile input, and shutdown is the only line
+   that stops the loop. *)
+let test_daemon_error_envelopes () =
+  let seed = 5 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let d =
+    make_daemon ~scenario
+      ~incumbent:(Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1)
+      ~critical:[] ~seed ~exec:(Exec.of_jobs 1) ()
+  in
+  let expect_err line code =
+    let resp, continue = Daemon.handle_line d line in
+    Alcotest.(check bool) (Printf.sprintf "%S keeps the loop alive" line) true continue;
+    match Json.parse resp with
+    | Error e -> Alcotest.failf "unparseable error envelope: %s" e
+    | Ok j -> (
+        match Json.member "error" j with
+        | Some (Json.Obj _ as e) -> (
+            match Json.member "code" e with
+            | Some (Json.Str s) -> Alcotest.(check string) "error code" code s
+            | _ -> Alcotest.fail "code field")
+        | _ -> Alcotest.failf "expected an error envelope, got %s" resp)
+  in
+  expect_err "garbage" "parse_error";
+  expect_err {|{"id": 1, "event": "eval", "failure": {"arc": 100000}}|} "bad_arc";
+  expect_err {|{"id": 2, "event": "link_up", "arc": 1}|} "bad_arc";
+  expect_err {|{"id": 3, "event": "eval", "failure": {"src": 0, "dst": 0}}|} "bad_arc";
+  (* Node what-if over failed links: documented rejection. *)
+  ignore (ok_line d {|{"id": 4, "event": "link_down", "arc": 1}|});
+  expect_err {|{"id": 5, "event": "eval", "failure": {"node": 1}}|} "bad_request";
+  let _, continue = Daemon.handle_line d {|{"id": 6, "event": "shutdown"}|} in
+  Alcotest.(check bool) "shutdown stops the loop" false continue
+
+let suite =
+  [
+    Alcotest.test_case "warm-vs-cold identity (jobs 1 and 2)" `Slow
+      test_warm_vs_cold_identity;
+    Alcotest.test_case "warm_start is monotone and budgeted" `Quick
+      test_warm_start_monotone;
+    Alcotest.test_case "warm_start recovery target stops the repair" `Quick
+      test_warm_start_target;
+    Alcotest.test_case "lru basics and eviction order" `Quick test_lru_basics;
+    QCheck_alcotest.to_alcotest prop_lru_never_lies;
+    Alcotest.test_case "eval results independent of cache capacity" `Quick
+      test_eval_capacity_independence;
+    Alcotest.test_case "protocol: request parsing" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol: parse errors" `Quick test_protocol_errors;
+    Alcotest.test_case "protocol: response envelopes" `Quick
+      test_protocol_envelopes;
+    Alcotest.test_case "daemon: error envelopes, shutdown" `Quick
+      test_daemon_error_envelopes;
+  ]
