@@ -612,3 +612,275 @@ let serve_replay () =
         ~nodes:n ~arcs ~seed ~ns_per_op:(1e9 *. warm_seconds)
         ~speedup:(cold_seconds /. warm_seconds);
     ]
+
+(* --- move_search: the pruned move-pricing loop ----------------------------
+
+   Throughput of the searches' innermost loop — propose a single-arc move,
+   price it, accept or reject — with and without the move-space pruning
+   stack (lexicographic early-abort pricing + the weight-vector delta
+   cache).  Pruning is exact, so every A/B pair must follow the identical
+   trajectory: the kernel asserts bit-identical weights and objective, and
+   the eval counts agree by construction.  Moves/s is therefore a clean
+   like-for-like measure; the abort and cache-hit rates explain where the
+   time went.
+
+   The workload is the serve daemon's own: traffic has drifted away from
+   the incumbent (a tm_update), and the daemon warm-starts a bounded
+   re-optimization from the stale weights.  The [rewarm x2] tier re-runs
+   the same re-optimization on the already-warm delta cache — the flapping
+   traffic case (update, revert, same update again) the cache exists for:
+   the stored full costs and abort lower bounds reject almost every repeat
+   probe without pricing anything.
+
+   The failure list is priced in descending order of per-failure cost under
+   the incumbent (one untimed sweep).  Order is caller-controlled and both
+   arms price the identical ordered list, so exactness is untouched —
+   fronting the expensive scenarios only moves the abort earlier.
+
+   The --fast criticality-gated proposal filter is NOT exact — it changes
+   the trajectory — so it is reported separately, with its quality delta
+   (Phase-2 fail-cost ratio against the exact run) printed next to the time
+   ratio rather than folded into a single speedup number. *)
+
+module Phase1 = Dtr_core.Phase1
+module Phase2 = Dtr_core.Phase2
+module Prune = Dtr_core.Prune
+module Delta_cache = Dtr_core.Delta_cache
+module Matrix = Dtr_traffic.Matrix
+
+(* Deterministic traffic drift: a band of demand pairs surges, the rest
+   recedes — the shape of the serve-replay hot-spot events. *)
+let drift_matrix m0 =
+  let n = Matrix.size m0 in
+  let m' = Matrix.create n in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      if s <> d then
+        let v = Matrix.get m0 ~src:s ~dst:d in
+        let f = if (s + (2 * d)) mod 5 = 0 then 1.6 else 0.85 in
+        Matrix.set m' ~src:s ~dst:d (v *. f)
+    done
+  done;
+  m'
+
+(* Search budgets sized so the whole kernel stays a few minutes: the full
+   bench_params Phase 1 alone runs >70 s on the 50-node tier, and the
+   kernel only needs a realistic incumbent, not a converged one. *)
+let move_search_params =
+  {
+    Harness.bench_params with
+    Scenario.p1_rounds = 2;
+    p1_max_sweeps = 16;
+    p2_rounds = 2;
+    p2_max_sweeps = 8;
+    max_phase1b_rounds = 4;
+  }
+
+let move_search () =
+  Harness.section "move_search: early-abort pricing, delta cache, --fast filter";
+  Harness.with_span_report ~kernel:"move_search" @@ fun () ->
+  let json = ref [] in
+  let t =
+    Dtr_util.Table.create
+      ~title:"move pricing throughput (serial; prune A/B is bit-identical)"
+      ~columns:
+        [ "instance"; "variant"; "moves"; "time"; "moves/s"; "aborted"; "cache"; "speedup" ]
+  in
+  let q =
+    Dtr_util.Table.create
+      ~title:"--fast proposal filter (trajectory-changing quality/time trade)"
+      ~columns:[ "instance"; "time exact"; "time fast"; "time ratio"; "skipped"; "fail-cost phi ratio" ]
+  in
+  let pct num den = if den = 0 then "-" else Printf.sprintf "%.0f%%" (100. *. float_of_int num /. float_of_int den) in
+  let run_case ~prefix ~label ~topology ~kind ~nodes ~degree ~seed =
+    let rng = Rng.create seed in
+    let scenario =
+      Scenario.random_instance ~params:move_search_params ~nodes ~degree rng kind
+    in
+    let g = scenario.Scenario.graph in
+    let arcs = Graph.num_arcs g in
+    (* Untimed setup: the Phase-1 output supplies the incumbent, the
+       criticality ranking (--fast's gate) and the critical failure set;
+       then the traffic drifts and the warm tiers re-optimize the stale
+       incumbent on the drifted scenario. *)
+    let phase1 = Phase1.run ~rng:(Rng.create (seed + 1)) scenario in
+    let failures_id =
+      List.map (fun a -> Failure.Arc a) (Phase1.critical_set scenario phase1)
+    in
+    let drifted =
+      Scenario.with_traffic scenario ~rd:(drift_matrix scenario.Scenario.rd)
+        ~rt:(drift_matrix scenario.Scenario.rt)
+    in
+    (* cost-descending failure order under the incumbent (untimed) *)
+    let failures =
+      let costs =
+        Eval.sweep drifted ~exec:Dtr_exec.Exec.serial phase1.Phase1.best
+          failures_id
+      in
+      List.mapi (fun i f -> (f, costs.(i))) failures_id
+      |> List.stable_sort (fun (_, a) (_, b) ->
+             match Float.compare b.Lexico.lambda a.Lexico.lambda with
+             | 0 -> Float.compare b.Lexico.phi a.Lexico.phi
+             | c -> c)
+      |> List.map fst
+    in
+    (* Warm-start tiers: no feasibility gate, every move prices the full
+       objective, so they isolate the abort + cache gain.  [reps] runs
+       share one delta cache; reps = 2 is the flapping-traffic repeat. *)
+    let budget = Optimizer.{ max_sweeps = 8; max_rounds = 1 } in
+    let warm_once ~cache =
+      Optimizer.warm_start
+        ~rng:(Rng.create (seed + 3))
+        ~exec:Dtr_exec.Exec.serial ~failures ~budget ~cache
+        ~incumbent:phase1.Phase1.best drifted
+    in
+    let time_warm ~tier ~reps ~best_of ~prune =
+      let was = Prune.enabled () in
+      Prune.set_enabled prune;
+      Fun.protect
+        ~finally:(fun () -> Prune.set_enabled was)
+        (fun () ->
+          Dtr_obs.Span.with_
+            ~name:(Printf.sprintf "%s.%s.prune_%b" tier prefix prune)
+          @@ fun () ->
+          let best = ref Float.infinity in
+          let out = ref None in
+          for _ = 1 to best_of do
+            let cache = Delta_cache.create ~capacity:4096 in
+            let t0 = Unix.gettimeofday () in
+            let r = ref (warm_once ~cache) in
+            for _ = 2 to reps do
+              r := warm_once ~cache
+            done;
+            let dt = Unix.gettimeofday () -. t0 in
+            if dt < !best then best := dt;
+            out := Some (!r, Delta_cache.stats cache)
+          done;
+          let r, cs = Option.get !out in
+          (r, cs, !best))
+    in
+    let warm_tier ~tier ~reps ~best_of =
+      let r_off, _, t_off = time_warm ~tier ~reps ~best_of ~prune:false in
+      let r_on, cs, t_on = time_warm ~tier ~reps ~best_of ~prune:true in
+      if
+        not
+          (Weights.equal r_off.Optimizer.weights r_on.Optimizer.weights
+          && same_float r_off.Optimizer.objective.Lexico.lambda
+               r_on.Optimizer.objective.Lexico.lambda
+          && same_float r_off.Optimizer.objective.Lexico.phi
+               r_on.Optimizer.objective.Lexico.phi
+          && r_off.Optimizer.warm_evals = r_on.Optimizer.warm_evals)
+      then
+        failwith
+          (Printf.sprintf
+             "move_search: pruned %s on %s is NOT identical to the unpruned \
+              trajectory — the exactness contract is broken"
+             tier label);
+      let moves = reps * r_on.Optimizer.warm_evals in
+      let mps dt = float_of_int moves /. dt in
+      let hits = cs.Delta_cache.hits + cs.Delta_cache.lower_hits in
+      let probes = hits + cs.Delta_cache.misses in
+      List.iter
+        (fun (variant, dt, aborted, cache_cell, speedup) ->
+          Dtr_util.Table.add_row t
+            [
+              label;
+              Printf.sprintf "%s %s" tier variant;
+              string_of_int moves;
+              Printf.sprintf "%.0f ms" (1e3 *. dt);
+              Printf.sprintf "%.0f" (mps dt);
+              aborted;
+              cache_cell;
+              Printf.sprintf "%.2fx" speedup;
+            ];
+          json :=
+            !json
+            @ [
+                Harness.bench_json_row
+                  ~name:(Printf.sprintf "%s%s %s" prefix tier variant)
+                  ~topology ~nodes:(Graph.num_nodes g) ~arcs ~seed
+                  ~ns_per_op:(1e9 *. dt /. float_of_int moves)
+                  ~speedup;
+              ])
+        [
+          ("prune=off", t_off, "-", "-", 1.0);
+          ( "prune=on",
+            t_on,
+            pct r_on.Optimizer.warm_pruned r_on.Optimizer.warm_evals,
+            Printf.sprintf "%s hit" (pct hits probes),
+            t_off /. t_on );
+        ];
+      (t_off /. t_on, r_on, cs, probes)
+    in
+    let warm_speedup, r_on, cs, probes =
+      warm_tier ~tier:"warm" ~reps:1 ~best_of:2
+    in
+    let rewarm_speedup, _, _, _ = warm_tier ~tier:"rewarm2" ~reps:2 ~best_of:1 in
+    (* Phase-2 tier: exact vs --fast.  Different trajectories, so the
+       comparison is a (time, quality) pair, not a speedup. *)
+    let time_phase2 ~fast =
+      Dtr_obs.Span.with_ ~name:(Printf.sprintf "phase2.%s.fast_%b" prefix fast)
+      @@ fun () ->
+      let best = ref Float.infinity in
+      let out = ref None in
+      for _ = 1 to 2 do
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Phase2.run
+            ~rng:(Rng.create (seed + 5))
+            ~exec:Dtr_exec.Exec.serial ~fast scenario ~phase1 ~failures
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        out := Some r
+      done;
+      (Option.get !out, !best)
+    in
+    let p_exact, t_exact = time_phase2 ~fast:false in
+    let p_fast, t_fast = time_phase2 ~fast:true in
+    let phi_ratio =
+      p_fast.Phase2.fail_cost.Lexico.phi /. p_exact.Phase2.fail_cost.Lexico.phi
+    in
+    let proposals =
+      p_fast.Phase2.stats.Phase2.evals + p_fast.Phase2.stats.Phase2.skipped
+    in
+    Dtr_util.Table.add_row q
+      [
+        label;
+        Printf.sprintf "%.0f ms" (1e3 *. t_exact);
+        Printf.sprintf "%.0f ms" (1e3 *. t_fast);
+        Printf.sprintf "%.2fx" (t_exact /. t_fast);
+        pct p_fast.Phase2.stats.Phase2.skipped proposals;
+        Printf.sprintf "%.3f" phi_ratio;
+      ];
+    json :=
+      !json
+      @ [
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%sphase2 exact" prefix)
+            ~topology ~nodes:(Graph.num_nodes g) ~arcs ~seed
+            ~ns_per_op:
+              (1e9 *. t_exact /. float_of_int p_exact.Phase2.stats.Phase2.evals)
+            ~speedup:1.0;
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%sphase2 fast" prefix)
+            ~topology ~nodes:(Graph.num_nodes g) ~arcs ~seed
+            ~ns_per_op:
+              (1e9 *. t_fast /. float_of_int (max 1 p_fast.Phase2.stats.Phase2.evals))
+            ~speedup:(t_exact /. t_fast);
+        ];
+    Harness.note
+      "%s: warm %.2fx, rewarm2 %.2fx moves/s with pruning (%s aborted, cache \
+       %s of %d probes); --fast %.2fx time at phi ratio %.3f"
+      label warm_speedup rewarm_speedup
+      (pct r_on.Optimizer.warm_pruned r_on.Optimizer.warm_evals)
+      (pct (cs.Delta_cache.hits + cs.Delta_cache.lower_hits) probes)
+      probes (t_exact /. t_fast) phi_ratio
+  in
+  run_case ~prefix:"" ~label:"RandTopo (50n)" ~topology:"RandTopo"
+    ~kind:Gen.Rand_topo ~nodes:50 ~degree:6. ~seed:4242;
+  run_case ~prefix:"backbone " ~label:"Backbone (41n)" ~topology:"Backbone"
+    ~kind:Gen.Backbone ~nodes:41 ~degree:3.9 ~seed:2008;
+  Dtr_util.Table.print t;
+  Dtr_util.Table.print q;
+  Harness.write_bench_json ~kernel:"move_search" !json

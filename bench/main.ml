@@ -34,6 +34,7 @@ let experiments =
     ("parallel_sweep", "dtr_exec: sweep speedup at jobs 1/2/4", Kernels.parallel_sweep);
     ("failure_sweep", "dynamic-SPF repair vs from-scratch sweep", Kernels.failure_sweep);
     ("serve_replay", "dtr-serve event replay + warm vs cold re-optimize", Kernels.serve_replay);
+    ("move_search", "pruned move pricing: early-abort + delta cache + --fast", Kernels.move_search);
   ]
 
 let list_ids () =

@@ -101,6 +101,37 @@ let no_dspf =
 
 let apply_no_dspf flag = if flag then Dtr_spf.Spf_delta.set_enabled false
 
+let no_prune =
+  Arg.(value & flag & info [ "no-prune" ]
+         ~doc:"Disable move-space pruning — lexicographic early-abort \
+               pricing and the cross-restart weight-vector delta cache — \
+               and price every candidate in full (mirrors the DTR_NO_PRUNE \
+               environment variable; results are bit-identical either way, \
+               the flag exists for A/B benchmarking).")
+
+let apply_no_prune flag = if flag then Dtr_core.Prune.set_enabled false
+
+let fast =
+  Arg.(value & flag & info [ "fast" ]
+         ~doc:"Criticality-gated move proposals in Phase 2: arcs that are \
+               neither failure-critical nor loaded are progressively \
+               skipped (up to 60% of proposals) as the acceptance rate \
+               decays.  Faster, but the search trajectory changes — a \
+               quality/time trade, unlike $(b,--no-prune) which toggles an \
+               exact optimization.")
+
+let print_prune_breakdown (solution : Optimizer.solution) =
+  let p1 = solution.Optimizer.phase1.Dtr_core.Phase1.stats in
+  let p2 = solution.Optimizer.phase2.Dtr_core.Phase2.stats in
+  Format.printf
+    "prune breakdown: phase1 %d trials early-aborted; phase2 %d \
+     early-aborted, %d proposals skipped, delta cache %d hits / %d misses \
+     (pruning %s)@."
+    p1.Dtr_core.Phase1.pruned p2.Dtr_core.Phase2.pruned
+    p2.Dtr_core.Phase2.skipped p2.Dtr_core.Phase2.cache_hits
+    p2.Dtr_core.Phase2.cache_misses
+    (if Dtr_core.Prune.enabled () then "on" else "off")
+
 let print_sweep_breakdown () =
   let { Dtr_core.Eval.Sweep_stats.sweeps; cache_builds; cached_evals; full_evals;
         seconds } =
@@ -159,6 +190,7 @@ let instance_fields scenario ~topo ~topology_file ~seed ~exec =
     ("seed", I seed);
     ("jobs", I (Dtr_exec.Exec.jobs exec));
     ("dspf_engine", B (Dtr_spf.Spf_delta.enabled ()));
+    ("prune", B (Dtr_core.Prune.enabled ()));
   ]
 
 let theta =
@@ -270,10 +302,12 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
   Table.print t
 
 let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs chunk_size no_dspf verbose report trace =
+    topology_file traffic_file out_weights jobs chunk_size no_dspf no_prune fast_mode
+    verbose report trace =
   let exec = exec_of_jobs jobs in
   apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
+  apply_no_prune no_prune;
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
@@ -286,7 +320,9 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
   in
   report_instance scenario;
   let rng = Rng.create (seed + 1) in
-  let solution = Optimizer.optimize ~rng ~selector ~fraction ~exec scenario in
+  let solution =
+    Optimizer.optimize ~rng ~selector ~fraction ~exec ~fast:fast_mode scenario
+  in
   Format.printf "@.phase 1 (regular optimization): %.1fs, K = %a@."
     solution.Optimizer.phase1_seconds Lexico.pp solution.Optimizer.regular_cost;
   Format.printf "phase 2 (robust optimization):  %.1fs, K_normal = %a@."
@@ -306,6 +342,7 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
     (100. *. scenario.Scenario.params.Scenario.chi);
   if verbose then begin
     print_sweep_breakdown ();
+    print_prune_breakdown solution;
     Format.printf "%a" Dtr_obs.Span.pp ();
     Dtr_cli.Trace_cmd.print_convergence ()
   end;
@@ -326,6 +363,11 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
       ("critical_arcs", I (List.length solution.Optimizer.critical));
       ("phase1_seconds", F solution.Optimizer.phase1_seconds);
       ("phase2_seconds", F solution.Optimizer.phase2_seconds);
+      ("fast", B fast_mode);
+      ("phase1_pruned", I solution.Optimizer.phase1.Dtr_core.Phase1.stats.Dtr_core.Phase1.pruned);
+      ("phase2_pruned", I solution.Optimizer.phase2.Dtr_core.Phase2.stats.Dtr_core.Phase2.pruned);
+      ("phase2_skipped", I solution.Optimizer.phase2.Dtr_core.Phase2.stats.Dtr_core.Phase2.skipped);
+      ("phase2_cache_hits", I solution.Optimizer.phase2.Dtr_core.Phase2.stats.Dtr_core.Phase2.cache_hits);
     ]
   in
   obs_report ~report
@@ -338,10 +380,11 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs chunk_size no_dspf verbose report trace =
+    weights_file node_failures jobs chunk_size no_dspf no_prune verbose report trace =
   let exec = exec_of_jobs jobs in
   apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
+  apply_no_prune no_prune;
   (* Resets all counters at entry — without it, in-process reuse (and the
      sweeps below) reported stale totals accumulated by earlier runs. *)
   obs_start ~verbose ~report ~trace;
@@ -440,7 +483,7 @@ let optimize_term =
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
     $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs
-    $ chunk_size $ no_dspf $ verbose $ report_path $ trace_path)
+    $ chunk_size $ no_dspf $ no_prune $ fast $ verbose $ report_path $ trace_path)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -459,7 +502,7 @@ let evaluate_cmd =
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
       $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs
-      $ chunk_size $ no_dspf $ verbose $ report_path $ trace_path)
+      $ chunk_size $ no_dspf $ no_prune $ verbose $ report_path $ trace_path)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

@@ -88,6 +88,12 @@ let no_dspf =
          ~doc:"Disable the dynamic-SPF failure-sweep engine (mirrors \
                DTR_NO_DSPF; results are bit-identical either way).")
 
+let no_prune =
+  Arg.(value & flag & info [ "no-prune" ]
+         ~doc:"Disable move-space pruning — early-abort pricing and the \
+               warm-restart weight-vector delta cache (mirrors \
+               DTR_NO_PRUNE; results are bit-identical either way).")
+
 let socket =
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
          ~doc:"Also serve the protocol on a Unix-domain socket bound here \
@@ -145,11 +151,12 @@ let build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
   Scenario.make ~graph ~rd ~rt ~params
 
 let run topo nodes degree avg_util seed theta_ms fraction topology_file
-    traffic_file weights_file jobs chunk_size no_dspf socket cache_capacity
-    report trace verbose =
+    traffic_file weights_file jobs chunk_size no_dspf no_prune socket
+    cache_capacity report trace verbose =
   let exec = Dtr_cli.Cli.exec_of_jobs jobs in
   Dtr_cli.Cli.apply_chunk_size chunk_size;
   if no_dspf then Dtr_spf.Spf_delta.set_enabled false;
+  if no_prune then Dtr_core.Prune.set_enabled false;
   Dtr_cli.Cli.obs_start ~verbose ~report ~trace;
   let params = build_params theta_ms in
   let scenario =
@@ -228,9 +235,9 @@ let run topo nodes degree avg_util seed theta_ms fraction topology_file
         ];
       Dtr_obs.Report.set_results
         [
-          ("cache_hits", I cache.Dtr_serve.Lru.hits);
-          ("cache_misses", I cache.Dtr_serve.Lru.misses);
-          ("cache_evictions", I cache.Dtr_serve.Lru.evictions);
+          ("cache_hits", I cache.Dtr_util.Lru.hits);
+          ("cache_misses", I cache.Dtr_util.Lru.misses);
+          ("cache_evictions", I cache.Dtr_util.Lru.evictions);
         ];
       Dtr_obs.Report.write ~path;
       if verbose then Format.eprintf "observability report written to %s@." path
@@ -242,6 +249,7 @@ let cmd =
     Term.(
       const run $ topo $ nodes $ degree $ avg_util $ seed $ theta $ fraction
       $ topology_file $ traffic_file $ weights_file $ jobs $ chunk_size
-      $ no_dspf $ socket $ cache_capacity $ report_path $ trace_path $ verbose)
+      $ no_dspf $ no_prune $ socket $ cache_capacity $ report_path $ trace_path
+      $ verbose)
 
 let () = exit (Cmd.eval cmd)

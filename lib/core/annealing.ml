@@ -64,8 +64,10 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
       let arc = Rng.int rng num_arcs in
       let saved = Weights.save_arc current arc in
       Weights.perturb_arc rng current ~arc ~wmax:config.wmax;
-      match engine.Local_search.try_arc current ~arc with
-      | None ->
+      (* Metropolis needs the exact energy of every proposal (uphill moves
+         may still be taken), so no pruning bound is supplied. *)
+      match engine.Local_search.try_arc current ~arc ~bound:None with
+      | Local_search.Infeasible | Local_search.Pruned ->
           if Trace.enabled () then
             Trace.emit_move ~arc ~accepted:false
               ~old_lambda:!current_cost.Lexico.lambda
@@ -73,7 +75,7 @@ let minimize_engine ~rng ~(engine : Local_search.engine) ~init config =
               ~new_phi:Float.nan;
           engine.Local_search.rollback ();
           Weights.restore_arc current saved
-      | Some cost ->
+      | Local_search.Cost cost ->
           let delta = energy config cost -. energy config !current_cost in
           let take =
             if delta <= 0. then true
@@ -130,7 +132,7 @@ let minimize_incremental ~rng (scenario : Scenario.t) ~init config =
     Local_search.
       {
         start = (fun w -> Some (Eval_incr.anchor e w));
-        try_arc = (fun w ~arc -> Some (Eval_incr.try_arc e w ~arc));
+        try_arc = (fun w ~arc ~bound:_ -> Cost (Eval_incr.try_arc e w ~arc));
         commit = (fun () -> Eval_incr.commit e);
         rollback = (fun () -> Eval_incr.rollback e);
       }

@@ -597,6 +597,83 @@ let compound_sweep_from (scenario : Scenario.t) ?exec ~routing_d ~routing_t w
   in
   Array.fold_left (fun acc d -> Lexico.add acc d.cost) Lexico.zero details
 
+type bounded_sweep =
+  | Swept of Lexico.t
+  | Aborted_at of Lexico.t
+
+(* Bounded compound sweep: failures are priced lazily in scenario order and
+   the sweep is abandoned as soon as the monotone partial [init + sum so
+   far] satisfies [prune] — per-failure costs are componentwise
+   non-negative, so the partial only grows towards the final compound.  The
+   per-failure sum accumulates from [Lexico.zero] and [init] is added {e
+   outside} the fold, exactly as the unbounded callers compute
+   [add init (compound_sweep_from ...)]: float addition is not associative,
+   so folding from [init] directly would break bit-identity.  On abort the
+   partial itself is returned — it is a certified componentwise lower bound
+   on the full compound, which the delta cache stores so a repeat probe of
+   the same vector can be rejected without re-pricing.  At jobs > 1 the
+   sweep prices everything in parallel and tests the exact total — the
+   accept/reject decision is identical, just without the serial saving. *)
+let compound_sweep_bounded (scenario : Scenario.t) ?exec ~routing_d ~routing_t
+    ?(init = Lexico.zero) ~prune w ~failures =
+  let exec = resolve_exec exec in
+  match Exec.jobs exec with
+  | 1 ->
+      let g = scenario.Scenario.graph in
+      let dense_rd = scenario.Scenario.dense_rd
+      and dense_rt = scenario.Scenario.dense_rt
+      and sinks = scenario.Scenario.delay_sinks in
+      let failures = Array.of_list failures in
+      let num = Array.length failures in
+      let t0 = Unix.gettimeofday () in
+      let trace_id =
+        if Dtr_obs.Trace.enabled () then Hashtbl.hash scenario land 0x3FFFFFFF
+        else 0
+      in
+      if Dtr_obs.Trace.enabled () then
+        Dtr_obs.Trace.emit_sweep_begin ~scenario:trace_id ~failures:num;
+      let use_cache = Spf_delta.enabled () && num >= 2 in
+      let cache =
+        if use_cache then
+          Some
+            (build_sweep_cache scenario ~base_d:routing_d ~base_t:routing_t
+               ~dense_rd ~dense_rt ~sinks)
+        else None
+      in
+      let scratch = make_sweep_scratch g in
+      let cached_prices = ref 0 and full_prices = ref 0 in
+      let price f =
+        match cache with
+        | Some cache when Failure.excluded_node f = None ->
+            incr cached_prices;
+            assess_failure_cached scenario ~cache ~scratch ~base_d:routing_d
+              ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+        | _ ->
+            incr full_prices;
+            assess_failure scenario ~buffers:scratch.buffers ~mask:scratch.mask
+              ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+      in
+      let acc = ref Lexico.zero in
+      let i = ref 0 in
+      let aborted = ref false in
+      while (not !aborted) && !i < num do
+        acc := Lexico.add !acc (price failures.(!i)).cost;
+        if prune (Lexico.add init !acc) then aborted := true;
+        incr i
+      done;
+      Dtr_obs.Metric.Counter.incr Sweep_stats.sweeps;
+      if use_cache then Dtr_obs.Metric.Counter.incr Sweep_stats.cache_builds;
+      Dtr_obs.Metric.Counter.add Sweep_stats.cached_evals !cached_prices;
+      Dtr_obs.Metric.Counter.add Sweep_stats.full_evals !full_prices;
+      Dtr_obs.Metric.Accum.add Sweep_stats.seconds (Unix.gettimeofday () -. t0);
+      if Dtr_obs.Trace.enabled () then
+        Dtr_obs.Trace.emit_sweep_end ~scenario:trace_id ~failures:num;
+      if !aborted then Aborted_at (Lexico.add init !acc)
+      else Swept (Lexico.add init !acc)
+  | _ ->
+      let total = compound_sweep_from scenario ~exec ~routing_d ~routing_t w ~failures in
+      Swept (Lexico.add init total)
+
 let normal_and_sweep (scenario : Scenario.t) ?exec w ~failures ~feasible =
   let exec = resolve_exec exec in
   let g = scenario.Scenario.graph in

@@ -98,6 +98,38 @@ val compound_sweep_from :
     cached bases, so a single-arc move never recomputes the no-failure
     routing from scratch. *)
 
+type bounded_sweep =
+  | Swept of Lexico.t  (** the exact compound, all failures priced *)
+  | Aborted_at of Lexico.t
+      (** the monotone partial at the abort — a certified componentwise
+          lower bound on the full compound *)
+
+val compound_sweep_bounded :
+  Scenario.t ->
+  ?exec:Dtr_exec.Exec.t ->
+  routing_d:Dtr_spf.Routing.t ->
+  routing_t:Dtr_spf.Routing.t ->
+  ?init:Lexico.t ->
+  prune:(Lexico.t -> bool) ->
+  Weights.t ->
+  failures:Failure.t list ->
+  bounded_sweep
+(** [Swept (add init (compound_sweep_from ...))] — bitwise, including the
+    summation order — unless some scenario-order partial [add init
+    (sum of the first k failure costs)] satisfies [prune], in which case
+    the remaining failures are never priced and the result is
+    [Aborted_at partial].  Per-failure costs are componentwise
+    non-negative, so partials are monotone lower bounds of the final
+    compound and a [prune] built from {!Dtr_cost.Lexico.prunes} makes the
+    abort exact: an abort certifies the caller would have rejected the
+    candidate, and the returned partial may be cached
+    ({!Delta_cache.add_lower}) to reject repeat probes of the same vector
+    without pricing anything.  [init] defaults to {!Lexico.zero} (Phase 2's
+    pure [Kfail] objective); the warm-start path passes the normal cost so
+    the partial bounds [J = normal + Kfail].
+    Serial execution aborts mid-sweep; at jobs > 1 the full parallel sweep
+    runs and only the final total is tested. *)
+
 val evaluate_from :
   Scenario.t ->
   routing_d:Dtr_spf.Routing.t ->

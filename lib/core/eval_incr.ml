@@ -62,6 +62,8 @@ type t = {
   mutable unreachable : int;
   mutable cost : Lexico.t;
   mutable pending : pending option;
+  mutable aborted : bool;
+      (** a bounded trial was abandoned early; cleared by [rollback]/[anchor] *)
   delay_changed : bool array;  (** scratch: arcs whose delay moved this trial *)
 }
 
@@ -118,6 +120,7 @@ let anchor t w =
   let n = Graph.num_nodes g and m = Graph.num_arcs g in
   if Weights.num_arcs w <> m then invalid_arg "Eval_incr.anchor: weight vector size";
   t.pending <- None;
+  t.aborted <- false;
   Array.blit w.Weights.wd 0 t.committed.Weights.wd 0 m;
   Array.blit w.Weights.wt 0 t.committed.Weights.wt 0 m;
   t.routing_d <-
@@ -181,14 +184,42 @@ let create (scenario : Scenario.t) =
       unreachable = 0;
       cost = Lexico.zero;
       pending = None;
+      aborted = false;
       delay_changed = Array.make m false;
     }
   in
   let (_ : Lexico.t) = anchor t t.committed in
   t
 
-let try_arc t w ~arc =
+(* Bounded Phi: the same arc loop as [Congestion.total] (identical additions
+   in identical order when it runs to completion), except that after each
+   arc's contribution the monotone partial <lambda, acc> is tested against
+   the prune predicate — Phi only grows, so a [true] answer certifies the
+   finished cost could not have been accepted.  Returns [None] on abort. *)
+let phi_bounded t ~tloads ~loads ~lambda ~prune =
+  let g = t.scenario.Scenario.graph in
+  let cap = Graph.arc_capacities g in
+  let m = Graph.num_arcs g in
+  let acc = ref 0. in
+  let a = ref 0 in
+  let aborted = ref false in
+  while (not !aborted) && !a < m do
+    if tloads.(!a) > 1e-9 then begin
+      acc := !acc +. Congestion.arc_cost ~capacity:cap.(!a) ~load:loads.(!a);
+      if prune (Lexico.make ~lambda ~phi:!acc) then aborted := true
+    end;
+    incr a
+  done;
+  if !aborted then None else Some !acc
+
+(* [prune], when given, must answer [true] only for partial costs no
+   completion of which the caller could accept (see {!Lexico.prunes}).  The
+   partial sums fed to it accumulate in the same fixed destination (then
+   arc) order as the full evaluation, so a completed bounded trial is
+   bit-identical to the unbounded one. *)
+let try_arc_impl t ~prune w ~arc =
   if t.pending <> None then invalid_arg "Eval_incr.try_arc: a trial is already pending";
+  if t.aborted then invalid_arg "Eval_incr.try_arc: an aborted trial awaits rollback";
   let g = t.scenario.Scenario.graph in
   let n = Graph.num_nodes g and m = Graph.num_arcs g in
   if Weights.num_arcs w <> m then invalid_arg "Eval_incr.try_arc: weight vector size";
@@ -229,9 +260,14 @@ let try_arc t w ~arc =
     if loads == t.loads then t.arc_delay
     else Delay_model.arc_delays t.scenario.Scenario.params.Scenario.delay g ~loads
   in
-  let sla_rows, lambda, violations, unreachable =
-    if arc_delay == t.arc_delay && aff_d = [] then
-      ([], t.lambda, t.violations, t.unreachable)
+  let sla =
+    if arc_delay == t.arc_delay && aff_d = [] then begin
+      (* Lambda cannot move; a prunable current Lambda already decides the
+         trial (any Phi >= 0 completes it into a non-improvement). *)
+      match prune with
+      | Some p when p (Lexico.make ~lambda:t.lambda ~phi:0.) -> None
+      | _ -> Some ([], t.lambda, t.violations, t.unreachable)
+    end
     else begin
       (* Flag the arcs whose delay moved; any destination whose DAG avoids
          all of them (and whose routing is untouched) keeps its subtotal. *)
@@ -242,45 +278,98 @@ let try_arc t w ~arc =
           t.delay_changed.(i) <- changed;
           if changed then delay_any := true
         done;
-      let sla_rows = ref [] in
-      for dest = n - 1 downto 0 do
-        if t.scenario.Scenario.delay_sinks.(dest) then begin
-          let needs =
-            List.mem dest aff_d
-            || (!delay_any
-               && Routing.exists_dag_arc routing_d ~dest (fun id -> t.delay_changed.(id)))
-          in
-          if needs then
-            sla_rows := (dest, sla_values t ~routing_d ~arc_delay ~dest) :: !sla_rows
-        end
-      done;
-      let lambda, violations, unreachable = finish_cost t ~sla_rows:!sla_rows in
-      (!sla_rows, lambda, violations, unreachable)
+      let needs dest =
+        t.scenario.Scenario.delay_sinks.(dest)
+        && (List.mem dest aff_d
+           || (!delay_any
+              && Routing.exists_dag_arc routing_d ~dest (fun id -> t.delay_changed.(id))))
+      in
+      match prune with
+      | None ->
+          let sla_rows = ref [] in
+          for dest = n - 1 downto 0 do
+            if needs dest then
+              sla_rows := (dest, sla_values t ~routing_d ~arc_delay ~dest) :: !sla_rows
+          done;
+          let lambda, violations, unreachable = finish_cost t ~sla_rows:!sla_rows in
+          Some (!sla_rows, lambda, violations, unreachable)
+      | Some p ->
+          (* Interleave subtotal recomputation with the destination-order
+             re-sum and test the monotone partial after every destination.
+             Each destination's subtotal is the same pure function of
+             (routing, delays) the unbounded path computes and the additions
+             happen in [finish_cost]'s exact order, so completing the loop
+             yields bit-identical totals. *)
+          let sla_rows = ref [] in
+          let lambda = ref 0. and violations = ref 0 and unreachable = ref 0 in
+          let dest = ref 0 in
+          let aborted = ref false in
+          while (not !aborted) && !dest < n do
+            let d = !dest in
+            let lam, viol, unreach =
+              if needs d then begin
+                let v = sla_values t ~routing_d ~arc_delay ~dest:d in
+                sla_rows := (d, v) :: !sla_rows;
+                v
+              end
+              else (t.lambda_dest.(d), t.viol_dest.(d), t.unreach_dest.(d))
+            in
+            lambda := !lambda +. lam;
+            violations := !violations + viol;
+            unreachable := !unreachable + unreach;
+            if p (Lexico.make ~lambda:!lambda ~phi:0.) then aborted := true;
+            incr dest
+          done;
+          if !aborted then None
+          else Some (!sla_rows, !lambda, !violations, !unreachable)
     end
   in
-  let phi = if loads == t.loads then t.phi else phi_of t ~tloads ~loads in
-  let cost = Lexico.make ~lambda ~phi in
-  t.pending <-
-    Some
-      {
-        p_arc = arc;
-        p_wd = new_wd;
-        p_wt = new_wt;
-        p_routing_d = routing_d;
-        p_routing_t = routing_t;
-        p_rows_d = rows_d;
-        p_rows_t = rows_t;
-        p_tloads = tloads;
-        p_loads = loads;
-        p_arc_delay = arc_delay;
-        p_sla = sla_rows;
-        p_lambda = lambda;
-        p_phi = phi;
-        p_violations = violations;
-        p_unreachable = unreachable;
-        p_cost = cost;
-      };
-  cost
+  match sla with
+  | None ->
+      t.aborted <- true;
+      None
+  | Some (sla_rows, lambda, violations, unreachable) -> (
+      let phi_opt =
+        if loads == t.loads then Some t.phi
+        else
+          match prune with
+          | None -> Some (phi_of t ~tloads ~loads)
+          | Some p -> phi_bounded t ~tloads ~loads ~lambda ~prune:p
+      in
+      match phi_opt with
+      | None ->
+          t.aborted <- true;
+          None
+      | Some phi ->
+          let cost = Lexico.make ~lambda ~phi in
+          t.pending <-
+            Some
+              {
+                p_arc = arc;
+                p_wd = new_wd;
+                p_wt = new_wt;
+                p_routing_d = routing_d;
+                p_routing_t = routing_t;
+                p_rows_d = rows_d;
+                p_rows_t = rows_t;
+                p_tloads = tloads;
+                p_loads = loads;
+                p_arc_delay = arc_delay;
+                p_sla = sla_rows;
+                p_lambda = lambda;
+                p_phi = phi;
+                p_violations = violations;
+                p_unreachable = unreachable;
+                p_cost = cost;
+              };
+          Some cost)
+
+let try_arc t w ~arc =
+  match try_arc_impl t ~prune:None w ~arc with
+  | Some cost -> cost
+  | None -> assert false (* unbounded trials never abort *)
+
+let try_arc_bounded t ~prune w ~arc = try_arc_impl t ~prune:(Some prune) w ~arc
 
 let commit t =
   match t.pending with
@@ -309,9 +398,11 @@ let commit t =
       t.pending <- None
 
 let rollback t =
-  match t.pending with
-  | None -> invalid_arg "Eval_incr.rollback: no pending trial"
-  | Some _ -> t.pending <- None
+  if t.aborted then t.aborted <- false
+  else
+    match t.pending with
+    | None -> invalid_arg "Eval_incr.rollback: no pending trial"
+    | Some _ -> t.pending <- None
 
 let cost t = match t.pending with Some p -> p.p_cost | None -> t.cost
 

@@ -48,6 +48,19 @@ val try_arc : t -> Weights.t -> arc:int -> Lexico.t
     @raise Invalid_argument if a trial is already pending, on a bad arc id,
     or on a weight-vector size mismatch. *)
 
+val try_arc_bounded :
+  t -> prune:(Lexico.t -> bool) -> Weights.t -> arc:int -> Lexico.t option
+(** Like {!try_arc}, but abandons the trial the moment a monotone partial
+    cost — ⟨Λ,Φ⟩ accumulated in the fixed destination-then-arc order of the
+    full evaluation, both components non-decreasing — satisfies [prune].
+    [prune] must answer [true] only for partials no completion of which the
+    caller would accept ({!Dtr_cost.Lexico.prunes} against the incumbent(s)
+    is the sound instance); under that contract [Some cost] carries the
+    bit-identical {!try_arc} result and [None] certifies the candidate
+    would have been rejected.  After [None] nothing is staged, but the
+    engine still requires the {!rollback} of the usual trial protocol
+    (commit is invalid). *)
+
 val commit : t -> unit
 (** Installs the pending trial as the new committed state.
     @raise Invalid_argument if no trial is pending. *)

@@ -35,25 +35,33 @@ type result = {
   sweeps : int;
   evals : int;
   rounds_run : int;
+  pruned : int;
+  skipped : int;
 }
+
+type verdict = Cost of Lexico.t | Infeasible | Pruned
 
 type engine = {
   start : Weights.t -> Lexico.t option;
-  try_arc : Weights.t -> arc:int -> Lexico.t option;
+  try_arc : Weights.t -> arc:int -> bound:Lexico.t option -> verdict;
   commit : unit -> unit;
   rollback : unit -> unit;
 }
 
+type filter = { score : float array; max_skip : float }
+
 let eval_engine eval =
   {
     start = eval;
-    try_arc = (fun w ~arc:_ -> eval w);
+    try_arc =
+      (fun w ~arc:_ ~bound:_ ->
+        match eval w with Some c -> Cost c | None -> Infeasible);
     commit = (fun () -> ());
     rollback = (fun () -> ());
   }
 
 let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
-    config =
+    ?filter config =
   if config.interval < 1 || config.rounds < 1 then
     invalid_arg "Local_search.run: interval and rounds must be positive";
   let exception Target_reached in
@@ -62,7 +70,37 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
   in
   let best = ref None in
   let evals = ref 0 and sweeps = ref 0 in
+  let pruned = ref 0 and skipped = ref 0 in
   let order = Array.init num_arcs (fun i -> i) in
+  (* --fast proposal filter: arcs ranked by static importance once; each
+     round skips the lowest-ranked fraction, ramped per sweep from the
+     acceptance-rate series (see below).  Skipped arcs consume no RNG, so
+     the filtered trajectory legitimately diverges — which is exactly why
+     the default mode passes no filter. *)
+  let skip_rank =
+    match filter with
+    | None -> [||]
+    | Some f ->
+        if Array.length f.score <> num_arcs then
+          invalid_arg "Local_search.run_engine: filter score size";
+        let ids = Array.init num_arcs (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match Float.compare f.score.(a) f.score.(b) with
+            | 0 -> compare a b
+            | c -> c)
+          ids;
+        let rank = Array.make num_arcs 0 in
+        Array.iteri (fun pos arc -> rank.(arc) <- pos) ids;
+        rank
+  in
+  let max_cutoff =
+    match filter with
+    | None -> 0
+    | Some f ->
+        min (num_arcs - 1)
+          (int_of_float (Float.max 0. (Float.min 1. f.max_skip) *. float_of_int num_arcs))
+  in
   let observe obs = match observer with None -> () | Some f -> f obs in
   let improved w cost = match on_improvement with None -> () | Some f -> f w cost in
   let note_best w cost =
@@ -100,6 +138,12 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
         end;
         let current = ref start_cost in
         let stale = ref 0 and round_sweeps = ref 0 in
+        (* Per-round filter state: the skip fraction starts at zero (the
+           round's first sweep always visits every arc, establishing the
+           reference acceptance rate) and ramps towards [max_skip] as the
+           acceptance-rate EWMA decays — the same per-sweep series the
+           convergence recorder captures. *)
+        let cutoff = ref 0 and a_ref = ref Float.nan and ewma = ref Float.nan in
         while !stale < config.interval && !round_sweeps < config.max_sweeps do
           incr sweeps;
           incr round_sweeps;
@@ -108,43 +152,60 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
           Rng.shuffle rng order;
           Array.iter
             (fun arc ->
+              if !cutoff > 0 && skip_rank.(arc) < !cutoff then begin
+                (* Filtered out this sweep: no perturbation is proposed and
+                   no RNG is consumed. *)
+                incr skipped;
+                Prune.note_skip ()
+              end
+              else begin
               let saved = Weights.save_arc w arc in
               Weights.perturb_arc rng w ~arc ~wmax:config.wmax;
               if saved.Weights.old_wd = w.Weights.wd.(arc) && saved.Weights.old_wt = w.Weights.wt.(arc)
               then ()
               else begin
-                let verdict = engine.try_arc w ~arc in
+                let verdict = engine.try_arc w ~arc ~bound:(Some !current) in
                 incr evals;
                 let accepted =
                   match verdict with
-                  | Some cost -> Lexico.is_better cost ~than:!current
-                  | None -> false
+                  | Cost cost -> Lexico.is_better cost ~than:!current
+                  | Infeasible | Pruned -> false
                 in
+                (match verdict with
+                | Pruned ->
+                    incr pruned;
+                    Prune.note_abort ()
+                | Cost _ | Infeasible -> ());
+                incr sweep_trials;
+                if accepted then incr sweep_accepts;
                 if Metric.enabled () then begin
                   Metric.Counter.incr c_trials;
-                  if accepted then Metric.Counter.incr c_accepts;
-                  incr sweep_trials;
-                  if accepted then incr sweep_accepts
+                  if accepted then Metric.Counter.incr c_accepts
                 end;
                 if Trace.enabled () then begin
                   let new_lambda, new_phi =
                     match verdict with
-                    | Some c -> (c.Lexico.lambda, c.Lexico.phi)
-                    | None -> (Float.nan, Float.nan)
+                    | Cost c -> (c.Lexico.lambda, c.Lexico.phi)
+                    | Infeasible | Pruned -> (Float.nan, Float.nan)
                   in
                   Trace.emit_move ~arc ~accepted
                     ~old_lambda:!current.Lexico.lambda ~old_phi:!current.Lexico.phi
                     ~new_lambda ~new_phi
                 end;
+                let cost_after =
+                  match verdict with
+                  | Cost c -> Some c
+                  | Infeasible | Pruned -> None
+                in
                 observe
-                  { arc; weights = w; cost_before = !current; cost_after = verdict; accepted };
+                  { arc; weights = w; cost_before = !current; cost_after; accepted };
                 if accepted then begin
                   engine.commit ();
                   (match verdict with
-                  | Some cost ->
+                  | Cost cost ->
                       current := cost;
                       improved w cost
-                  | None -> assert false);
+                  | Infeasible | Pruned -> assert false);
                   sweep_improved := true;
                   if target_hit !current then begin
                     ignore (note_best w !current);
@@ -155,6 +216,7 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
                   engine.rollback ();
                   Weights.restore_arc w saved
                 end
+              end
               end)
             order;
           if Metric.enabled () then begin
@@ -167,6 +229,18 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
               ~cur_phi:!current.Lexico.phi ~trials:!sweep_trials
               ~accepts:!sweep_accepts ~resets:round
           end;
+          (match filter with
+          | Some _ when !sweep_trials > 0 ->
+              let a = float_of_int !sweep_accepts /. float_of_int !sweep_trials in
+              if Float.is_nan !a_ref then begin
+                a_ref := Float.max a 1e-6;
+                ewma := a
+              end
+              else ewma := (0.5 *. !ewma) +. (0.5 *. a);
+              let frac = 1. -. Float.min 1. (!ewma /. !a_ref) in
+              cutoff :=
+                min max_cutoff (int_of_float (frac *. float_of_int max_cutoff))
+          | _ -> ());
           if !sweep_improved then stale := 0 else incr stale
         done;
         Some (note_best w !current)
@@ -188,7 +262,8 @@ let run_engine ~rng ~num_arcs ~engine ~init ?observer ?on_improvement ?target
   match !best with
   | None -> invalid_arg "Local_search.run: no feasible starting point"
   | Some (w, cost) ->
-      { best = w; best_cost = cost; sweeps = !sweeps; evals = !evals; rounds_run = !rounds_run }
+      { best = w; best_cost = cost; sweeps = !sweeps; evals = !evals;
+        rounds_run = !rounds_run; pruned = !pruned; skipped = !skipped }
 
 let run ~rng ~num_arcs ~eval ~init ?observer ?on_improvement config =
   run_engine ~rng ~num_arcs ~engine:(eval_engine eval) ~init ?observer ?on_improvement

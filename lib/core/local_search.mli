@@ -44,15 +44,30 @@ type result = {
   sweeps : int;  (** total sweeps over all rounds *)
   evals : int;  (** total cost evaluations *)
   rounds_run : int;
+  pruned : int;  (** trials abandoned early by a {!Pruned} verdict *)
+  skipped : int;  (** arcs never proposed because the [filter] cut them *)
 }
+
+type verdict =
+  | Cost of Lexico.t  (** exact cost of the trial setting *)
+  | Infeasible  (** the engine's feasibility constraints reject it *)
+  | Pruned
+      (** the engine proved the cost cannot beat the supplied [bound] and
+          abandoned pricing early; treated as a rejection *)
 
 type engine = {
   start : Weights.t -> Lexico.t option;
       (** full (re-)evaluation at a round's starting setting; [None] marks
           it infeasible and skips the round *)
-  try_arc : Weights.t -> arc:int -> Lexico.t option;
+  try_arc : Weights.t -> arc:int -> bound:Lexico.t option -> verdict;
       (** cost of [w], which differs from the last committed setting only on
-          [arc]; may stage internal state for the trial *)
+          [arc]; may stage internal state for the trial.  [bound] is the
+          search's incumbent for this trial ([Some] of the round-local
+          current cost); an engine may — but need not — use it to return
+          {!Pruned} instead of a full {!Cost}, provided it only does so when
+          the exact cost would {e not} have been accepted against that bound
+          (see {!Dtr_cost.Lexico.prunes}).  Under that contract pruning
+          engines follow the exact same trajectory as exhaustive ones. *)
   commit : unit -> unit;  (** install the staged trial (the move was kept) *)
   rollback : unit -> unit;  (** discard the staged trial (move rejected) *)
 }
@@ -61,9 +76,22 @@ type engine = {
     engines ({!Eval_incr}) patch cached state instead of re-evaluating from
     scratch; the cost sequence must be identical either way. *)
 
+type filter = {
+  score : float array;
+      (** per-arc importance (higher = more worth perturbing); length must
+          equal [num_arcs] *)
+  max_skip : float;  (** skip fraction ceiling, clamped to [0, 1] *)
+}
+(** Criticality-gated proposal filter ([--fast] mode).  Arcs are ranked
+    once by [score]; each sweep skips the lowest-ranked fraction, ramped
+    from 0 towards [max_skip] as the round's acceptance rate decays
+    relative to its first sweep.  Skipped arcs consume no RNG, so filtered
+    runs follow a different trajectory — the default mode passes no
+    filter and is bit-identical to the exhaustive search. *)
+
 val eval_engine : (Weights.t -> Lexico.t option) -> engine
 (** Stateless engine from a plain evaluation function ([commit]/[rollback]
-    are no-ops). *)
+    are no-ops; the bound is ignored). *)
 
 val run_engine :
   rng:Dtr_util.Rng.t ->
@@ -73,6 +101,7 @@ val run_engine :
   ?observer:(observation -> unit) ->
   ?on_improvement:(Weights.t -> Lexico.t -> unit) ->
   ?target:Lexico.t ->
+  ?filter:filter ->
   config ->
   result
 (** [init ~round] provides the starting setting of each diversification
@@ -85,7 +114,10 @@ val run_engine :
     (the committed crossing setting becomes [best]).  The check happens
     after RNG consumption for the accepted move, so runs with and without
     a target follow the same trajectory up to the stopping point.
-    @raise Invalid_argument if every starting point is infeasible. *)
+    [filter] enables the criticality-gated proposal filter; omit it for
+    the exhaustive (default, reproducible) search.
+    @raise Invalid_argument if every starting point is infeasible, or if
+    the filter's score array does not match [num_arcs]. *)
 
 val run :
   rng:Dtr_util.Rng.t ->

@@ -45,6 +45,7 @@ val optimize :
   ?fraction:float ->
   ?incremental:bool ->
   ?exec:Dtr_exec.Exec.t ->
+  ?fast:bool ->
   Scenario.t ->
   solution
 (** Defaults: [selector = Ours], [failure_model = Link_failures], [fraction]
@@ -55,7 +56,9 @@ val optimize :
     [|Ec| / |E|] for this call.  The execution context parallelises the
     failure-sweep fan-outs of both phases; for a given RNG seed the solution
     — weights, costs, eval counts, critical set — is bit-identical for
-    every job count. *)
+    every job count.  [fast] (default [false]) enables Phase 2's
+    criticality-gated proposal filter — a quality/time trade that changes
+    the trajectory; see {!Phase2.run}. *)
 
 val regular_only :
   rng:Dtr_util.Rng.t ->
@@ -88,6 +91,7 @@ type warm_result = {
   warm_sweeps : int;
   warm_evals : int;
   warm_rounds : int;
+  warm_pruned : int;  (** trials abandoned by early-abort pricing *)
 }
 
 val warm_start :
@@ -96,6 +100,7 @@ val warm_start :
   ?failures:Failure.t list ->
   ?budget:warm_budget ->
   ?target:Lexico.t ->
+  ?cache:Delta_cache.t ->
   incumbent:Weights.t ->
   Scenario.t ->
   warm_result
@@ -108,7 +113,14 @@ val warm_start :
     worse than the incumbent.  [target] makes the repair stop mid-sweep as
     soon as J reaches it (see {!Local_search.run_engine}) — the daemon's
     "repair until recovered" mode.  Deterministic for a given RNG state at
-    any job count. *)
+    any job count.
+
+    Pricing prunes exactly against the search incumbent (early-abort in the
+    incremental pricer when [failures = []], {!Eval.compound_sweep_bounded}
+    seeded with the normal cost otherwise); gated by {!Prune}.  [cache], if
+    given, memoizes J across calls — the daemon holds one per scenario
+    epoch and must {!Delta_cache.bump} it whenever the traffic matrices,
+    graph, or failure set change. *)
 
 val robust_with :
   rng:Dtr_util.Rng.t ->

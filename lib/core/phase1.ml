@@ -19,6 +19,7 @@ type stats = {
   rounds : int;
   samples : int;
   phase1b_sweeps : int;
+  pruned : int;
   converged : bool;
 }
 
@@ -111,7 +112,33 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
         Local_search.
           {
             start = (fun w -> Some (Eval_incr.anchor e w));
-            try_arc = (fun w ~arc -> Some (Eval_incr.try_arc e w ~arc));
+            try_arc =
+              (fun w ~arc ~bound ->
+                (* Failure-like trials may be harvested by the observer as
+                   exact post-failure cost samples, so they are always
+                   priced in full.  Anything else can be abandoned once its
+                   partial cost proves it beats neither the round's
+                   incumbent nor the global best — the observer feeds every
+                   priced cost to [note_best], so the certificate must cover
+                   both incumbents (the two prunes conjoin; [Lexico.compare]
+                   is not transitive across the tolerance band, so their
+                   bounds must not be merged into one). *)
+                match bound with
+                | Some cur
+                  when Prune.enabled ()
+                       && not (Sampler.is_failure_like sampler w ~arc) -> (
+                    let prune =
+                      match !best_so_far with
+                      | Some best ->
+                          fun partial ->
+                            Lexico.prunes partial ~than:cur
+                            && Lexico.prunes partial ~than:best
+                      | None -> fun partial -> Lexico.prunes partial ~than:cur
+                    in
+                    match Eval_incr.try_arc_bounded e ~prune w ~arc with
+                    | Some c -> Cost c
+                    | None -> Pruned)
+                | _ -> Cost (Eval_incr.try_arc e w ~arc));
             commit = (fun () -> Eval_incr.commit e);
             rollback = (fun () -> Eval_incr.rollback e);
           }
@@ -263,6 +290,7 @@ let run_impl ~rng ~incremental ?exec (scenario : Scenario.t) =
         rounds = search.Local_search.rounds_run;
         samples = Sampler.total sampler;
         phase1b_sweeps = !phase1b_sweeps;
+        pruned = search.Local_search.pruned;
         converged = !converged;
       };
   }

@@ -20,6 +20,7 @@ type stats = {
   rounds : int;  (** diversifications actually run *)
   samples : int;  (** cost samples collected *)
   phase1b_sweeps : int;
+  pruned : int;  (** Phase-1a trials abandoned by early-abort pricing *)
   converged : bool;  (** criticality rankings converged *)
 }
 

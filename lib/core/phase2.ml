@@ -5,7 +5,15 @@ module Span = Dtr_obs.Span
 module Trace = Dtr_obs.Trace
 module Convergence = Dtr_obs.Convergence
 
-type stats = { evals : int; sweeps : int; rounds : int }
+type stats = {
+  evals : int;
+  sweeps : int;
+  rounds : int;
+  pruned : int;
+  skipped : int;
+  cache_hits : int;
+  cache_misses : int;
+}
 
 type output = {
   robust : Weights.t;
@@ -18,7 +26,7 @@ let c_evals = Metric.Counter.create "phase2.evals"
 let c_sweeps = Metric.Counter.create "phase2.sweeps"
 let c_rounds = Metric.Counter.create "phase2.rounds"
 
-let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
+let run ~rng ?(incremental = true) ?exec ?(fast = false) (scenario : Scenario.t)
     ~(phase1 : Phase1.output) ~failures =
   Span.with_ ~name:"phase2" @@ fun () ->
   if Trace.enabled () then Trace.emit_phase ~name:"phase2";
@@ -39,32 +47,144 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
      the normal-conditions gate with a single-arc patch and starts every
      per-failure [with_failed_arcs] from its cached no-failure bases, so a
      move never recomputes the normal routing from scratch. *)
+  let cache = Delta_cache.create ~capacity:128 in
   let engine =
     if incremental then begin
       let e = Eval_incr.create scenario in
+      (* Shadow of the committed weight vector plus its rolling hash for the
+         delta cache; the pending trial's replacement weights and hash are
+         recorded at try time because commit receives no vector. *)
+      let base = ref None in
+      let cur_hash = ref 0 in
+      let pend = ref None in
       let sweep w =
         let routing_d, routing_t = Eval_incr.current_routing e in
         Eval.compound_sweep_from scenario ~exec ~routing_d ~routing_t w ~failures
+      in
+      let sweep_bounded w ~than =
+        let routing_d, routing_t = Eval_incr.current_routing e in
+        Eval.compound_sweep_bounded scenario ~exec ~routing_d ~routing_t
+          ~prune:(fun partial -> Lexico.prunes partial ~than)
+          w ~failures
+      in
+      let cache_find ~hash w =
+        if Prune.enabled () then Delta_cache.find cache ~hash w else None
+      in
+      let cache_add ~hash w c =
+        if Prune.enabled () then Delta_cache.add cache ~hash w c
+      in
+      let cache_add_lower ~hash w partial =
+        if Prune.enabled () then Delta_cache.add_lower cache ~hash w partial
       in
       Local_search.
         {
           start =
             (fun w ->
               let normal = Eval_incr.anchor e w in
-              if feasible normal then Some (sweep w) else None);
+              if not (feasible normal) then None
+              else begin
+                let h = Delta_cache.hash_of w in
+                base := Some (Weights.copy w);
+                cur_hash := h;
+                pend := None;
+                match cache_find ~hash:h w with
+                | Some (Delta_cache.Full c) -> Some c
+                | Some (Delta_cache.Lower _) | None ->
+                    let c = sweep w in
+                    cache_add ~hash:h w c;
+                    Some c
+              end);
           try_arc =
-            (fun w ~arc ->
-              let normal = Eval_incr.try_arc e w ~arc in
+            (fun w ~arc ~bound ->
+              (* The Eqs. (5)-(6) gate is itself boundable: the incremental
+                 pricer's partial is a monotone lower bound of the normal
+                 cost, so the moment it exceeds either threshold the trial
+                 is certifiably infeasible — the predicate below is the
+                 exact complement of [feasible], so even the infeasible
+                 counters match a run with pruning off. *)
+              let staged =
+                if Prune.enabled () then
+                  Eval_incr.try_arc_bounded e
+                    ~prune:(fun partial ->
+                      partial.Lexico.lambda
+                      > best_cost.Lexico.lambda +. Lexico.lambda_tolerance
+                      || partial.Lexico.phi
+                         > (1. +. p.Scenario.chi) *. best_cost.Lexico.phi)
+                    w ~arc
+                else Some (Eval_incr.try_arc e w ~arc)
+              in
               (* Infeasible trials stay staged; the search's rollback on a
                  rejected move discards them. *)
-              if feasible normal then Some (sweep w) else None);
-          commit = (fun () -> Eval_incr.commit e);
-          rollback = (fun () -> Eval_incr.rollback e);
+              match staged with
+              | None -> Infeasible
+              | Some normal when not (feasible normal) -> Infeasible
+              | Some _ -> begin
+                let b = match !base with Some b -> b | None -> assert false in
+                let h =
+                  Delta_cache.shift !cur_hash ~arc ~old_wd:b.Weights.wd.(arc)
+                    ~old_wt:b.Weights.wt.(arc) ~new_wd:w.Weights.wd.(arc)
+                    ~new_wt:w.Weights.wt.(arc)
+                in
+                pend := Some (arc, w.Weights.wd.(arc), w.Weights.wt.(arc), h);
+                match (cache_find ~hash:h w, bound) with
+                | (Some (Delta_cache.Full c), _) -> Cost c
+                | (Some (Delta_cache.Lower lb), Some than)
+                  when Lexico.prunes lb ~than ->
+                    Pruned
+                | ((Some (Delta_cache.Lower _) | None), _) -> (
+                    match bound with
+                    | Some than when Prune.enabled () -> (
+                        match sweep_bounded w ~than with
+                        | Eval.Swept c ->
+                            cache_add ~hash:h w c;
+                            Cost c
+                        | Eval.Aborted_at lb ->
+                            cache_add_lower ~hash:h w lb;
+                            Pruned)
+                    | _ ->
+                        let c = sweep w in
+                        cache_add ~hash:h w c;
+                        Cost c)
+              end);
+          commit =
+            (fun () ->
+              Eval_incr.commit e;
+              match (!pend, !base) with
+              | Some (arc, wd, wt, h), Some b ->
+                  b.Weights.wd.(arc) <- wd;
+                  b.Weights.wt.(arc) <- wt;
+                  cur_hash := h;
+                  pend := None
+              | _ -> assert false);
+          rollback =
+            (fun () ->
+              Eval_incr.rollback e;
+              pend := None);
         }
     end
     else
       Local_search.eval_engine (fun w ->
           snd (Eval.normal_and_sweep scenario ~exec w ~failures ~feasible))
+  in
+  (* --fast proposal filter: static per-arc importance — the larger of the
+     Phase-1 normalised criticality (either class) and the utilisation of
+     the arc under the Phase-1 best — so the ramped skip cuts arcs that are
+     neither critical to failures nor loaded under normal conditions. *)
+  let filter =
+    if not fast then None
+    else begin
+      let crit = phase1.Phase1.criticality in
+      let detail = Eval.evaluate scenario phase1.Phase1.best in
+      let cap = Dtr_topology.Graph.arc_capacities scenario.Scenario.graph in
+      let score =
+        Array.init num_arcs (fun a ->
+            Float.max
+              (Float.max crit.Criticality.norm_lambda.(a)
+                 crit.Criticality.norm_phi.(a))
+              (detail.Eval.loads.(a) /. cap.(a)))
+      in
+      Some Local_search.{ score; max_skip = 0.6 }
+    end
   in
   let config =
     Local_search.
@@ -83,7 +203,7 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
   in
   let search =
     Convergence.with_series ~name:"phase2" (fun () ->
-        Local_search.run_engine ~rng ~num_arcs ~engine ~init config)
+        Local_search.run_engine ~rng ~num_arcs ~engine ~init ?filter config)
   in
   if Metric.enabled () then begin
     Metric.Counter.add c_evals search.Local_search.evals;
@@ -91,6 +211,7 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
     Metric.Counter.add c_rounds search.Local_search.rounds_run
   end;
   let robust = search.Local_search.best in
+  let cstats = Delta_cache.stats cache in
   {
     robust;
     fail_cost = search.Local_search.best_cost;
@@ -100,5 +221,9 @@ let run ~rng ?(incremental = true) ?exec (scenario : Scenario.t)
         evals = search.Local_search.evals;
         sweeps = search.Local_search.sweeps;
         rounds = search.Local_search.rounds_run;
+        pruned = search.Local_search.pruned;
+        skipped = search.Local_search.skipped;
+        cache_hits = cstats.Delta_cache.hits;
+        cache_misses = cstats.Delta_cache.misses;
       };
   }

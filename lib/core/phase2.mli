@@ -15,7 +15,15 @@
 module Lexico = Dtr_cost.Lexico
 module Failure = Dtr_topology.Failure
 
-type stats = { evals : int; sweeps : int; rounds : int }
+type stats = {
+  evals : int;
+  sweeps : int;
+  rounds : int;
+  pruned : int;  (** trials abandoned by early-abort sweep pricing *)
+  skipped : int;  (** proposals cut by the [--fast] filter *)
+  cache_hits : int;  (** delta-cache hits (sweeps skipped entirely) *)
+  cache_misses : int;
+}
 
 type output = {
   robust : Weights.t;
@@ -28,6 +36,7 @@ val run :
   rng:Dtr_util.Rng.t ->
   ?incremental:bool ->
   ?exec:Dtr_exec.Exec.t ->
+  ?fast:bool ->
   Scenario.t ->
   phase1:Phase1.output ->
   failures:Failure.t list ->
@@ -36,7 +45,18 @@ val run :
     single-arc move with the {!Eval_incr} engine and start the failure sweep
     from its cached no-failure routing bases; bit-identical to the full
     {!Eval.normal_and_sweep} path, hence the same trajectory for a given
-    RNG.
+    RNG.  The incremental engine additionally prunes: feasible moves are
+    priced with {!Eval.compound_sweep_bounded} against the search incumbent
+    (exact — the trajectory is unchanged) and memoized in a per-run
+    {!Delta_cache}, so revisited vectors skip the sweep entirely.  Both are
+    disabled by {!Prune.set_enabled}[ false] / [DTR_NO_PRUNE].
+
+    [fast] (default [false]) enables the criticality-gated proposal filter
+    ({!Local_search.filter}): arcs scored by the larger of their Phase-1
+    normalised criticality and their utilisation under the Phase-1 best;
+    up to 60% of proposals are skipped as the acceptance rate decays.
+    Fast runs follow a different trajectory (a quality/time trade, not an
+    exact optimisation).
 
     [exec] (default {!Dtr_exec.Exec.default}) parallelises every critical-set
     sweep — the per-move pricing of all failure scenarios, the dominant cost

@@ -1,0 +1,26 @@
+(** Global gate and accounting for the move-space pruning engine.
+
+    Three pruning mechanisms share this switch: lexicographic early-abort
+    pricing (exact, bit-identical to full pricing), the cross-restart
+    weight-vector delta cache (exact: hits return previously computed
+    values), and — independently gated behind [--fast] — the
+    criticality-based move proposal filter.  [DTR_NO_PRUNE=1] in the
+    environment, the [--no-prune] CLI flag, or {!set_enabled}[ false]
+    force every pricer back onto the full reference path. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Effectiveness counters}
+
+    No-ops unless {!Dtr_obs.Metric.enabled}; searches additionally carry
+    always-on per-run counts in their results. *)
+
+val note_abort : unit -> unit
+(** A candidate's pricing was abandoned on a partial sum. *)
+
+val note_skip : unit -> unit
+(** The [--fast] filter skipped proposing a move. *)
+
+val note_cache_hit : unit -> unit
+val note_cache_miss : unit -> unit

@@ -14,6 +14,29 @@ let compare a b =
 
 let is_better a ~than = compare a than < 0
 
+(* Sound early-abort test for monotone partial sums.  [partial] is a
+   componentwise lower bound of a candidate's final cost (both components
+   accumulate non-negative per-destination / per-scenario terms in a fixed
+   order).  [prunes] answers "is every completion [c >= partial]
+   (componentwise) certainly not better than [than]?":
+
+   - [partial.lambda > than.lambda + tol]: every completion's [lambda]
+     stays strictly above the tolerance band, so [compare c than > 0]
+     whatever [phi] does.
+   - [partial.lambda >= than.lambda - tol] and [partial.phi >= than.phi]:
+     a completion either leaves the band upward (first case) or stays
+     lambda-tied, where [phi >= than.phi] decides [compare c than >= 0].
+
+   In both cases [is_better c ~than] is false, so abandoning the candidate
+   cannot change which moves the search accepts — the abort is exact, not
+   heuristic.  Note the two branches cannot be folded into a single
+   componentwise bound: [compare] is not transitive across the tolerance
+   band, so callers needing "worse than a AND worse than b" must test both
+   bounds explicitly. *)
+let prunes partial ~than =
+  partial.lambda > than.lambda +. lambda_tolerance
+  || (partial.lambda >= than.lambda -. lambda_tolerance && partial.phi >= than.phi)
+
 let equal a b =
   lambda_cmp a.lambda b.lambda = 0
   && Float.abs (a.phi -. b.phi) <= 1e-9 *. Float.max 1. (Float.abs b.phi)

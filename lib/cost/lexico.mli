@@ -21,6 +21,17 @@ val compare : t -> t -> int
 val is_better : t -> than:t -> bool
 (** Strictly smaller in the lexicographic order. *)
 
+val prunes : t -> than:t -> bool
+(** [prunes partial ~than] certifies that {e no} completion [c] with
+    [c.lambda >= partial.lambda] and [c.phi >= partial.phi] satisfies
+    [is_better c ~than] — the early-abort test the bounded pricers apply to
+    destination-ordered partial sums (whose components only grow).  Exact
+    under the tolerance semantics of {!compare}: a [true] answer can never
+    change which candidate a search accepts.  Because [compare] is not
+    transitive across the lambda tolerance band, bounds do not compose by
+    taking a componentwise minimum; prune against several incumbents by
+    conjoining [prunes] calls. *)
+
 val equal : t -> t -> bool
 (** Both components equal (with the [Lambda] tolerance; [Phi] compared with
     a relative tolerance of 1e-9). *)

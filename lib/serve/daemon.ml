@@ -10,11 +10,24 @@ module Scenario = Dtr_core.Scenario
 module Weights = Dtr_core.Weights
 module Eval = Dtr_core.Eval
 module Optimizer = Dtr_core.Optimizer
+module Delta_cache = Dtr_core.Delta_cache
+module Prune = Dtr_core.Prune
 module Resize = Dtr_core.Resize
 module Lexico = Dtr_cost.Lexico
 module Metric = Dtr_obs.Metric
 module Span = Dtr_obs.Span
+module Lru = Dtr_util.Lru
 module P = Protocol
+
+(* The daemon's epoch-keyed what-if cache, string-keyed on
+   (epochs, failure set).  One shared LRU implementation with the
+   optimizer's delta cache — see [Dtr_util.Lru]. *)
+module Cache = Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
 
 type config = {
   scenario : Scenario.t;
@@ -45,7 +58,14 @@ type t = {
   mutable graph_epoch : int;
   mutable matrix_epoch : int;
   mutable weights_epoch : int;
-  cache : (string, priced) Lru.t;
+  cache : priced Cache.t;
+  (* Weight-vector delta cache shared across warm re-optimizations: J is
+     pure in the weights for a fixed scenario and failure set, so repeated
+     repairs of the same incumbent skip whole failure sweeps.  Bumped (epoch
+     invalidation) whenever traffic, graph, link state or the critical set
+     moves. *)
+  delta : Delta_cache.t;
+  mutable warm_pruned : int;  (* trials early-aborted across warm repairs *)
   perturb_rng : Rng.t;
   warm_rng : Rng.t;
   fraction : float option;
@@ -72,7 +92,13 @@ let create (cfg : config) =
     graph_epoch = 0;
     matrix_epoch = 0;
     weights_epoch = 0;
-    cache = Lru.create ~capacity:cfg.cache_capacity;
+    cache = Cache.create ~capacity:cfg.cache_capacity;
+    (* Sized to outlive a whole warm re-optimization: aborted moves now
+       park Lower entries alongside Full costs, so a single event can push
+       thousands of vectors through the cache — at 128 the LRU evicts the
+       entire working set before the next event can reuse it. *)
+    delta = Delta_cache.create ~capacity:4096;
+    warm_pruned = 0;
     perturb_rng = Rng.create (cfg.seed + 2);
     warm_rng = Rng.create (cfg.seed + 3);
     fraction = cfg.fraction;
@@ -85,7 +111,7 @@ let create (cfg : config) =
   }
 
 let incumbent t = t.incumbent
-let cache_stats t = Lru.stats t.cache
+let cache_stats t = Cache.stats t.cache
 
 let record_latency t secs =
   if t.lat_len = Array.length t.lat then begin
@@ -199,6 +225,7 @@ let handle_tm_update t ev =
   in
   t.scenario <- Scenario.with_traffic t.scenario ~rd ~rt;
   t.matrix_epoch <- t.matrix_epoch + 1;
+  Delta_cache.bump t.delta;
   Ok
     (Json.Obj
        [
@@ -227,6 +254,7 @@ let handle_link_down t r =
     Error (P.Bad_arc, Printf.sprintf "arc %d is already down" id)
   else begin
     t.failed <- List.sort_uniq compare (id :: t.failed);
+    Delta_cache.bump t.delta;
     Ok (link_result t)
   end
 
@@ -236,6 +264,7 @@ let handle_link_up t r =
     Error (P.Bad_arc, Printf.sprintf "arc %d is not down" id)
   else begin
     t.failed <- List.filter (fun a -> a <> id) t.failed;
+    Delta_cache.bump t.delta;
     Ok (link_result t)
   end
 
@@ -245,6 +274,7 @@ let handle_resize t ~max_util ~step =
   in
   t.scenario <- scenario;
   t.graph_epoch <- t.graph_epoch + 1;
+  Delta_cache.bump t.delta;
   invalidate_bases t;
   Ok
     (Json.Obj
@@ -258,7 +288,7 @@ let handle_eval t spec =
   let* failure = combined_failure t spec in
   let key = cache_key t failure in
   let priced, cached =
-    match Lru.find t.cache key with
+    match Cache.find t.cache key with
     | Some p -> (p, true)
     | None ->
         let routing_d, routing_t = bases t in
@@ -271,7 +301,7 @@ let handle_eval t spec =
             unreachable = d.Eval.unreachable_pairs;
           }
         in
-        Lru.add t.cache key p;
+        Cache.add t.cache key p;
         (p, false)
   in
   Ok
@@ -310,9 +340,10 @@ let handle_reopt_warm t ~max_sweeps ~max_rounds ~target =
   let t0 = Unix.gettimeofday () in
   let r =
     Optimizer.warm_start ~rng:t.warm_rng ~exec:t.exec ~failures ~budget ?target
-      ~incumbent:t.incumbent t.scenario
+      ~cache:t.delta ~incumbent:t.incumbent t.scenario
   in
   let seconds = Unix.gettimeofday () -. t0 in
+  t.warm_pruned <- t.warm_pruned + r.Optimizer.warm_pruned;
   set_incumbent t r.Optimizer.weights;
   Ok
     (Json.Obj
@@ -324,6 +355,7 @@ let handle_reopt_warm t ~max_sweeps ~max_rounds ~target =
            ("sweeps", int r.Optimizer.warm_sweeps);
            ("evals", int r.Optimizer.warm_evals);
            ("rounds", int r.Optimizer.warm_rounds);
+           ("pruned", int r.Optimizer.warm_pruned);
            ("failures", int (List.length failures));
            ("seconds", num seconds);
            ("weights_epoch", int t.weights_epoch);
@@ -344,7 +376,10 @@ let handle_reopt_full t =
   let rng = Rng.create (t.seed + 1) in
   let sol = Optimizer.optimize ~rng ?fraction:t.fraction ~exec:t.exec t.scenario in
   set_incumbent t sol.Optimizer.robust;
-  t.critical <- List.sort_uniq compare sol.Optimizer.critical;
+  let critical = List.sort_uniq compare sol.Optimizer.critical in
+  (* A new critical set changes the warm objective's failure sweep. *)
+  if critical <> t.critical then Delta_cache.bump t.delta;
+  t.critical <- critical;
   Ok
     (Json.Obj
        ([ ("mode", Json.Str "full") ]
@@ -365,7 +400,8 @@ let percentile_ms t p =
   else 1000. *. Stat.percentile (Array.sub t.lat 0 t.lat_len) p
 
 let handle_stats t =
-  let s = Lru.stats t.cache in
+  let s = Cache.stats t.cache in
+  let d = Delta_cache.stats t.delta in
   Ok
     (Json.Obj
        [
@@ -387,6 +423,18 @@ let handle_stats t =
                ("evictions", int s.Lru.evictions);
                ("length", int s.Lru.length);
                ("capacity", int s.Lru.capacity);
+             ] );
+         ( "pruning",
+           Json.Obj
+             [
+               ("enabled", Json.Bool (Prune.enabled ()));
+               ("warm_pruned", int t.warm_pruned);
+               ("delta_hits", int d.Delta_cache.hits);
+               ("delta_lower_hits", int d.Delta_cache.lower_hits);
+               ("delta_misses", int d.Delta_cache.misses);
+               ("delta_evictions", int d.Delta_cache.evictions);
+               ("delta_length", int d.Delta_cache.length);
+               ("delta_capacity", int d.Delta_cache.capacity);
              ] );
          ( "epochs",
            Json.Obj

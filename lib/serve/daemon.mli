@@ -35,7 +35,7 @@ val create : config -> t
 val incumbent : t -> Dtr_core.Weights.t
 (** The current incumbent setting (shared, do not mutate). *)
 
-val cache_stats : t -> Lru.stats
+val cache_stats : t -> Dtr_util.Lru.stats
 
 val handle_line : t -> string -> string * bool
 (** Process one request line; returns the response line (no newline) and

@@ -32,15 +32,22 @@ let enumerate ?(limit = 1000) g routing ~src ~dst =
           } ]
       end
       else begin
-        let nh = Routing.next_hops routing ~dest:dst ~node in
-        let k = Array.length nh in
-        Array.to_list nh
-        |> List.concat_map (fun id ->
-               let a = Graph.arc g id in
-               walk a.Graph.dst
-                 (prob /. float_of_int k)
-                 (delay +. a.Graph.delay)
-                 (id :: rev_arcs))
+        let k = Routing.num_next_hops routing ~dest:dst ~node in
+        (* Fold the CSR hop row directly (no slice allocation), collecting
+           the sublists in reverse and concatenating back in row order so
+           the enumeration order — and therefore which paths survive the
+           [limit] cut — is unchanged. *)
+        let parts =
+          Routing.fold_next_hops routing ~dest:dst ~node ~init:[]
+            (fun acc id ->
+              let a = Graph.arc g id in
+              walk a.Graph.dst
+                (prob /. float_of_int k)
+                (delay +. a.Graph.delay)
+                (id :: rev_arcs)
+              :: acc)
+        in
+        List.concat (List.rev parts)
       end
     in
     let paths = walk src 1.0 0. [] in
@@ -62,13 +69,11 @@ let count g routing ~src ~dst =
       if node = dst then 1
       else if memo.(node) >= 0 then memo.(node)
       else begin
-        let nh = Routing.next_hops routing ~dest:dst ~node in
         let total =
-          Array.fold_left
+          Routing.fold_next_hops routing ~dest:dst ~node ~init:0
             (fun acc id ->
               let v = ways (Graph.arc g id).Graph.dst in
               if acc > cap - v then cap else acc + v)
-            0 nh
         in
         memo.(node) <- total;
         total

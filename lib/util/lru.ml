@@ -1,0 +1,94 @@
+(* LRU over a hashtable with per-entry recency stamps.  Eviction scans for
+   the minimum stamp — O(capacity), which at the intended cache sizes (tens
+   to a few hundred entries) beats maintaining an intrusive list, and keeps
+   the structure trivially correct under the qcheck eviction properties.
+
+   Functorized over the key so int-keyed caches (the optimizer's delta
+   cache) avoid polymorphic hashing while string-keyed caches (the serve
+   daemon's eval cache) keep their old behaviour. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+module Make (K : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (K)
+
+  type 'v entry = { value : 'v; mutable stamp : int }
+
+  type 'v t = {
+    cap : int;
+    tbl : 'v entry Tbl.t;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+    {
+      cap = capacity;
+      tbl = Tbl.create (2 * capacity);
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let capacity t = t.cap
+  let length t = Tbl.length t.tbl
+
+  let touch t e =
+    t.tick <- t.tick + 1;
+    e.stamp <- t.tick
+
+  let find t k =
+    match Tbl.find_opt t.tbl k with
+    | Some e ->
+        touch t e;
+        t.hits <- t.hits + 1;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+  let mem t k = Tbl.mem t.tbl k
+
+  let evict_lru t =
+    let victim = ref None in
+    Tbl.iter
+      (fun k e ->
+        match !victim with
+        | Some (_, s) when s <= e.stamp -> ()
+        | _ -> victim := Some (k, e.stamp))
+      t.tbl;
+    match !victim with
+    | Some (k, _) ->
+        Tbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1
+    | None -> ()
+
+  let add t k v =
+    (match Tbl.find_opt t.tbl k with
+    | Some _ -> Tbl.remove t.tbl k
+    | None -> if Tbl.length t.tbl >= t.cap then evict_lru t);
+    let e = { value = v; stamp = 0 } in
+    touch t e;
+    Tbl.replace t.tbl k e
+
+  let clear t = Tbl.reset t.tbl
+
+  let stats t =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      length = Tbl.length t.tbl;
+      capacity = t.cap;
+    }
+end

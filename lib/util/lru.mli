@@ -1,0 +1,40 @@
+(** Bounded least-recently-used cache, functorized over the key.
+
+    Two consumers share this one implementation: the serve daemon's
+    epoch-keyed pricing cache (string keys) and the optimizer's
+    weight-vector delta cache (rolling-hash int keys).  Capacity is small
+    by design — eviction is an O(capacity) scan, which at these sizes
+    costs less than the bookkeeping it saves. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+module Make (K : Hashtbl.HashedType) : sig
+  type 'v t
+
+  val create : capacity:int -> 'v t
+  (** @raise Invalid_argument if [capacity < 1]. *)
+
+  val capacity : 'v t -> int
+  val length : 'v t -> int
+
+  val find : 'v t -> K.t -> 'v option
+  (** Refreshes the entry's recency on a hit; counts a hit or a miss. *)
+
+  val mem : 'v t -> K.t -> bool
+  (** Recency- and stats-neutral membership probe. *)
+
+  val add : 'v t -> K.t -> 'v -> unit
+  (** Inserts or replaces; at capacity, the least-recently-used entry is
+      evicted first.  An insert counts as a use. *)
+
+  val clear : 'v t -> unit
+  (** Drops every entry (stats survive; no evictions are counted). *)
+
+  val stats : 'v t -> stats
+end

@@ -31,6 +31,7 @@ let () =
       ("core.search", Test_search.suite);
       ("core.metrics", Test_metrics.suite);
       ("core.annealing", Test_annealing.suite);
+      ("core.prune", Test_prune.suite);
       ("spf.paths", Test_paths.suite);
       ("spf.oracle", Test_oracle.suite);
       ("io", Test_io.suite);

@@ -17,7 +17,20 @@ module Weights = Dtr_core.Weights
 module Optimizer = Dtr_core.Optimizer
 module Lexico = Dtr_cost.Lexico
 module Exec = Dtr_exec.Exec
-module Lru = Dtr_serve.Lru
+module Lru_int = Dtr_util.Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module Lru_str = Dtr_util.Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
 module Protocol = Dtr_serve.Protocol
 module Daemon = Dtr_serve.Daemon
 
@@ -211,15 +224,15 @@ let prop_lru_never_lies =
     ~print:(fun (cap, ops) ->
       Printf.sprintf "capacity %d, ops [%s]" cap (lru_ops_print ops))
     (fun (capacity, ops) ->
-      let lru = Lru.create ~capacity in
+      let lru = Lru_int.create ~capacity in
       let model = Hashtbl.create 16 in
       List.iter
         (function
           | Op_add (k, v) ->
-              Lru.add lru k v;
+              Lru_int.add lru k v;
               Hashtbl.replace model k v
           | Op_find k -> (
-              match Lru.find lru k with
+              match Lru_int.find lru k with
               | None -> ()
               | Some v ->
                   let expected = Hashtbl.find_opt model k in
@@ -230,27 +243,27 @@ let prop_lru_never_lies =
                       | Some e -> string_of_int e
                       | None -> "absent"))
           | Op_clear ->
-              Lru.clear lru;
+              Lru_int.clear lru;
               Hashtbl.reset model)
         ops;
-      Lru.length lru <= capacity)
+      Lru_int.length lru <= capacity)
 
 (* A key added while there is spare capacity must be found back immediately:
    the structure only forgets under pressure. *)
 let test_lru_basics () =
-  let l = Lru.create ~capacity:2 in
-  Lru.add l "a" 1;
-  Lru.add l "b" 2;
-  Alcotest.(check (option int)) "a resident" (Some 1) (Lru.find l "a");
+  let l = Lru_str.create ~capacity:2 in
+  Lru_str.add l "a" 1;
+  Lru_str.add l "b" 2;
+  Alcotest.(check (option int)) "a resident" (Some 1) (Lru_str.find l "a");
   (* "b" is now least-recent; adding "c" evicts it. *)
-  Lru.add l "c" 3;
-  Alcotest.(check (option int)) "b evicted" None (Lru.find l "b");
-  Alcotest.(check (option int)) "a survived" (Some 1) (Lru.find l "a");
-  Alcotest.(check (option int)) "c resident" (Some 3) (Lru.find l "c");
-  let s = Lru.stats l in
-  Alcotest.(check int) "one eviction" 1 s.Lru.evictions;
-  Alcotest.(check int) "length bounded" 2 s.Lru.length;
-  (match Lru.create ~capacity:0 with
+  Lru_str.add l "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Lru_str.find l "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Lru_str.find l "a");
+  Alcotest.(check (option int)) "c resident" (Some 3) (Lru_str.find l "c");
+  let s = Lru_str.stats l in
+  Alcotest.(check int) "one eviction" 1 s.Dtr_util.Lru.evictions;
+  Alcotest.(check int) "length bounded" 2 s.Dtr_util.Lru.length;
+  (match Lru_str.create ~capacity:0 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "capacity 0 must be rejected")
 
