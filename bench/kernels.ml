@@ -13,6 +13,8 @@ module Scenario = Dtr_core.Scenario
 module Weights = Dtr_core.Weights
 module Eval = Dtr_core.Eval
 module Eval_incr = Dtr_core.Eval_incr
+module Joint_failure = Dtr_core.Joint_failure
+module Srlg = Dtr_topology.Srlg
 module Lexico = Dtr_cost.Lexico
 module Spf_delta = Dtr_spf.Spf_delta
 
@@ -331,6 +333,137 @@ let failure_sweep () =
     ~degree:3.9 ~seed:2008;
   Dtr_util.Table.print t;
   Harness.write_bench_json ~kernel:"failure_sweep" !json
+
+(* Joint-failure events (SRLG groups, sampled two-link pairs, cascade
+   expansions) are multi-arc deletion batches; this kernel measures the
+   dynamic-SPF multi-arc repair against per-event from-scratch pricing and
+   the shared-base (dspf-off) path on the backbone tier, asserting
+   bit-identity across all three. *)
+let joint_sweep () =
+  Harness.section "joint_sweep: multi-arc incremental repair on joint events";
+  Harness.with_span_report ~kernel:"joint_sweep" @@ fun () ->
+  let t =
+    Dtr_util.Table.create ~title:"joint-failure sweeps, Backbone (41n), serial"
+      ~columns:
+        [
+          "events";
+          "count";
+          "arcs/event";
+          "from-scratch";
+          "shared-base";
+          "repaired";
+          "speedup";
+          "identical";
+        ]
+  in
+  let json = ref [] in
+  let seed = 2008 in
+  let rng = Rng.create seed in
+  let scenario =
+    Scenario.random_instance ~params:Scenario.quick_params ~nodes:41 ~degree:3.9 rng
+      Gen.Backbone
+  in
+  let g = scenario.Scenario.graph in
+  let num_arcs = Graph.num_arcs g in
+  (* Unit weights (shortest-hop ECMP) rather than a random vector: the
+     cascade class needs a plausibly-routed incumbent — random weights
+     overload the backbone so badly that any trip threshold collapses the
+     whole network, leaving nothing for the repair to be measured on. *)
+  let w = Weights.create ~num_arcs ~init:1 in
+  (* Event classes, built once outside the timed region.  Two-link sampling
+     and cascade seeds use the incumbent's utilisation as the importance
+     score — the bench has no Phase-1 criticality to hand and the repair
+     cost is what is being measured. *)
+  let detail = Eval.evaluate scenario w in
+  let cap = Graph.arc_capacities g in
+  let util a = detail.Eval.loads.(a) /. cap.(a) in
+  let score = Array.init num_arcs util in
+  let srlg_events = Srlg.failures (Srlg.geographic g) in
+  let two_link_events = Joint_failure.two_link ~rng ~samples:24 ~score g in
+  let cascade_seeds =
+    List.init num_arcs Fun.id
+    |> List.sort (fun a b -> compare (util b) (util a))
+    |> List.filteri (fun i _ -> i < 12)
+  in
+  (* A trip threshold just below the incumbent's worst post-failure
+     utilisation yields a realistic mix — most seeds trip a couple of links,
+     a few cascade into dozens; near-unit thresholds collapse the whole
+     heavily-loaded instance, where from-scratch pricing of the tiny
+     survivor graph is trivially cheap and repair has no headroom. *)
+  let cascade_events =
+    Joint_failure.cascade_all ~trip:1.75 scenario w
+      (List.map (fun a -> Failure.Arc a) cascade_seeds)
+  in
+  let best_of f =
+    let result = ref (f ()) in
+    let best = ref Float.infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      result := f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    (!result, !best)
+  in
+  let run_case ~label failures =
+    let scratch, scratch_time =
+      Dtr_obs.Span.with_ ~name:"from_scratch" (fun () ->
+          best_of (fun () ->
+              List.map (fun f -> Eval.evaluate scenario ~failure:f w) failures))
+    in
+    let sweep () = Eval.sweep_details scenario ~exec:Dtr_exec.Exec.serial w failures in
+    let was = Spf_delta.enabled () in
+    Spf_delta.set_enabled false;
+    let shared, shared_time =
+      Dtr_obs.Span.with_ ~name:"shared_base" (fun () -> best_of sweep)
+    in
+    Spf_delta.set_enabled true;
+    let repaired, repaired_time =
+      Dtr_obs.Span.with_ ~name:"repaired" (fun () -> best_of sweep)
+    in
+    Spf_delta.set_enabled was;
+    if not (same_details scratch shared && same_details scratch repaired) then
+      failwith
+        (Printf.sprintf
+           "joint_sweep: %s pricing tiers are NOT bit-identical to from-scratch"
+           label);
+    let speedup = scratch_time /. repaired_time in
+    let nf = float_of_int (List.length failures) in
+    let mean_arcs =
+      List.fold_left
+        (fun acc f -> acc + List.length (Joint_failure.members g f))
+        0 failures
+      |> fun total -> float_of_int total /. nf
+    in
+    Dtr_util.Table.add_row t
+      [
+        label;
+        string_of_int (List.length failures);
+        Printf.sprintf "%.1f" mean_arcs;
+        Printf.sprintf "%.1f ms" (1e3 *. scratch_time);
+        Printf.sprintf "%.1f ms" (1e3 *. shared_time);
+        Printf.sprintf "%.1f ms" (1e3 *. repaired_time);
+        Printf.sprintf "%.2fx" speedup;
+        "yes";
+      ];
+    json :=
+      !json
+      @ [
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%s from-scratch" label)
+            ~topology:"Backbone" ~nodes:(Graph.num_nodes g) ~arcs:num_arcs ~seed
+            ~ns_per_op:(1e9 *. scratch_time /. nf) ~speedup:1.0;
+          Harness.bench_json_row
+            ~name:(Printf.sprintf "%s repaired" label)
+            ~topology:"Backbone" ~nodes:(Graph.num_nodes g) ~arcs:num_arcs ~seed
+            ~ns_per_op:(1e9 *. repaired_time /. nf) ~speedup;
+        ]
+  in
+  run_case ~label:"srlg" srlg_events;
+  run_case ~label:"two-link" two_link_events;
+  run_case ~label:"cascade" cascade_events;
+  Dtr_util.Table.print t;
+  Harness.write_bench_json ~kernel:"joint_sweep" !json
 
 let pretty ns =
   if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)

@@ -33,6 +33,7 @@ let experiments =
     ("kernels", "Bechamel kernel micro-benchmarks", Kernels.run);
     ("parallel_sweep", "dtr_exec: sweep speedup at jobs 1/2/4", Kernels.parallel_sweep);
     ("failure_sweep", "dynamic-SPF repair vs from-scratch sweep", Kernels.failure_sweep);
+    ("joint_sweep", "multi-arc repair on SRLG/two-link/cascade events", Kernels.joint_sweep);
     ("serve_replay", "dtr-serve event replay + warm vs cold re-optimize", Kernels.serve_replay);
     ("move_search", "pruned move pricing: early-abort + delta cache + --fast", Kernels.move_search);
   ]

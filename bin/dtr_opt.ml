@@ -50,6 +50,29 @@ let selector_conv =
   let print ppf _ = Format.pp_print_string ppf "<selector>" in
   Cmdliner.Arg.conv (parse, print)
 
+let failure_model_conv =
+  let parse = function
+    | "single" | "link" -> Ok `Single
+    | "node" -> Ok `Node
+    | "srlg" -> Ok `Srlg
+    | "two-link" | "two_link" -> Ok `Two_link
+    | "cascade" -> Ok `Cascade
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown failure model %S (single|node|srlg|two-link|cascade)" s))
+  in
+  let name = function
+    | `Single -> "single"
+    | `Node -> "node"
+    | `Srlg -> "srlg"
+    | `Two_link -> "two-link"
+    | `Cascade -> "cascade"
+  in
+  let print ppf m = Format.pp_print_string ppf (name m) in
+  (Cmdliner.Arg.conv (parse, print), name)
+
 open Cmdliner
 
 let topo =
@@ -301,9 +324,9 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
       Table.cell_f rob.Metrics.phi_total ];
   Table.print t
 
-let run_optimize topo nodes degree avg_util seed fraction selector theta_ms paper_scale
-    topology_file traffic_file out_weights jobs chunk_size no_dspf no_prune fast_mode
-    verbose report trace =
+let run_optimize topo nodes degree avg_util seed fraction selector fmodel srlg_radius
+    pair_samples cascade_trip theta_ms paper_scale topology_file traffic_file
+    out_weights jobs chunk_size no_dspf no_prune fast_mode verbose report trace =
   let exec = exec_of_jobs jobs in
   apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
@@ -320,10 +343,22 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
   in
   report_instance scenario;
   let rng = Rng.create (seed + 1) in
-  let solution =
-    Optimizer.optimize ~rng ~selector ~fraction ~exec ~fast:fast_mode scenario
+  let failure_model =
+    match fmodel with
+    | `Single -> Optimizer.Link_failures
+    | `Node -> Optimizer.Node_failures
+    | `Srlg -> Optimizer.Srlg_failures srlg_radius
+    | `Two_link -> Optimizer.Two_link_failures pair_samples
+    | `Cascade -> Optimizer.Cascade_failures cascade_trip
   in
-  Format.printf "@.phase 1 (regular optimization): %.1fs, K = %a@."
+  let solution =
+    Optimizer.optimize ~rng ~selector ~failure_model ~fraction ~exec
+      ~fast:fast_mode scenario
+  in
+  Format.printf "@.failure model: %s (%d scenarios)@."
+    ((snd failure_model_conv) fmodel)
+    (List.length solution.Optimizer.failures);
+  Format.printf "phase 1 (regular optimization): %.1fs, K = %a@."
     solution.Optimizer.phase1_seconds Lexico.pp solution.Optimizer.regular_cost;
   Format.printf "phase 2 (robust optimization):  %.1fs, K_normal = %a@."
     solution.Optimizer.phase2_seconds Lexico.pp solution.Optimizer.robust_normal_cost;
@@ -360,6 +395,8 @@ let run_optimize topo nodes degree avg_util seed fraction selector theta_ms pape
       ("robust_normal_phi", F solution.Optimizer.robust_normal_cost.Lexico.phi);
       ("robust_fail_lambda", F solution.Optimizer.robust_fail_cost.Lexico.lambda);
       ("robust_fail_phi", F solution.Optimizer.robust_fail_cost.Lexico.phi);
+      ("failure_model", S ((snd failure_model_conv) fmodel));
+      ("failure_scenarios", I (List.length solution.Optimizer.failures));
       ("critical_arcs", I (List.length solution.Optimizer.critical));
       ("phase1_seconds", F solution.Optimizer.phase1_seconds);
       ("phase2_seconds", F solution.Optimizer.phase2_seconds);
@@ -450,6 +487,27 @@ let selector =
   Arg.(value & opt selector_conv Optimizer.Ours & info [ "selector" ] ~docv:"S"
          ~doc:"Critical-link selector: ours, full, random, load or fluctuation.")
 
+let failure_model =
+  Arg.(value & opt (fst failure_model_conv) `Single
+       & info [ "failure-model" ] ~docv:"MODEL"
+           ~doc:
+             "Failure scenario class to optimize against: single (the \
+              paper's link failures), node, srlg (geographic shared-risk \
+              groups), two-link (criticality-sampled pairs) or cascade \
+              (overload-trip expansion).")
+
+let srlg_radius =
+  Arg.(value & opt float 0.15 & info [ "srlg-radius" ] ~docv:"R"
+         ~doc:"Conduit radius for --failure-model srlg (unit-square units).")
+
+let pair_samples =
+  Arg.(value & opt int 32 & info [ "pair-samples" ] ~docv:"N"
+         ~doc:"Sampled events for --failure-model two-link.")
+
+let cascade_trip =
+  Arg.(value & opt float 0.9 & info [ "cascade-trip" ] ~docv:"U"
+         ~doc:"Utilisation trip threshold for --failure-model cascade.")
+
 let paper_scale =
   Arg.(value & flag & info [ "paper-scale" ]
          ~doc:"Use the paper's full search budgets (hours, not seconds).")
@@ -482,6 +540,7 @@ let optimize_term =
   in
   Term.(
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
+    $ failure_model $ srlg_radius $ pair_samples $ cascade_trip
     $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs
     $ chunk_size $ no_dspf $ no_prune $ fast $ verbose $ report_path $ trace_path)
 

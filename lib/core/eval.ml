@@ -633,25 +633,36 @@ let compound_sweep_bounded (scenario : Scenario.t) ?exec ~routing_d ~routing_t
       if Dtr_obs.Trace.enabled () then
         Dtr_obs.Trace.emit_sweep_begin ~scenario:trace_id ~failures:num;
       let use_cache = Spf_delta.enabled () && num >= 2 in
-      let cache =
-        if use_cache then
-          Some
-            (build_sweep_cache scenario ~base_d:routing_d ~base_t:routing_t
-               ~dense_rd ~dense_rt ~sinks)
-        else None
+      (* The sweep cache costs about one full assessment to build, so it is
+         built lazily on the first cache-eligible pricing: a probe that the
+         bound rejects on its first (or only) full-priced failure — or that
+         never prices a cacheable failure at all — pays nothing for it. *)
+      let cache = ref None in
+      let get_cache () =
+        match !cache with
+        | Some c -> c
+        | None ->
+            let c =
+              build_sweep_cache scenario ~base_d:routing_d ~base_t:routing_t
+                ~dense_rd ~dense_rt ~sinks
+            in
+            cache := Some c;
+            Dtr_obs.Metric.Counter.incr Sweep_stats.cache_builds;
+            c
       in
       let scratch = make_sweep_scratch g in
       let cached_prices = ref 0 and full_prices = ref 0 in
       let price f =
-        match cache with
-        | Some cache when Failure.excluded_node f = None ->
-            incr cached_prices;
-            assess_failure_cached scenario ~cache ~scratch ~base_d:routing_d
-              ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
-        | _ ->
-            incr full_prices;
-            assess_failure scenario ~buffers:scratch.buffers ~mask:scratch.mask
-              ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+        if use_cache && Failure.excluded_node f = None then begin
+          incr cached_prices;
+          assess_failure_cached scenario ~cache:(get_cache ()) ~scratch
+            ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+        end
+        else begin
+          incr full_prices;
+          assess_failure scenario ~buffers:scratch.buffers ~mask:scratch.mask
+            ~base_d:routing_d ~base_t:routing_t ~dense_rd ~dense_rt ~sinks w f
+        end
       in
       let acc = ref Lexico.zero in
       let i = ref 0 in
@@ -662,7 +673,6 @@ let compound_sweep_bounded (scenario : Scenario.t) ?exec ~routing_d ~routing_t
         incr i
       done;
       Dtr_obs.Metric.Counter.incr Sweep_stats.sweeps;
-      if use_cache then Dtr_obs.Metric.Counter.incr Sweep_stats.cache_builds;
       Dtr_obs.Metric.Counter.add Sweep_stats.cached_evals !cached_prices;
       Dtr_obs.Metric.Counter.add Sweep_stats.full_evals !full_prices;
       Dtr_obs.Metric.Accum.add Sweep_stats.seconds (Unix.gettimeofday () -. t0);

@@ -1,0 +1,204 @@
+module Rng = Dtr_util.Rng
+module Graph = Dtr_topology.Graph
+module Failure = Dtr_topology.Failure
+module Lexico = Dtr_cost.Lexico
+
+let members g f =
+  let mask = Failure.mask g f in
+  let out = ref [] in
+  for id = Array.length mask - 1 downto 0 do
+    if mask.(id) then out := id :: !out
+  done;
+  !out
+
+(* --- sampled two-link events -------------------------------------------- *)
+
+(* Physical links as representative (lower) arc ids, in id order.  Sampling
+   works on links, not arcs: an event fails both directions of both picks. *)
+let representative_links g =
+  Array.to_list (Graph.arcs g)
+  |> List.filter_map (fun a ->
+         if a.Graph.rev < 0 || a.Graph.id < a.Graph.rev then Some a.Graph.id
+         else None)
+  |> Array.of_list
+
+let two_link ~rng ~samples ~score g =
+  if samples < 1 then invalid_arg "Joint_failure.two_link: samples < 1";
+  if Array.length score <> Graph.num_arcs g then
+    invalid_arg "Joint_failure.two_link: score not sized to the arc count";
+  let links = representative_links g in
+  let n = Array.length links in
+  if n < 2 then invalid_arg "Joint_failure.two_link: fewer than two links";
+  (* Importance weight of a link: the larger score of its two directions,
+     floored so links the ranking never flagged keep a little support —
+     two-link robustness is exactly about pairs the single-link analysis
+     underestimates. *)
+  let weight id =
+    let a = Graph.arc g id in
+    let s =
+      if a.Graph.rev >= 0 then Float.max score.(id) score.(a.Graph.rev)
+      else score.(id)
+    in
+    Float.max s 0.01
+  in
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  Array.iteri
+    (fun i id ->
+      total := !total +. weight id;
+      cum.(i) <- !total)
+    links;
+  let draw () =
+    let r = Rng.float rng !total in
+    (* first index with cum > r *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) > r then hi := mid else lo := mid + 1
+    done;
+    links.(!lo)
+  in
+  let max_pairs = n * (n - 1) / 2 in
+  let want = min samples max_pairs in
+  let seen = Hashtbl.create (2 * want) in
+  let events = ref [] in
+  let attempts = ref 0 in
+  let budget = 100 * want in
+  while Hashtbl.length seen < want && !attempts < budget do
+    incr attempts;
+    let e1 = draw () and e2 = draw () in
+    if e1 <> e2 then begin
+      let key = (min e1 e2, max e1 e2) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        let arcs_of e =
+          let a = Graph.arc g e in
+          if a.Graph.rev >= 0 then [ e; a.Graph.rev ] else [ e ]
+        in
+        events :=
+          Failure.Arcs (List.sort compare (arcs_of (fst key) @ arcs_of (snd key)))
+          :: !events
+      end
+    end
+  done;
+  (* Rejection sampling can starve when the mass concentrates on few links;
+     top the sample up deterministically with the heaviest unseen pairs. *)
+  if Hashtbl.length seen < want then begin
+    let order =
+      Array.init n (fun i -> i)
+      |> Array.to_list
+      |> List.sort (fun i j -> compare (weight links.(j)) (weight links.(i)))
+      |> Array.of_list
+    in
+    (try
+       for i = 0 to n - 1 do
+         for j = i + 1 to n - 1 do
+           if Hashtbl.length seen >= want then raise Exit;
+           let e1 = links.(order.(i)) and e2 = links.(order.(j)) in
+           let key = (min e1 e2, max e1 e2) in
+           if not (Hashtbl.mem seen key) then begin
+             Hashtbl.add seen key ();
+             let arcs_of e =
+               let a = Graph.arc g e in
+               if a.Graph.rev >= 0 then [ e; a.Graph.rev ] else [ e ]
+             in
+             events :=
+               Failure.Arcs
+                 (List.sort compare (arcs_of (fst key) @ arcs_of (snd key)))
+               :: !events
+           end
+         done
+       done
+     with Exit -> ())
+  end;
+  List.rev !events
+
+(* --- cascading events --------------------------------------------------- *)
+
+let cascade ?exec ?(max_waves = 8) ~trip (scenario : Scenario.t) w f =
+  if trip <= 0. then invalid_arg "Joint_failure.cascade: trip <= 0";
+  if max_waves < 1 then invalid_arg "Joint_failure.cascade: max_waves < 1";
+  if Failure.excluded_node f <> None then
+    invalid_arg "Joint_failure.cascade: node failures do not cascade";
+  let g = scenario.Scenario.graph in
+  let cap = Graph.arc_capacities g in
+  let num_arcs = Graph.num_arcs g in
+  let failed = Array.make num_arcs false in
+  List.iter (fun id -> failed.(id) <- true) (members g f);
+  let failed_list () =
+    let out = ref [] in
+    for id = num_arcs - 1 downto 0 do
+      if failed.(id) then out := id :: !out
+    done;
+    !out
+  in
+  let wave = ref 0 in
+  let changed = ref true in
+  while !changed && !wave < max_waves do
+    changed := false;
+    incr wave;
+    let detail =
+      match Eval.sweep_details scenario ?exec w [ Failure.Arcs (failed_list ()) ] with
+      | [ d ] -> d
+      | _ -> assert false
+    in
+    (* A link trips when its utilisation exceeds the threshold;
+       [detail.loads] is already the total over both traffic classes (they
+       share the physical capacity).  Both directions of a tripped link fail
+       together, like the conduit they share. *)
+    for id = 0 to num_arcs - 1 do
+      if (not failed.(id)) && detail.Eval.loads.(id) /. cap.(id) > trip
+      then begin
+        failed.(id) <- true;
+        let rev = (Graph.arc g id).Graph.rev in
+        if rev >= 0 then failed.(rev) <- true;
+        changed := true
+      end
+    done
+  done;
+  Failure.Arcs (failed_list ())
+
+let cascade_all ?exec ?max_waves ~trip scenario w fs =
+  List.map (fun f -> cascade ?exec ?max_waves ~trip scenario w f) fs
+
+(* --- criticality attribution -------------------------------------------- *)
+
+let attribute ~left_tail ~num_arcs ~graph ~events ~costs =
+  let num_events = Array.length events in
+  Array.iter
+    (fun row ->
+      if Array.length row <> num_events then
+        invalid_arg "Joint_failure.attribute: cost row not sized to events")
+    costs;
+  let lambda = Array.make num_arcs [] and phi = Array.make num_arcs [] in
+  (* Event-major so each arc's samples come out setting-major per event,
+     matching the single-link sampler's per-arc sample layout. *)
+  Array.iteri
+    (fun e f ->
+      let arcs = members graph f in
+      Array.iter
+        (fun row ->
+          let c = row.(e) in
+          List.iter
+            (fun a ->
+              lambda.(a) <- c.Lexico.lambda :: lambda.(a);
+              phi.(a) <- c.Lexico.phi :: phi.(a))
+            arcs)
+        costs)
+    events;
+  let pack xs = Array.map (fun l -> Array.of_list (List.rev l)) xs in
+  Criticality.of_samples ~left_tail ~lambda:(pack lambda) ~phi:(pack phi)
+
+let criticality_of_events ?exec ~left_tail (scenario : Scenario.t) ~settings
+    ~events =
+  if settings = [] then invalid_arg "Joint_failure.criticality_of_events: no settings";
+  if events = [] then invalid_arg "Joint_failure.criticality_of_events: no events";
+  let events = Array.of_list events in
+  let costs =
+    List.map
+      (fun w -> Eval.sweep scenario ?exec w (Array.to_list events))
+      settings
+    |> Array.of_list
+  in
+  attribute ~left_tail ~num_arcs:(Scenario.num_arcs scenario)
+    ~graph:scenario.Scenario.graph ~events ~costs

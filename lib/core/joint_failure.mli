@@ -1,0 +1,98 @@
+(** Joint-failure scenario construction — SRLG, sampled two-link, and
+    cascading events — with Eqs. (8)–(9) criticality attribution.
+
+    The paper's robustness machinery stops at single link failures, but real
+    outages are correlated: a conduit cut takes out a whole shared-risk
+    group (Lee/Modiano, PAPERS.md), and overload after a failure can trip
+    further links (Como/Savla/Dahleh, PAPERS.md).  This module builds joint
+    failure events as {!Dtr_topology.Failure.Arcs} scenarios, which the
+    sweep engine already prices incrementally through the multi-arc
+    dynamic-SPF repair ({!Dtr_spf.Routing.with_failed_arcs}), so compound
+    sweeps — including the early-abort bounded path — need no changes to
+    handle them. *)
+
+module Failure = Dtr_topology.Failure
+module Lexico = Dtr_cost.Lexico
+
+val members : Dtr_topology.Graph.t -> Failure.t -> int list
+(** The arc ids a failure removes (both directions, increasing order) —
+    the attribution targets of a joint event. *)
+
+(** {1 Sampled two-link events} *)
+
+val two_link :
+  rng:Dtr_util.Rng.t ->
+  samples:int ->
+  score:float array ->
+  Dtr_topology.Graph.t ->
+  Failure.t list
+(** [samples] distinct unordered link pairs drawn by importance sampling:
+    each physical link is weighted by the larger per-arc [score] of its two
+    directions (plus a floor so every link keeps support), so pairs of
+    critical links dominate the sample while the tail still appears.  Pass
+    the Phase-1 normalised criticality as [score] to realise the
+    ranking-priced sampler.  Each event fails both directions of both
+    links.  Deterministic for a given RNG state; returns fewer than
+    [samples] events only when the topology has fewer distinct pairs.
+    @raise Invalid_argument if [samples < 1], [score] is not sized to the
+    arc count, or the graph has fewer than two links. *)
+
+(** {1 Cascading events} *)
+
+val cascade :
+  ?exec:Dtr_exec.Exec.t ->
+  ?max_waves:int ->
+  trip:float ->
+  Scenario.t ->
+  Weights.t ->
+  Failure.t ->
+  Failure.t
+(** Expand an initial failure by iterated overload trips: price the failure
+    under [w], fail (both directions of) every surviving link whose
+    utilisation — total load over capacity — exceeds [trip], and repeat
+    until a fixed point or [max_waves] (default 8) waves.  The trip set is
+    frozen at expansion time against the given weight setting, so the
+    result is an ordinary static {!Failure.Arcs} scenario and exact
+    early-abort pricing keeps working downstream.
+    @raise Invalid_argument on a node-exclusion failure, [trip <= 0], or
+    [max_waves < 1]. *)
+
+val cascade_all :
+  ?exec:Dtr_exec.Exec.t ->
+  ?max_waves:int ->
+  trip:float ->
+  Scenario.t ->
+  Weights.t ->
+  Failure.t list ->
+  Failure.t list
+(** {!cascade} over a list, preserving order. *)
+
+(** {1 Criticality attribution (Eqs. (8)–(9) generalised)} *)
+
+val attribute :
+  left_tail:float ->
+  num_arcs:int ->
+  graph:Dtr_topology.Graph.t ->
+  events:Failure.t array ->
+  costs:Lexico.t array array ->
+  Criticality.t
+(** Generalise the per-arc criticality statistic to joint events: the cost
+    sample of an event — [costs.(setting).(event)], one row per sampled
+    weight setting exactly as Phase 1a produces them — is attributed to
+    {e every} member arc of the event, and the per-arc sample sets then
+    feed the unchanged Eqs. (8)–(9) tail statistics
+    ({!Criticality.of_samples}).  An arc in no event gets an empty sample
+    set (zero criticality).
+    @raise Invalid_argument if the cost rows are not all sized to
+    [events]. *)
+
+val criticality_of_events :
+  ?exec:Dtr_exec.Exec.t ->
+  left_tail:float ->
+  Scenario.t ->
+  settings:Weights.t list ->
+  events:Failure.t list ->
+  Criticality.t
+(** Price every event under every setting with the sweep engine and
+    {!attribute} the results — the joint-event analogue of Phase 1a/1b.
+    @raise Invalid_argument if [settings] or [events] is empty. *)

@@ -9,7 +9,12 @@ type selector =
   | Fluctuation_based
   | Given of int list
 
-type failure_model = Link_failures | Node_failures
+type failure_model =
+  | Link_failures
+  | Node_failures
+  | Srlg_failures of float
+  | Two_link_failures of int
+  | Cascade_failures of float
 
 type solution = {
   scenario : Scenario.t;
@@ -293,19 +298,92 @@ let optimize ~rng ?(selector = Ours) ?(failure_model = Link_failures) ?fraction
     ?(incremental = true) ?exec ?fast scenario =
   Dtr_obs.Span.with_ ~name:"optimize" @@ fun () ->
   let phase1, phase1_seconds = regular_only ~rng ~incremental ?exec scenario in
+  let phase1c name f =
+    Dtr_obs.Span.with_ ~name:"phase1c" (fun () ->
+        if Dtr_obs.Trace.enabled () then Dtr_obs.Trace.emit_phase ~name;
+        f ())
+  in
   let critical, failures =
     match failure_model with
     | Link_failures ->
         (* Phase 1c: critical-set selection from the Phase-1 criticality
            ranking (or a baseline selector). *)
         let critical =
-          Dtr_obs.Span.with_ ~name:"phase1c" (fun () ->
-              if Dtr_obs.Trace.enabled () then
-                Dtr_obs.Trace.emit_phase ~name:"phase1c";
+          phase1c "phase1c" (fun () ->
               pick_critical ~rng ~selector ~fraction ?exec scenario phase1)
         in
         (critical, List.map (fun a -> Failure.Arc a) critical)
     | Node_failures -> ([], Failure.all_single_nodes scenario.Scenario.graph)
+    | Srlg_failures radius ->
+        (* SRLG sweep: geographic conduit groups are the events; the
+           Eqs. (8)-(9) statistic re-estimated over the joint events
+           (attributed to member arcs) feeds Algorithm 1 as usual, and the
+           optimized set is every group touching a selected arc. *)
+        phase1c "phase1c-srlg" (fun () ->
+            let srlg =
+              Dtr_topology.Srlg.geographic ~radius scenario.Scenario.graph
+            in
+            let events = Dtr_topology.Srlg.failures srlg in
+            let crit =
+              Joint_failure.criticality_of_events ?exec
+                ~left_tail:scenario.Scenario.params.Scenario.left_tail scenario
+                ~settings:(List.map fst phase1.Phase1.acceptable)
+                ~events
+            in
+            let critical =
+              Criticality.select crit ~n:(target_size scenario fraction)
+            in
+            let chosen =
+              List.filter
+                (fun f ->
+                  List.exists
+                    (fun a -> List.mem a critical)
+                    (Joint_failure.members scenario.Scenario.graph f))
+                events
+            in
+            (* never optimize against an empty set *)
+            let chosen = if chosen = [] then events else chosen in
+            let critical =
+              List.concat_map
+                (Joint_failure.members scenario.Scenario.graph)
+                chosen
+              |> List.sort_uniq compare
+            in
+            (critical, chosen))
+    | Two_link_failures samples ->
+        (* Sampled pair sweep, importance-priced by the single-link
+           criticality ranking of Phase 1. *)
+        phase1c "phase1c-two-link" (fun () ->
+            let crit = phase1.Phase1.criticality in
+            let score =
+              Array.mapi
+                (fun a l -> Float.max l crit.Criticality.norm_phi.(a))
+                crit.Criticality.norm_lambda
+            in
+            let events =
+              Joint_failure.two_link ~rng ~samples ~score scenario.Scenario.graph
+            in
+            let critical =
+              List.concat_map
+                (Joint_failure.members scenario.Scenario.graph)
+                events
+              |> List.sort_uniq compare
+            in
+            (critical, events))
+    | Cascade_failures trip ->
+        (* Single-link initial events from the usual Phase-1c selection,
+           each expanded by iterated overload trips against the Phase-1
+           best setting. *)
+        let critical =
+          phase1c "phase1c" (fun () ->
+              pick_critical ~rng ~selector ~fraction ?exec scenario phase1)
+        in
+        let events =
+          phase1c "phase1c-cascade" (fun () ->
+              Joint_failure.cascade_all ?exec ~trip scenario phase1.Phase1.best
+                (List.map (fun a -> Failure.Arc a) critical))
+        in
+        (critical, events)
   in
   let phase2, phase2_seconds =
     timed (fun () ->

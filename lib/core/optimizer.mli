@@ -22,6 +22,22 @@ type failure_model =
   | Node_failures
       (** all single node failures, exhaustively (Section V-F); the selector
           is ignored *)
+  | Srlg_failures of float
+      (** geographic shared-risk groups ({!Dtr_topology.Srlg.geographic}
+          with the given conduit radius); criticality is re-estimated over
+          the joint events via {!Joint_failure.attribute} and the optimized
+          set is every group touching an Algorithm-1-selected arc.  The
+          selector is ignored; [fraction] still sizes the selection.
+          Requires graph coordinates. *)
+  | Two_link_failures of int
+      (** the given number of sampled two-link events, importance-sampled
+          by the Phase-1 single-link criticality ranking
+          ({!Joint_failure.two_link}); the selector is ignored *)
+  | Cascade_failures of float
+      (** single-link initial events from the usual Phase-1c selection,
+          each expanded by iterated overload trips above the given
+          utilisation threshold against the Phase-1 best setting
+          ({!Joint_failure.cascade}) *)
 
 type solution = {
   scenario : Scenario.t;
@@ -30,7 +46,9 @@ type solution = {
   robust : Weights.t;  (** Phase-2 solution *)
   robust_normal_cost : Lexico.t;  (** K_normal of [robust] *)
   robust_fail_cost : Lexico.t;  (** compounded cost over the optimized failures *)
-  critical : int list;  (** arc ids optimized against (empty for node model) *)
+  critical : int list;
+      (** arc ids optimized against — member arcs of the optimized events
+          for the joint models, empty for the node model *)
   failures : Failure.t list;  (** the Phase-2 failure scenarios *)
   phase1 : Phase1.output;
   phase2 : Phase2.output;

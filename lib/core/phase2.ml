@@ -170,8 +170,21 @@ let run ~rng ?(incremental = true) ?exec ?(fast = false) (scenario : Scenario.t)
      Phase-1 normalised criticality (either class) and the utilisation of
      the arc under the Phase-1 best — so the ramped skip cuts arcs that are
      neither critical to failures nor loaded under normal conditions. *)
+  (* The skip cap scales with the proposal space: on small topologies the
+     ramp's skipped arcs buy too few avoided sweeps to cover the extra
+     rounds they force (the 160-arc backbone tier regressed to 0.75x under
+     a flat 0.6 cap), so the filter switches off below [skip_floor] arcs
+     and ramps linearly to full strength at [skip_full]. *)
+  let skip_floor = 192 and skip_full = 288 in
+  let max_skip =
+    0.6
+    *. Float.max 0.
+         (Float.min 1.
+            (float_of_int (num_arcs - skip_floor)
+            /. float_of_int (skip_full - skip_floor)))
+  in
   let filter =
-    if not fast then None
+    if (not fast) || max_skip <= 0. then None
     else begin
       let crit = phase1.Phase1.criticality in
       let detail = Eval.evaluate scenario phase1.Phase1.best in
@@ -183,7 +196,7 @@ let run ~rng ?(incremental = true) ?exec ?(fast = false) (scenario : Scenario.t)
                  crit.Criticality.norm_phi.(a))
               (detail.Eval.loads.(a) /. cap.(a)))
       in
-      Some Local_search.{ score; max_skip = 0.6 }
+      Some Local_search.{ score; max_skip }
     end
   in
   let config =

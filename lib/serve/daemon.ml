@@ -3,6 +3,7 @@ module Stat = Dtr_util.Stat
 module Json = Dtr_util.Json
 module Graph = Dtr_topology.Graph
 module Failure = Dtr_topology.Failure
+module Srlg = Dtr_topology.Srlg
 module Matrix = Dtr_traffic.Matrix
 module Perturb = Dtr_traffic.Perturb
 module Routing = Dtr_spf.Routing
@@ -58,6 +59,10 @@ type t = {
   mutable graph_epoch : int;
   mutable matrix_epoch : int;
   mutable weights_epoch : int;
+  (* Geographic SRLG groups of the current graph, built lazily on the first
+     srlg event and tagged with the graph epoch that produced them — a
+     resize changes the graph and silently invalidates the clustering. *)
+  mutable srlg : (int * Srlg.t) option;
   cache : priced Cache.t;
   (* Weight-vector delta cache shared across warm re-optimizations: J is
      pure in the weights for a fixed scenario and failure set, so repeated
@@ -92,6 +97,7 @@ let create (cfg : config) =
     graph_epoch = 0;
     matrix_epoch = 0;
     weights_epoch = 0;
+    srlg = None;
     cache = Cache.create ~capacity:cfg.cache_capacity;
     (* Sized to outlive a whole warm re-optimization: aborted moves now
        park Lower entries alongside Full costs, so a single event can push
@@ -164,6 +170,34 @@ let resolve_arc t r =
 
 let failure_of_arcs = function [] -> None | arcs -> Some (Failure.Arcs arcs)
 
+let srlg_of t =
+  match t.srlg with
+  | Some (epoch, s) when epoch = t.graph_epoch -> Ok s
+  | _ -> (
+      match Srlg.geographic t.scenario.Scenario.graph with
+      | s ->
+          t.srlg <- Some (t.graph_epoch, s);
+          Ok s
+      | exception Invalid_argument msg -> Error (P.Bad_request, msg))
+
+(* Both directions of every member link of a group, increasing arc ids. *)
+let srlg_arcs t gid =
+  let* s = srlg_of t in
+  match List.find_opt (fun grp -> grp.Srlg.id = gid) (Srlg.groups s) with
+  | None ->
+      Error
+        ( P.Bad_arc,
+          Printf.sprintf "no SRLG group %d (have %d)" gid (Srlg.num_groups s) )
+  | Some grp ->
+      let g = t.scenario.Scenario.graph in
+      Ok
+        (List.concat_map
+           (fun e ->
+             let rev = (Graph.arc g e).Graph.rev in
+             if rev >= 0 then [ e; rev ] else [ e ])
+           grp.Srlg.edges
+        |> List.sort_uniq compare)
+
 (* The failure state an [eval] prices: currently-down arcs plus the query's
    what-if spec.  Node what-ifs cannot be combined with down links — the
    scenario type has no node+arcs constructor — so that mix is rejected
@@ -186,6 +220,9 @@ let combined_failure t spec =
       let* id = resolve_arc t r in
       let rev = (Graph.arc_reverses t.scenario.Scenario.graph).(id) in
       Ok (failure_of_arcs (List.sort_uniq compare (id :: rev :: t.failed)))
+  | Some (P.F_srlg gid) ->
+      let* arcs = srlg_arcs t gid in
+      Ok (failure_of_arcs (List.sort_uniq compare (arcs @ t.failed)))
 
 let cache_key t failure =
   let fkey =
@@ -266,6 +303,24 @@ let handle_link_up t r =
     t.failed <- List.filter (fun a -> a <> id) t.failed;
     Delta_cache.bump t.delta;
     Ok (link_result t)
+  end
+
+(* A conduit cut: every member link of the group goes down as one event.
+   Members already down individually stay down — the event is idempotent
+   per arc — but a fully-down group is rejected like a duplicate
+   [link_down]. *)
+let handle_srlg_down t gid =
+  let* arcs = srlg_arcs t gid in
+  let fresh = List.filter (fun a -> not (List.mem a t.failed)) arcs in
+  if fresh = [] then
+    Error (P.Bad_arc, Printf.sprintf "SRLG group %d is already down" gid)
+  else begin
+    t.failed <- List.sort_uniq compare (fresh @ t.failed);
+    Delta_cache.bump t.delta;
+    match link_result t with
+    | Json.Obj fields ->
+        Ok (Json.Obj (("group_arcs", Json.Arr (List.map int arcs)) :: fields))
+    | other -> Ok other
   end
 
 let handle_resize t ~max_util ~step =
@@ -453,6 +508,7 @@ let dispatch t (event : P.event) =
   | P.Tm_update ev -> handle_tm_update t ev
   | P.Link_down r -> handle_link_down t r
   | P.Link_up r -> handle_link_up t r
+  | P.Srlg_down gid -> handle_srlg_down t gid
   | P.Resize { max_util; step } -> handle_resize t ~max_util ~step
   | P.Eval { failure } -> handle_eval t failure
   | P.Reoptimize { mode = P.Warm; max_sweeps; max_rounds; target } ->

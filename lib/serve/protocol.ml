@@ -4,7 +4,13 @@ module Perturb = Dtr_traffic.Perturb
 let schema = "dtr-serve/1"
 
 type arc_ref = By_id of int | By_endpoints of int * int
-type failure_spec = F_arc of arc_ref | F_edge of arc_ref | F_node of int
+
+type failure_spec =
+  | F_arc of arc_ref
+  | F_edge of arc_ref
+  | F_node of int
+  | F_srlg of int
+
 type reopt_mode = Warm | Full
 
 type event =
@@ -12,6 +18,7 @@ type event =
   | Tm_update of Perturb.event
   | Link_down of arc_ref
   | Link_up of arc_ref
+  | Srlg_down of int
   | Resize of { max_util : float option; step : float option }
   | Eval of { failure : failure_spec option }
   | Reoptimize of {
@@ -38,6 +45,7 @@ let event_name = function
   | Tm_update _ -> "tm_update"
   | Link_down _ -> "link_down"
   | Link_up _ -> "link_up"
+  | Srlg_down _ -> "srlg_down"
   | Resize _ -> "resize"
   | Eval _ -> "eval"
   | Reoptimize _ -> "reoptimize"
@@ -87,12 +95,16 @@ let failure_spec_of j =
       match node with
       | Some v -> Ok (Some (F_node v))
       | None -> (
-          let* edge = int_field f "edge" in
-          match edge with
-          | Some id -> Ok (Some (F_edge (By_id id)))
-          | None ->
-              let* r = arc_ref_of f in
-              Ok (Some (F_arc r))))
+          let* srlg = int_field f "srlg" in
+          match srlg with
+          | Some gid -> Ok (Some (F_srlg gid))
+          | None -> (
+              let* edge = int_field f "edge" in
+              match edge with
+              | Some id -> Ok (Some (F_edge (By_id id)))
+              | None ->
+                  let* r = arc_ref_of f in
+                  Ok (Some (F_arc r)))))
 
 let tm_update_of j =
   match Json.member "model" j with
@@ -161,6 +173,10 @@ let event_of j = function
   | "link_up" ->
       let* r = arc_ref_of j in
       Ok (Link_up r)
+  | "srlg_down" ->
+      let* gid = int_field j "group" in
+      let* gid = require "\"group\"" gid in
+      Ok (Srlg_down gid)
   | "resize" -> resize_of j
   | "eval" ->
       let* failure = failure_spec_of j in

@@ -32,6 +32,9 @@ type failure_spec =
   | F_arc of arc_ref
   | F_edge of arc_ref  (** the arc and its reverse *)
   | F_node of int
+  | F_srlg of int
+      (** ["srlg": group] — every member link (both directions) of the
+          daemon's geographic SRLG group with that id *)
 
 type reopt_mode = Warm | Full
 
@@ -40,6 +43,9 @@ type event =
   | Tm_update of Dtr_traffic.Perturb.event
   | Link_down of arc_ref
   | Link_up of arc_ref
+  | Srlg_down of int
+      (** ["group": id] — fail every member link of the SRLG group, as one
+          correlated conduit-cut event *)
   | Resize of { max_util : float option; step : float option }
   | Eval of { failure : failure_spec option }
   | Reoptimize of {

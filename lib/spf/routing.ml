@@ -205,7 +205,15 @@ let with_failed_arcs ?buffers ?changed base ~weights ~disabled ~failed =
   let g = base.graph in
   let n = Graph.num_nodes g in
   let b = match buffers with Some b -> b | None -> make_buffers g in
-  let use_repair = Spf_delta.enabled () in
+  (* Repairing a deleted-arc batch only beats recomputing while the batch is
+     a small slice of the graph: once the failure covers roughly an eighth of
+     the arcs (a wide SRLG cut or a cascading event) the repair cone reaches
+     most destinations and the per-destination bookkeeping costs more than a
+     plain Dijkstra.  Both paths are bit-identical, so this is purely a
+     performance gate. *)
+  let use_repair =
+    Spf_delta.enabled () && 8 * List.length failed < Graph.num_arcs g
+  in
   (* Callers that already know which destinations route over a failed arc
      (the sweep cache keeps per-arc destination lists) pass the sorted list
      in; otherwise scan.  The list must equal the [uses_arc] criterion. *)

@@ -55,30 +55,60 @@ let geographic ?(radius = 0.15) g =
     let u = pts.(a.Graph.src) and v = pts.(a.Graph.dst) in
     Geometry.point ((u.Geometry.x +. v.Geometry.x) /. 2.) ((u.Geometry.y +. v.Geometry.y) /. 2.)
   in
-  (* representative links in id order *)
+  (* Representative links in geometric order — midpoint, then endpoint node
+     ids — rather than arc-id order: midpoints and node ids survive an
+     arc-id relabeling, so the seeding sequence (and with it group
+     membership) is invariant under how the arcs happen to be numbered. *)
+  let link_key id =
+    let a = Graph.arc g id in
+    let p = midpoint id in
+    let lo = min a.Graph.src a.Graph.dst and hi = max a.Graph.src a.Graph.dst in
+    (p.Geometry.x, p.Geometry.y, lo, hi)
+  in
   let links =
     Array.to_list (Graph.arcs g)
     |> List.filter_map (fun a ->
            if a.Graph.rev < 0 || a.Graph.id < a.Graph.rev then Some a.Graph.id else None)
+    |> List.sort (fun i j -> compare (link_key i) (link_key j))
   in
-  (* greedy seeding: each link joins the first group whose seed midpoint is
-     within the radius, else starts a new group *)
-  let clusters = ref [] (* (seed midpoint, members ref) in reverse order *) in
+  (* Greedy seeding with nearest assignment: a link joins the {e nearest}
+     seed within the radius (ties to the earliest-created seed) and starts
+     a new group only when no seed is in range.  One linear scan over the
+     seeds per link — the old first-fit walked [List.rev !clusters], built
+     fresh per link, and its arbitrary first-match made membership depend
+     on seed creation order even for a link closer to a later seed. *)
+  let seeds = ref (Array.make 8 (Geometry.point 0. 0.)) in
+  let members = ref (Array.make 8 []) in
+  let nseeds = ref 0 in
+  let new_seed p id =
+    if !nseeds = Array.length !seeds then begin
+      let s' = Array.make (2 * !nseeds) p and m' = Array.make (2 * !nseeds) [] in
+      Array.blit !seeds 0 s' 0 !nseeds;
+      Array.blit !members 0 m' 0 !nseeds;
+      seeds := s';
+      members := m'
+    end;
+    !seeds.(!nseeds) <- p;
+    !members.(!nseeds) <- [ id ];
+    incr nseeds
+  in
   List.iter
     (fun id ->
       let p = midpoint id in
-      let rec place = function
-        | [] -> clusters := (p, ref [ id ]) :: !clusters
-        | (seed, members) :: rest ->
-            if Geometry.distance seed p <= radius then members := id :: !members
-            else place rest
-      in
-      place (List.rev !clusters))
+      let best = ref (-1) and best_d = ref infinity in
+      for k = 0 to !nseeds - 1 do
+        let d = Geometry.distance !seeds.(k) p in
+        if d <= radius && d < !best_d then begin
+          best := k;
+          best_d := d
+        end
+      done;
+      if !best < 0 then new_seed p id
+      else !members.(!best) <- id :: !members.(!best))
     links;
   let named =
-    List.rev !clusters
-    |> List.mapi (fun i (_, members) ->
-           (Printf.sprintf "conduit-%d" i, List.rev !members))
+    List.init !nseeds (fun i ->
+        (Printf.sprintf "conduit-%d" i, List.rev !members.(i)))
   in
   build g named
 

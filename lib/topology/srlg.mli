@@ -32,8 +32,11 @@ val of_edge_groups : Graph.t -> (string * Graph.arc_id list) list -> t
 val geographic : ?radius:float -> Graph.t -> t
 (** Cluster links whose geometric midpoints lie within [radius] (default
     0.15 in unit-square coordinates) of a group seed: a simple model of
-    shared conduits in dense areas.  Links far from everything form
-    singleton groups, so the result always covers every link.
+    shared conduits in dense areas.  Each link joins the {e nearest}
+    in-range seed and links are processed in geometric (not arc-id) order,
+    so group membership is invariant under arc-id relabeling.  Links far
+    from everything form singleton groups, so the result always covers
+    every link.
     @raise Invalid_argument if the graph has no coordinates. *)
 
 val failures : t -> Failure.t list

@@ -121,6 +121,46 @@ let test_real_instance_improves () =
   Alcotest.(check bool) "no worse than the start" true
     (Lexico.compare result.Annealing.best_cost start_cost <= 0)
 
+(* The delta cache memoizes re-visited weight vectors inside
+   [minimize_incremental]; cache decisions consume no randomness and cached
+   costs are exact, so a fixed seed must land on bit-identical results with
+   the cache on and off ([Prune] gates it, like every pruning layer). *)
+let test_delta_cache_identity () =
+  let scenario = Fixtures.small ~seed:91 ~nodes:8 () in
+  let num_arcs = Dtr_core.Scenario.num_arcs scenario in
+  let config =
+    { (Annealing.default_config ~wmax:16) with
+      Annealing.moves_per_stage = 120;
+      cooling = 0.7;
+    }
+  in
+  let solve () =
+    Annealing.minimize_incremental ~rng:(Rng.create 92) scenario
+      ~init:(Weights.create ~num_arcs ~init:1)
+      config
+  in
+  let was = Dtr_core.Prune.enabled () in
+  let cached, uncached =
+    Fun.protect
+      ~finally:(fun () -> Dtr_core.Prune.set_enabled was)
+      (fun () ->
+        Dtr_core.Prune.set_enabled true;
+        let cached = solve () in
+        Dtr_core.Prune.set_enabled false;
+        (cached, solve ()))
+  in
+  Alcotest.(check bool) "best weights identical" true
+    (cached.Annealing.best.Weights.wd = uncached.Annealing.best.Weights.wd
+    && cached.Annealing.best.Weights.wt = uncached.Annealing.best.Weights.wt);
+  Alcotest.(check bool) "best cost identical" true
+    (cached.Annealing.best_cost = uncached.Annealing.best_cost);
+  Alcotest.(check int) "same proposals" cached.Annealing.proposals
+    uncached.Annealing.proposals;
+  Alcotest.(check int) "same accepted" cached.Annealing.accepted
+    uncached.Annealing.accepted;
+  Alcotest.(check int) "same uphill" cached.Annealing.uphill
+    uncached.Annealing.uphill
+
 let suite =
   [
     Alcotest.test_case "reaches a synthetic target" `Quick test_reaches_target;
@@ -129,4 +169,6 @@ let suite =
     Alcotest.test_case "lexicographic priority" `Quick test_lexicographic_priority;
     Alcotest.test_case "configuration validation" `Quick test_validation;
     Alcotest.test_case "improves a real instance" `Slow test_real_instance_improves;
+    Alcotest.test_case "delta cache keeps fixed-seed identity" `Slow
+      test_delta_cache_identity;
   ]

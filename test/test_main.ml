@@ -32,6 +32,7 @@ let () =
       ("core.metrics", Test_metrics.suite);
       ("core.annealing", Test_annealing.suite);
       ("core.prune", Test_prune.suite);
+      ("core.joint", Test_joint.suite);
       ("spf.paths", Test_paths.suite);
       ("spf.oracle", Test_oracle.suite);
       ("io", Test_io.suite);

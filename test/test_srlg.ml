@@ -90,6 +90,57 @@ let test_geographic_requires_coords () =
     (Invalid_argument "Srlg.geographic: graph has no coordinates") (fun () ->
       ignore (Srlg.geographic g))
 
+(* Geographic clustering must depend only on the embedding, not on arc ids:
+   rebuilding the same embedded graph with its edge list shuffled (which
+   relabels every arc) must produce the same partition of physical links,
+   compared as sets of endpoint pairs. *)
+let prop_geographic_relabel_invariant =
+  let partition_of g s =
+    Srlg.groups s
+    |> List.map (fun grp ->
+           grp.Srlg.edges
+           |> List.map (fun id ->
+                  let a = Graph.arc g id in
+                  (min a.Graph.src a.Graph.dst, max a.Graph.src a.Graph.dst))
+           |> List.sort compare)
+    |> List.sort compare
+  in
+  QCheck.Test.make ~name:"geographic grouping invariant under arc relabeling"
+    ~count:15
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Gen.rand rng ~nodes:(8 + Rng.int rng 8) ~degree:4. in
+      let coords =
+        match Graph.coords g with Some c -> c | None -> QCheck.assume_fail ()
+      in
+      let edges =
+        Array.to_list (Graph.arcs g)
+        |> List.filter_map (fun a ->
+               if a.Graph.rev < 0 || a.Graph.id < a.Graph.rev then
+                 Some
+                   Graph.
+                     {
+                       u = a.src;
+                       v = a.dst;
+                       cap = a.capacity;
+                       prop = a.delay;
+                     }
+               else None)
+        |> Array.of_list
+      in
+      Rng.shuffle rng edges;
+      let shuffled =
+        Graph.of_edges ~coords ~n:(Graph.num_nodes g) (Array.to_list edges)
+      in
+      let radius = 0.05 +. Rng.float rng 0.4 in
+      let p1 = partition_of g (Srlg.geographic ~radius g) in
+      let p2 = partition_of shuffled (Srlg.geographic ~radius shuffled) in
+      if p1 <> p2 then
+        QCheck.Test.fail_reportf
+          "partitions differ at radius %.3f after relabeling" radius;
+      true)
+
 let test_srlg_robust_integration () =
   (* Phase 2 over SRLG scenarios through the existing optimizer machinery. *)
   let scenario = Fixtures.small ~seed:71 ~nodes:10 () in
@@ -119,5 +170,6 @@ let suite =
       test_geographic_covers_everything;
     Alcotest.test_case "radius monotonicity" `Quick test_geographic_radius_monotone;
     Alcotest.test_case "geographic needs coordinates" `Quick test_geographic_requires_coords;
+    QCheck_alcotest.to_alcotest prop_geographic_relabel_invariant;
     Alcotest.test_case "SRLG-robust optimization" `Slow test_srlg_robust_integration;
   ]
