@@ -618,7 +618,7 @@ let serve_replay () =
   Harness.note "startup optimize (%dn/%da): %.1fs, %d critical arcs" n arcs
     startup_seconds
     (List.length startup.Optimizer.critical);
-  let daemon =
+  let mk_daemon ~metrics =
     Daemon.create
       {
         Daemon.scenario;
@@ -628,30 +628,35 @@ let serve_replay () =
         seed;
         exec = Dtr_exec.Exec.serial;
         cache_capacity = 64;
+        metrics;
       }
   in
   let lines = read_trace_lines serve_trace_path in
   (* One pass, stateful by design: the trace is the workload.  Per-event
      wall clock, classified by event kind. *)
-  let timed = ref [] in
-  let replay0 = Unix.gettimeofday () in
-  List.iter
-    (fun line ->
-      let kind =
-        match Protocol.parse_request line with
-        | Ok { Protocol.event; _ } -> Protocol.event_name event
-        | Error _ -> failwith ("serve_replay: unparseable trace line: " ^ line)
-      in
-      let t0 = Unix.gettimeofday () in
-      let resp, _continue = Daemon.handle_line daemon line in
-      let dt = Unix.gettimeofday () -. t0 in
-      (match Dtr_util.Json.parse resp with
-      | Ok j when Dtr_util.Json.member "ok" j = Some (Dtr_util.Json.Bool true) -> ()
-      | _ -> failwith ("serve_replay: trace event failed: " ^ line));
-      timed := (kind, dt) :: !timed)
-    lines;
-  let replay_seconds = Unix.gettimeofday () -. replay0 in
-  let timed = List.rev !timed in
+  let replay_once daemon =
+    let timed = ref [] in
+    let replay0 = Unix.gettimeofday () in
+    List.iter
+      (fun line ->
+        let kind =
+          match Protocol.parse_request line with
+          | Ok { Protocol.event; _ } -> Protocol.event_name event
+          | Error _ -> failwith ("serve_replay: unparseable trace line: " ^ line)
+        in
+        let t0 = Unix.gettimeofday () in
+        let resp, _continue = Daemon.handle_line daemon line in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match Dtr_util.Json.parse resp with
+        | Ok j when Dtr_util.Json.member "ok" j = Some (Dtr_util.Json.Bool true) -> ()
+        | _ -> failwith ("serve_replay: trace event failed: " ^ line));
+        timed := (kind, dt) :: !timed)
+      lines;
+    let replay_seconds = Unix.gettimeofday () -. replay0 in
+    (List.rev !timed, replay_seconds)
+  in
+  let daemon = mk_daemon ~metrics:None in
+  let timed, replay_seconds = replay_once daemon in
   let events = List.length timed in
   let events_per_sec = float_of_int events /. replay_seconds in
   let cheap =
@@ -666,6 +671,41 @@ let serve_replay () =
      p99 %.2f ms (%d samples, serial)"
     events replay_seconds events_per_sec (cheap_p50_ns /. 1e6)
     (cheap_p99_ns /. 1e6) (List.length cheap);
+  (* Telemetry A/B: replay the identical trace against a second daemon with
+     full instrumentation on — an OpenMetrics sink dumping after every
+     event plus the structured JSONL log.  The observability invariant is
+     that telemetry never perturbs: both daemons must hold bit-identical
+     incumbents afterwards, and the replay overhead must stay marginal. *)
+  let metrics_buf = Buffer.create 65536 in
+  let log_file = Filename.temp_file "dtr_bench_serve_log" ".jsonl" in
+  Dtr_obs.Log.set_path (Some log_file);
+  let instr =
+    mk_daemon
+      ~metrics:(Some { Daemon.write = Buffer.add_string metrics_buf; every = 1 })
+  in
+  let _instr_timed, instr_seconds = replay_once instr in
+  Dtr_obs.Log.set_path None;
+  let log_lines =
+    let ic = open_in log_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic; Sys.remove log_file)
+      (fun () ->
+        let rec go n = match input_line ic with
+          | exception End_of_file -> n
+          | _ -> go (n + 1)
+        in
+        go 0)
+  in
+  if not (Dtr_core.Weights.equal (Daemon.incumbent daemon) (Daemon.incumbent instr))
+  then failwith "serve_replay: instrumented replay diverged from plain replay";
+  let overhead_pct =
+    100. *. (instr_seconds -. replay_seconds) /. replay_seconds
+  in
+  Harness.note
+    "instrumented replay (metrics dump every event + JSONL log): %.2fs \
+     (%+.1f%% vs plain), %d exposition bytes, %d log lines — incumbents \
+     bit-identical"
+    instr_seconds overhead_pct (Buffer.length metrics_buf) log_lines;
   (* Warm vs cold on the drifted matrices: replay the trace's tm_update
      stream out-of-process (same (seed + 2) stream the daemon used), then
      compare a warm start from the startup incumbent against a cold
@@ -731,20 +771,46 @@ let serve_replay () =
         (if reached then "reached" else "not reached");
     ];
   Dtr_util.Table.print t;
+  (* Per-event-type latency quantiles, one p50/p99 row pair per kind seen in
+     the trace — new measurement names just start fresh bench-check
+     trajectories, so older BENCH files without them stay valid. *)
+  let per_kind_rows =
+    List.concat_map
+      (fun kind ->
+        let samples =
+          List.filter_map
+            (fun (k, dt) -> if k = kind then Some dt else None)
+            timed
+        in
+        [
+          Harness.bench_json_row ~name:(kind ^ " p50") ~topology:"RandTopo"
+            ~nodes:n ~arcs ~seed ~ns_per_op:(percentile_ns samples 50.)
+            ~speedup:1.0;
+          Harness.bench_json_row ~name:(kind ^ " p99") ~topology:"RandTopo"
+            ~nodes:n ~arcs ~seed ~ns_per_op:(percentile_ns samples 99.)
+            ~speedup:1.0;
+        ])
+      (List.sort_uniq compare (List.map fst timed))
+  in
   Harness.write_bench_json ~kernel:"serve_replay"
-    [
-      Harness.bench_json_row ~name:"replay event" ~topology:"RandTopo" ~nodes:n
-        ~arcs ~seed
-        ~ns_per_op:(1e9 *. replay_seconds /. float_of_int events)
-        ~speedup:1.0;
-      Harness.bench_json_row ~name:"tm_update+eval p99" ~topology:"RandTopo"
-        ~nodes:n ~arcs ~seed ~ns_per_op:cheap_p99_ns ~speedup:1.0;
-      Harness.bench_json_row ~name:"cold optimize" ~topology:"RandTopo" ~nodes:n
-        ~arcs ~seed ~ns_per_op:(1e9 *. cold_seconds) ~speedup:1.0;
-      Harness.bench_json_row ~name:"warm reoptimize" ~topology:"RandTopo"
-        ~nodes:n ~arcs ~seed ~ns_per_op:(1e9 *. warm_seconds)
-        ~speedup:(cold_seconds /. warm_seconds);
-    ]
+    ([
+       Harness.bench_json_row ~name:"replay event" ~topology:"RandTopo" ~nodes:n
+         ~arcs ~seed
+         ~ns_per_op:(1e9 *. replay_seconds /. float_of_int events)
+         ~speedup:1.0;
+       Harness.bench_json_row ~name:"instrumented replay event"
+         ~topology:"RandTopo" ~nodes:n ~arcs ~seed
+         ~ns_per_op:(1e9 *. instr_seconds /. float_of_int events)
+         ~speedup:(replay_seconds /. instr_seconds);
+       Harness.bench_json_row ~name:"tm_update+eval p99" ~topology:"RandTopo"
+         ~nodes:n ~arcs ~seed ~ns_per_op:cheap_p99_ns ~speedup:1.0;
+       Harness.bench_json_row ~name:"cold optimize" ~topology:"RandTopo" ~nodes:n
+         ~arcs ~seed ~ns_per_op:(1e9 *. cold_seconds) ~speedup:1.0;
+       Harness.bench_json_row ~name:"warm reoptimize" ~topology:"RandTopo"
+         ~nodes:n ~arcs ~seed ~ns_per_op:(1e9 *. warm_seconds)
+         ~speedup:(cold_seconds /. warm_seconds);
+     ]
+    @ per_kind_rows)
 
 (* --- move_search: the pruned move-pricing loop ----------------------------
 

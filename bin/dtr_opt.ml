@@ -170,8 +170,9 @@ let report_path =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH"
          ~doc:"Write a JSON observability report here: instance summary, \
                per-phase span tree, sweep counters, convergence series, \
-               flight-recorder accounting, per-domain pool utilization and \
-               final lexicographic costs (schema dtr-obs-report/2).")
+               flight-recorder accounting, per-domain pool utilization, \
+               latency histograms, rolling-window gauges and final \
+               lexicographic costs (schema dtr-obs-report/3).")
 
 let trace_path =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
@@ -180,7 +181,17 @@ let trace_path =
                chrome://tracing and Perfetto.  Tracing never changes \
                optimization results.")
 
-let obs_start = Dtr_cli.Cli.obs_start
+let log_path =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"PATH"
+         ~doc:"Append structured JSONL run-summary events here (schema \
+               dtr-opt-log/1); $(docv) may be fd:1 or fd:2 to stream to \
+               stdout or stderr.  $(b,--verbose) implies $(b,--log fd:2) \
+               when no sink is given.")
+
+(* --verbose without an explicit sink streams the structured events to
+   stderr, replacing the ad-hoc prints that used to be the only record. *)
+let resolve_log ~verbose log =
+  match log with Some _ -> log | None -> if verbose then Some "fd:2" else None
 
 let obs_trace ~trace =
   match trace with
@@ -190,6 +201,26 @@ let obs_trace ~trace =
       Dtr_obs.Trace.write_chrome ~path;
       Format.printf "trace written to %s (%d events, %d dropped)@." path
         recorded dropped
+
+(* Run summary as one structured log line, mirroring the report's instance
+   and results sections so a --log stream is self-describing. *)
+let log_summary ~name ~instance ~results =
+  if Dtr_obs.Log.enabled () then begin
+    let open Dtr_util.Json in
+    let field (k, v) =
+      ( k,
+        match v with
+        | Dtr_obs.Report.S s -> Str s
+        | Dtr_obs.Report.I i -> Num (float_of_int i)
+        | Dtr_obs.Report.F f -> Num f
+        | Dtr_obs.Report.B b -> Bool b )
+    in
+    Dtr_obs.Log.event ~schema:Dtr_obs.Log.opt_schema ~name
+      [
+        ("instance", Obj (List.map field instance));
+        ("results", Obj (List.map field results));
+      ]
+  end
 
 let obs_report ~report ~instance ~results =
   match report with
@@ -326,7 +357,7 @@ let print_failure_comparison scenario ~exec ~regular ~robust =
 
 let run_optimize topo nodes degree avg_util seed fraction selector fmodel srlg_radius
     pair_samples cascade_trip theta_ms paper_scale topology_file traffic_file
-    out_weights jobs chunk_size no_dspf no_prune fast_mode verbose report trace =
+    out_weights jobs chunk_size no_dspf no_prune fast_mode verbose report trace log =
   let exec = exec_of_jobs jobs in
   apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
@@ -335,7 +366,8 @@ let run_optimize topo nodes degree avg_util seed fraction selector fmodel srlg_r
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Info)
   end;
-  obs_start ~verbose ~report ~trace;
+  let log = resolve_log ~verbose log in
+  Dtr_cli.Cli.with_obs ?log ~verbose ~report ~trace @@ fun () ->
   let params = build_params theta_ms paper_scale in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -407,9 +439,9 @@ let run_optimize topo nodes degree avg_util seed fraction selector fmodel srlg_r
       ("phase2_cache_hits", I solution.Optimizer.phase2.Dtr_core.Phase2.stats.Dtr_core.Phase2.cache_hits);
     ]
   in
-  obs_report ~report
-    ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
-    ~results;
+  let instance = instance_fields scenario ~topo ~topology_file ~seed ~exec in
+  log_summary ~name:"optimize" ~instance ~results;
+  obs_report ~report ~instance ~results;
   obs_trace ~trace
 
 (* ------------------------------------------------------------------ *)
@@ -417,14 +449,17 @@ let run_optimize topo nodes degree avg_util seed fraction selector fmodel srlg_r
 (* ------------------------------------------------------------------ *)
 
 let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_file
-    weights_file node_failures jobs chunk_size no_dspf no_prune verbose report trace =
+    weights_file node_failures jobs chunk_size no_dspf no_prune verbose report trace
+    log =
   let exec = exec_of_jobs jobs in
   apply_chunk_size chunk_size;
   apply_no_dspf no_dspf;
   apply_no_prune no_prune;
-  (* Resets all counters at entry — without it, in-process reuse (and the
-     sweeps below) reported stale totals accumulated by earlier runs. *)
-  obs_start ~verbose ~report ~trace;
+  let log = resolve_log ~verbose log in
+  (* The bracket resets all counters at entry — without it, in-process reuse
+     (and the sweeps below) reported stale totals accumulated by earlier
+     runs — and tears instrumentation down again if the run raises. *)
+  Dtr_cli.Cli.with_obs ?log ~verbose ~report ~trace @@ fun () ->
   let params = build_params theta_ms false in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -470,9 +505,9 @@ let run_evaluate topo nodes degree avg_util seed theta_ms topology_file traffic_
       ("phi_fail", F s.Metrics.phi_total);
     ]
   in
-  obs_report ~report
-    ~instance:(instance_fields scenario ~topo ~topology_file ~seed ~exec)
-    ~results;
+  let instance = instance_fields scenario ~topo ~topology_file ~seed ~exec in
+  log_summary ~name:"evaluate" ~instance ~results;
+  obs_report ~report ~instance ~results;
   obs_trace ~trace
 
 (* ------------------------------------------------------------------ *)
@@ -542,7 +577,8 @@ let optimize_term =
     const run_optimize $ topo $ nodes $ degree $ avg_util $ seed $ fraction $ selector
     $ failure_model $ srlg_radius $ pair_samples $ cascade_trip
     $ theta $ paper_scale $ topology_file $ traffic_file $ out_weights $ jobs
-    $ chunk_size $ no_dspf $ no_prune $ fast $ verbose $ report_path $ trace_path)
+    $ chunk_size $ no_dspf $ no_prune $ fast $ verbose $ report_path $ trace_path
+    $ log_path)
 
 let optimize_cmd =
   Cmd.v (Cmd.info "optimize" ~doc:"run the two-phase robust optimization") optimize_term
@@ -561,7 +597,8 @@ let evaluate_cmd =
     Term.(
       const run_evaluate $ topo $ nodes $ degree $ avg_util $ seed $ theta
       $ topology_file $ traffic_file $ weights_file $ node_failures $ jobs
-      $ chunk_size $ no_dspf $ no_prune $ verbose $ report_path $ trace_path)
+      $ chunk_size $ no_dspf $ no_prune $ verbose $ report_path $ trace_path
+      $ log_path)
 
 let cmd =
   let doc = "robust dual-topology routing optimization (Kwong et al., CoNEXT 2008)" in

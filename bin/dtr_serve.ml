@@ -108,14 +108,35 @@ let cache_capacity =
 
 let report_path =
   Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH"
-         ~doc:"Write a dtr-obs-report/2 JSON report at shutdown: per-event \
-               span tree, serve/optimizer counters, convergence series of \
-               every re-optimization.")
+         ~doc:"Write a dtr-obs-report/3 JSON report at shutdown: per-event \
+               span tree, serve/optimizer counters, latency histograms, \
+               rolling gauges, convergence series of every \
+               re-optimization.")
 
 let trace_path =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
          ~doc:"Flight-recorder passthrough: write a Chrome trace-event file \
                of the whole session at shutdown.")
+
+let metrics_path =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"PATH|fd:N"
+         ~doc:"OpenMetrics v1 text exposition sink: a file path, or fd:2 \
+               for stderr (fd:1 is rejected — stdout carries the protocol). \
+               One snapshot is always written at shutdown; with \
+               $(b,--metrics-every) snapshots are also appended \
+               periodically, each terminated by '# EOF'.")
+
+let metrics_every =
+  Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"EVENTS"
+         ~doc:"Append an exposition snapshot to the $(b,--metrics) sink \
+               every $(docv) handled events (0: only the shutdown \
+               snapshot).")
+
+let log_path =
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"PATH|fd:2"
+         ~doc:"Structured JSONL event log (schema dtr-serve-log/1): one \
+               line per handled event with latency, cost deltas, cache \
+               outcomes and epoch coordinates.")
 
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Startup and shutdown chatter on stderr.")
@@ -150,14 +171,38 @@ let build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
   in
   Scenario.make ~graph ~rd ~rt ~params
 
+(* The --metrics sink: "fd:2" streams snapshots to stderr; "fd:1" is
+   rejected because stdout carries protocol responses; anything else is a
+   file kept open (and truncated once) for the daemon's lifetime. *)
+let open_metrics_sink = function
+  | None -> (None, fun () -> ())
+  | Some "fd:1" ->
+      Format.eprintf "--metrics fd:1 is not allowed: stdout carries the \
+                      dtr-serve/1 protocol@.";
+      exit 1
+  | Some spec ->
+      let oc, close =
+        match spec with
+        | "fd:2" -> (stderr, fun () -> flush stderr)
+        | path ->
+            let oc = open_out path in
+            (oc, fun () -> close_out_noerr oc)
+      in
+      let write s =
+        output_string oc s;
+        flush oc
+      in
+      (Some write, close)
+
 let run topo nodes degree avg_util seed theta_ms fraction topology_file
     traffic_file weights_file jobs chunk_size no_dspf no_prune socket
-    cache_capacity report trace verbose =
+    cache_capacity report trace metrics metrics_every log verbose =
   let exec = Dtr_cli.Cli.exec_of_jobs jobs in
   Dtr_cli.Cli.apply_chunk_size chunk_size;
   if no_dspf then Dtr_spf.Spf_delta.set_enabled false;
   if no_prune then Dtr_core.Prune.set_enabled false;
-  Dtr_cli.Cli.obs_start ~verbose ~report ~trace;
+  let metrics_write, metrics_close = open_metrics_sink metrics in
+  Dtr_cli.Cli.with_obs ?log ~verbose ~report ~trace @@ fun () ->
   let params = build_params theta_ms in
   let scenario =
     build_scenario ~topo ~nodes ~degree ~avg_util ~seed ~params ~topology_file
@@ -167,6 +212,13 @@ let run topo nodes degree avg_util seed theta_ms fraction topology_file
     Format.eprintf "dtr-serve: %d nodes, %d arcs, seed %d, jobs %d@."
       (Scenario.num_nodes scenario) (Scenario.num_arcs scenario) seed
       (Dtr_exec.Exec.jobs exec);
+  Dtr_obs.Log.event ~schema:Dtr_obs.Log.serve_schema ~name:"startup"
+    [
+      ("nodes", Dtr_util.Json.Num (float_of_int (Scenario.num_nodes scenario)));
+      ("arcs", Dtr_util.Json.Num (float_of_int (Scenario.num_arcs scenario)));
+      ("seed", Dtr_util.Json.Num (float_of_int seed));
+      ("jobs", Dtr_util.Json.Num (float_of_int (Dtr_exec.Exec.jobs exec)));
+    ];
   let incumbent, critical =
     match weights_file with
     | Some path ->
@@ -190,6 +242,19 @@ let run topo nodes degree avg_util seed theta_ms fraction topology_file
             sol.Optimizer.robust_normal_cost.Dtr_cost.Lexico.lambda
             sol.Optimizer.robust_normal_cost.Dtr_cost.Lexico.phi
             (List.length sol.Optimizer.critical);
+        Dtr_obs.Log.event ~schema:Dtr_obs.Log.serve_schema
+          ~name:"startup_optimize"
+          [
+            ( "lambda",
+              Dtr_util.Json.Num
+                sol.Optimizer.robust_normal_cost.Dtr_cost.Lexico.lambda );
+            ( "phi",
+              Dtr_util.Json.Num
+                sol.Optimizer.robust_normal_cost.Dtr_cost.Lexico.phi );
+            ( "critical_arcs",
+              Dtr_util.Json.Num
+                (float_of_int (List.length sol.Optimizer.critical)) );
+          ];
         (sol.Optimizer.robust, sol.Optimizer.critical)
   in
   let daemon =
@@ -202,6 +267,10 @@ let run topo nodes degree avg_util seed theta_ms fraction topology_file
         seed;
         exec;
         cache_capacity;
+        metrics =
+          Option.map
+            (fun write -> { Daemon.write; every = metrics_every })
+            metrics_write;
       }
   in
   (match socket with
@@ -209,6 +278,16 @@ let run topo nodes degree avg_util seed theta_ms fraction topology_file
   | Some path ->
       if verbose then Format.eprintf "listening on %s@." path;
       Daemon.run_socket daemon ~socket:path ~stdio:(stdin, stdout) ());
+  (* Always leave a final snapshot on the sink, whatever the periodic
+     cadence saw last. *)
+  (match metrics_write with
+  | None -> ()
+  | Some write ->
+      write (Daemon.exposition daemon);
+      metrics_close ();
+      if verbose then Format.eprintf "metrics exposition flushed@.");
+  Dtr_obs.Log.event ~schema:Dtr_obs.Log.serve_schema ~name:"shutdown" [];
+  Dtr_obs.Log.close ();
   (match trace with
   | None -> ()
   | Some path ->
@@ -250,6 +329,6 @@ let cmd =
       const run $ topo $ nodes $ degree $ avg_util $ seed $ theta $ fraction
       $ topology_file $ traffic_file $ weights_file $ jobs $ chunk_size
       $ no_dspf $ no_prune $ socket $ cache_capacity $ report_path $ trace_path
-      $ verbose)
+      $ metrics_path $ metrics_every $ log_path $ verbose)
 
 let () = exit (Cmd.eval cmd)

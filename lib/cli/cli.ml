@@ -41,7 +41,28 @@ let apply_chunk_size = function
    in-process run doesn't keep paying for (or leaking into) stale
    instrumentation.  --trace also enables metrics: the flight recorder
    piggybacks on the Metric-gated span and convergence instrumentation. *)
-let obs_start ~verbose ~report ~trace =
+let obs_start ?log ~verbose ~report ~trace () =
   Dtr_obs.Report.reset ();
   Dtr_obs.Metric.set_enabled (verbose || report <> None || trace <> None);
-  Dtr_obs.Trace.set_enabled (trace <> None)
+  Dtr_obs.Trace.set_enabled (trace <> None);
+  Dtr_obs.Log.set_path log
+
+let obs_abort () =
+  Dtr_obs.Report.reset ();
+  Dtr_obs.Metric.set_enabled false;
+  Dtr_obs.Trace.set_enabled false;
+  Dtr_obs.Log.set_path None
+
+(* Exception-safe form of the bracket: [obs_start] was fire-and-forget, so
+   a run that raised after enabling instrumentation leaked enabled metrics,
+   half-built span stacks and an open log sink into the next in-process run
+   (the bench harness runs kernels back-to-back in one process).  On raise,
+   tear all of it down before re-raising. *)
+let with_obs ?log ~verbose ~report ~trace f =
+  obs_start ?log ~verbose ~report ~trace ();
+  match f () with
+  | x -> x
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      obs_abort ();
+      Printexc.raise_with_backtrace exn bt

@@ -19,10 +19,28 @@ val apply_chunk_size : int option -> unit
     [Exec.set_chunk_size] (the explicit flag wins over [DTR_CHUNK_SIZE]);
     [None] leaves the environment/adaptive default in place. *)
 
-val obs_start : verbose:bool -> report:string option -> trace:string option -> unit
+val obs_start :
+  ?log:string -> verbose:bool -> report:string option -> trace:string option -> unit -> unit
 (** Observability bracket at the start of a CLI run: resets every
-    metric/span/trace/convergence accumulator, then sets Metric and Trace
-    enablement to exactly what this run consumes — metrics on iff one of
-    [verbose], [--report] or [--trace] will read them, the flight recorder
-    on iff [--trace] will write it.  Symmetric: a run with instrumentation
-    off also {e disables} whatever an earlier in-process run switched on. *)
+    metric/span/trace/convergence/histogram/rolling accumulator, then sets
+    Metric and Trace enablement to exactly what this run consumes — metrics
+    on iff one of [verbose], [--report] or [--trace] will read them, the
+    flight recorder on iff [--trace] will write it — and attaches the
+    structured JSONL log sink to [log] (detaching when absent).  Symmetric:
+    a run with instrumentation off also {e disables} whatever an earlier
+    in-process run switched on. *)
+
+val obs_abort : unit -> unit
+(** Tear the bracket down: reset all accumulators, disable Metric and
+    Trace, detach the log sink. *)
+
+val with_obs :
+  ?log:string ->
+  verbose:bool ->
+  report:string option ->
+  trace:string option ->
+  (unit -> 'a) ->
+  'a
+(** Exception-safe bracket: {!obs_start}, run [f], and on raise
+    {!obs_abort} before re-raising — so span/metric/log state from a failed
+    run cannot leak into a subsequent in-process run. *)

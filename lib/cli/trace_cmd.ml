@@ -50,10 +50,53 @@ let counters report =
         (Json.to_obj o)
   | None -> []
 
+(* The /3 "histograms" key: one entry per (name, labels) with integer
+   per-bucket counts.  Only the TOTAL count gates: it is deterministic for
+   a fixed event stream — it says *how many* events of each kind ran.
+   Which bucket each event landed in depends on its wall-clock latency, so
+   per-bucket placement (and the derived quantiles and sums) legitimately
+   differs between two identical replays; bucket drift is rendered for
+   context but never trips the gate. *)
+let histograms report =
+  match Json.member "histograms" report with
+  | None -> []
+  | Some hs ->
+      List.map
+        (fun h ->
+          let name = Json.string_member "name" h ~default:"?" in
+          let labels =
+            match Json.member "labels" h with
+            | Some o ->
+                List.filter_map
+                  (fun (k, v) ->
+                    Option.map (fun s -> k ^ "=" ^ s) (Json.to_string_opt v))
+                  (Json.to_obj o)
+            | None -> []
+          in
+          let key =
+            name
+            ^
+            match labels with
+            | [] -> ""
+            | ls -> "{" ^ String.concat "," (List.sort compare ls) ^ "}"
+          in
+          let count = Json.int_member "count" h ~default:0 in
+          let buckets =
+            List.filter_map
+              (fun b ->
+                match (Json.member "le" b, Json.to_int_opt (Option.value ~default:Json.Null (Json.member "count" b))) with
+                | Some (Json.Num le), Some c -> Some (le, c)
+                | _ -> None)
+              (Json.to_list (Option.value ~default:Json.Null (Json.member "buckets" h)))
+          in
+          (key, count, buckets))
+        (Json.to_list hs)
+
 type diff_result = {
   rendered : string;
   count_deltas : int;  (** spans whose call counts differ *)
   counter_deltas : int;  (** metric counters whose values differ *)
+  histogram_deltas : int;  (** histograms whose total counts differ *)
 }
 
 let diff_reports ~label_a ~label_b ~a ~b =
@@ -132,14 +175,66 @@ let diff_reports ~label_a ~label_b ~a ~b =
         Buffer.add_string buf (Table.render ct);
         Buffer.add_char buf '\n'
       end;
+      let ha = histograms ja and hb = histograms jb in
+      let hist_keys =
+        let seen = Hashtbl.create 16 in
+        List.filter
+          (fun k ->
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          (List.map (fun (k, _, _) -> k) ha @ List.map (fun (k, _, _) -> k) hb)
+      in
+      let histogram_deltas = ref 0 in
+      let ht =
+        Table.create ~title:"histogram count diff"
+          ~columns:[ "histogram"; "count A"; "count B"; "bucket deltas" ]
+      in
+      List.iter
+        (fun k ->
+          let find rows =
+            List.find_map
+              (fun (q, c, bs) -> if q = k then Some (c, bs) else None)
+              rows
+          in
+          let ca, ba = Option.value ~default:(0, []) (find ha) in
+          let cb, bb = Option.value ~default:(0, []) (find hb) in
+          (* Bucket lists are sparse (zero counts omitted), so compare as
+             le-keyed maps over the union of boundaries. *)
+          let bucket_deltas =
+            let les =
+              List.sort_uniq compare (List.map fst ba @ List.map fst bb)
+            in
+            List.length
+              (List.filter
+                 (fun le ->
+                   Option.value ~default:0 (List.assoc_opt le ba)
+                   <> Option.value ~default:0 (List.assoc_opt le bb))
+                 les)
+          in
+          if ca <> cb then begin
+            incr histogram_deltas;
+            Table.add_row ht
+              [ k; string_of_int ca; string_of_int cb;
+                string_of_int bucket_deltas ]
+          end)
+        hist_keys;
+      if !histogram_deltas > 0 then begin
+        Buffer.add_string buf (Table.render ht);
+        Buffer.add_char buf '\n'
+      end;
       Buffer.add_string buf
-        (Printf.sprintf "span-count deltas: %d, counter deltas: %d\n"
-           !count_deltas !counter_deltas);
+        (Printf.sprintf
+           "span-count deltas: %d, counter deltas: %d, histogram deltas: %d\n"
+           !count_deltas !counter_deltas !histogram_deltas);
       Ok
         {
           rendered = Buffer.contents buf;
           count_deltas = !count_deltas;
           counter_deltas = !counter_deltas;
+          histogram_deltas = !histogram_deltas;
         }
 
 (* ------------------------------------------------------------------ *)
@@ -328,6 +423,365 @@ let check_files ~threshold files =
         }
 
 (* ------------------------------------------------------------------ *)
+(* trace metrics-check                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Validator for OpenMetrics text produced by the dtr-serve telemetry:
+   [--metrics] in periodic mode appends whole snapshots, each terminated by
+   "# EOF", to one stream.  Structural problems (no terminator, malformed
+   sample or TYPE lines) are hard errors; semantic problems — samples
+   without a declared family, non-cumulative histogram buckets, a +Inf
+   bucket that disagrees with _count, counters that go backwards between
+   snapshots — accumulate as violations and trip the gate. *)
+
+type om_sample = {
+  om_name : string;
+  om_labels : (string * string) list;
+  om_value : string;  (* verbatim; parsed on demand *)
+}
+
+type om_snapshot = {
+  om_families : (string * string) list;  (* name -> type, declaration order *)
+  om_samples : om_sample list;
+}
+
+let parse_om_labels s =
+  (* [s] is the text between the braces. *)
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let rec pairs i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let rec key j =
+        if j >= n then Error "unterminated label"
+        else if s.[j] = '=' then Ok j
+        else key (j + 1)
+      in
+      match key i with
+      | Error e -> Error e
+      | Ok eq ->
+          let k = String.sub s i (eq - i) in
+          if eq + 1 >= n || s.[eq + 1] <> '"' then
+            Error "label value must be quoted"
+          else begin
+            Buffer.clear buf;
+            let rec value j =
+              if j >= n then Error "unterminated label value"
+              else
+                match s.[j] with
+                | '\\' ->
+                    if j + 1 >= n then Error "dangling escape"
+                    else begin
+                      (match s.[j + 1] with
+                      | 'n' -> Buffer.add_char buf '\n'
+                      | c -> Buffer.add_char buf c);
+                      value (j + 2)
+                    end
+                | '"' -> Ok j
+                | c ->
+                    Buffer.add_char buf c;
+                    value (j + 1)
+            in
+            match value (eq + 2) with
+            | Error e -> Error e
+            | Ok close ->
+                let acc = (k, Buffer.contents buf) :: acc in
+                if close + 1 >= n then Ok (List.rev acc)
+                else if s.[close + 1] = ',' then pairs (close + 2) acc
+                else Error "expected ',' between labels"
+          end
+  in
+  pairs 0 []
+
+let parse_om_sample line =
+  let name_end =
+    let rec go i =
+      if i >= String.length line then i
+      else match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)
+    in
+    go 0
+  in
+  if name_end = 0 then Error "empty sample name"
+  else
+    let om_name = String.sub line 0 name_end in
+    let rest = String.sub line name_end (String.length line - name_end) in
+    let labels_part, value_part =
+      if rest <> "" && rest.[0] = '{' then
+        match String.index_opt rest '}' with
+        | None -> (None, "")
+        | Some close ->
+            ( Some (String.sub rest 1 (close - 1)),
+              String.trim
+                (String.sub rest (close + 1) (String.length rest - close - 1)) )
+      else (Some "", String.trim rest)
+    in
+    match labels_part with
+    | None -> Error "unterminated label block"
+    | Some "" when rest <> "" && rest.[0] = '{' ->
+        Error "empty label block"  (* our emitter never writes "{}" *)
+    | Some ls -> (
+        let labels = if ls = "" then Ok [] else parse_om_labels ls in
+        match labels with
+        | Error e -> Error e
+        | Ok om_labels ->
+            if value_part = "" then Error "sample has no value"
+            else Ok { om_name; om_labels; om_value = value_part })
+
+let om_float v =
+  match v with
+  | "+Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | _ -> float_of_string_opt v
+
+(* Split a metrics stream into "# EOF"-terminated snapshots. *)
+let split_om_snapshots content =
+  let lines = String.split_on_char '\n' content in
+  let rec go current snaps = function
+    | [] ->
+        if List.for_all (fun l -> String.trim l = "") current then
+          Ok (List.rev snaps)
+        else Error "trailing content after the last # EOF"
+    | line :: rest ->
+        if String.trim line = "# EOF" then
+          go [] (List.rev current :: snaps) rest
+        else go (line :: current) snaps rest
+  in
+  match go [] [] lines with
+  | Ok [] -> Error "no # EOF-terminated snapshot found"
+  | other -> other
+
+let parse_om_snapshot lines =
+  let families = ref [] and samples = ref [] in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      if !err <> None || String.trim line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match
+          String.split_on_char ' '
+            (String.trim (String.sub line 7 (String.length line - 7)))
+        with
+        | [ name; typ ] when List.mem typ [ "counter"; "gauge"; "histogram" ]
+          -> (
+            match List.assoc_opt name !families with
+            | Some t when t <> typ ->
+                err := Some (Printf.sprintf "family %s redeclared as %s" name typ)
+            | _ -> families := !families @ [ (name, typ) ])
+        | _ -> err := Some (Printf.sprintf "malformed TYPE line: %s" line)
+      end
+      else if String.length line >= 1 && line.[0] = '#' then ()
+        (* HELP/comment lines: tolerated, unchecked *)
+      else
+        match parse_om_sample line with
+        | Error e -> err := Some (Printf.sprintf "%s: %s" e line)
+        | Ok s -> samples := !samples @ [ s ])
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok { om_families = !families; om_samples = !samples }
+
+(* The family a sample belongs to, given the declared names: longest
+   declared prefix whose type admits the sample's suffix. *)
+let om_family_of snapshot s =
+  let admits fname typ =
+    match typ with
+    | "gauge" -> s.om_name = fname
+    | "counter" -> s.om_name = fname ^ "_total"
+    | "histogram" ->
+        List.exists
+          (fun suf -> s.om_name = fname ^ suf)
+          [ "_bucket"; "_sum"; "_count" ]
+    | _ -> false
+  in
+  List.find_opt (fun (fname, typ) -> admits fname typ) snapshot.om_families
+
+let om_label_key labels =
+  String.concat ","
+    (List.sort compare
+       (List.map (fun (k, v) -> k ^ "=" ^ v)
+          (List.filter (fun (k, _) -> k <> "le") labels)))
+
+type metrics_result = {
+  m_rendered : string;
+  m_snapshots : int;
+  m_violations : string list;
+}
+
+let metrics_check content =
+  match split_om_snapshots content with
+  | Error e -> Error e
+  | Ok snapshot_lines -> (
+      let parsed =
+        List.fold_left
+          (fun acc lines ->
+            match acc with
+            | Error _ -> acc
+            | Ok snaps -> (
+                match parse_om_snapshot lines with
+                | Error e -> Error e
+                | Ok s -> Ok (snaps @ [ s ])))
+          (Ok []) snapshot_lines
+      in
+      match parsed with
+      | Error e -> Error e
+      | Ok snaps ->
+          let violations = ref [] in
+          let violate fmt =
+            Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+          in
+          (* last-seen value per monotone series key, across snapshots *)
+          let monotone : (string, float) Hashtbl.t = Hashtbl.create 64 in
+          List.iteri
+            (fun si snap ->
+              let where = Printf.sprintf "snapshot %d" (si + 1) in
+              (* every sample maps to a declared family *)
+              List.iter
+                (fun s ->
+                  match om_family_of snap s with
+                  | None ->
+                      violate "%s: sample %s has no declared family" where
+                        s.om_name
+                  | Some (fname, typ) -> (
+                      match om_float s.om_value with
+                      | None ->
+                          violate "%s: %s: unparseable value %S" where
+                            s.om_name s.om_value
+                      | Some v ->
+                          if typ = "counter" then begin
+                            if v < 0. || not (Float.is_finite v) then
+                              violate "%s: counter %s is %s" where s.om_name
+                                s.om_value;
+                            let key =
+                              fname ^ "{" ^ om_label_key s.om_labels ^ "}"
+                            in
+                            (match Hashtbl.find_opt monotone key with
+                            | Some prev when v < prev ->
+                                violate
+                                  "counter %s went backwards (%g -> %g) at %s"
+                                  key prev v where
+                            | _ -> ());
+                            Hashtbl.replace monotone key v
+                          end))
+                snap.om_samples;
+              (* histogram shape per (family, labelset) *)
+              List.iter
+                (fun (fname, typ) ->
+                  if typ = "histogram" then begin
+                    let groups = Hashtbl.create 8 in
+                    let order = ref [] in
+                    List.iter
+                      (fun s ->
+                        if
+                          s.om_name = fname ^ "_bucket"
+                          || s.om_name = fname ^ "_count"
+                        then begin
+                          let k = om_label_key s.om_labels in
+                          if not (Hashtbl.mem groups k) then begin
+                            Hashtbl.add groups k ();
+                            order := k :: !order
+                          end
+                        end)
+                      snap.om_samples;
+                    List.iter
+                      (fun k ->
+                        let buckets =
+                          List.filter_map
+                            (fun s ->
+                              if
+                                s.om_name = fname ^ "_bucket"
+                                && om_label_key s.om_labels = k
+                              then
+                                Option.map
+                                  (fun le -> (le, om_float s.om_value))
+                                  (List.assoc_opt "le" s.om_labels)
+                              else None)
+                            snap.om_samples
+                        in
+                        let count =
+                          List.find_map
+                            (fun s ->
+                              if
+                                s.om_name = fname ^ "_count"
+                                && om_label_key s.om_labels = k
+                              then om_float s.om_value
+                              else None)
+                            snap.om_samples
+                        in
+                        let ctx = Printf.sprintf "%s{%s} (%s)" fname k where in
+                        let les =
+                          List.map
+                            (fun (le, _) ->
+                              Option.value ~default:Float.nan (om_float le))
+                            buckets
+                        in
+                        let rec ascending = function
+                          | a :: (b :: _ as rest) ->
+                              if not (a < b) then
+                                violate "%s: le boundaries not increasing" ctx
+                              else ascending rest
+                          | _ -> ()
+                        in
+                        ascending les;
+                        (match List.rev les with
+                        | last :: _ when last <> infinity ->
+                            violate "%s: missing le=\"+Inf\" bucket" ctx
+                        | [] -> violate "%s: histogram has no buckets" ctx
+                        | _ -> ());
+                        let values =
+                          List.map
+                            (fun (_, v) -> Option.value ~default:Float.nan v)
+                            buckets
+                        in
+                        let rec cumulative = function
+                          | a :: (b :: _ as rest) ->
+                              if b < a then
+                                violate "%s: bucket counts not cumulative" ctx
+                              else cumulative rest
+                          | _ -> ()
+                        in
+                        cumulative values;
+                        (match (List.rev values, count) with
+                        | total :: _, Some c when total <> c ->
+                            violate
+                              "%s: +Inf bucket %g disagrees with _count %g"
+                              ctx total c
+                        | _, None -> violate "%s: missing _count sample" ctx
+                        | _ -> ());
+                        (* _count is a monotone series too *)
+                        match count with
+                        | Some c ->
+                            let key = fname ^ "_count{" ^ k ^ "}" in
+                            (match Hashtbl.find_opt monotone key with
+                            | Some prev when c < prev ->
+                                violate
+                                  "histogram %s went backwards (%g -> %g) at %s"
+                                  key prev c where
+                            | _ -> ());
+                            Hashtbl.replace monotone key c
+                        | None -> ())
+                      (List.rev !order)
+                  end)
+                snap.om_families)
+            snaps;
+          let violations = List.rev !violations in
+          let buf = Buffer.create 256 in
+          List.iter (fun v -> Buffer.add_string buf (v ^ "\n")) violations;
+          Buffer.add_string buf
+            (if violations = [] then
+               Printf.sprintf "metrics-check OK: %d snapshot(s) well-formed\n"
+                 (List.length snaps)
+             else
+               Printf.sprintf "metrics-check FAILED: %d violation(s) in %d \
+                               snapshot(s)\n"
+                 (List.length violations) (List.length snaps));
+          Ok
+            {
+              m_rendered = Buffer.contents buf;
+              m_snapshots = List.length snaps;
+              m_violations = violations;
+            })
+
+(* ------------------------------------------------------------------ *)
 (* Convergence rendering (dtr-opt --verbose)                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,7 +923,27 @@ let run_diff a b =
           2
       | Ok d ->
           print_string d.rendered;
-          if d.count_deltas = 0 then 0 else 1)
+          if d.count_deltas = 0 && d.histogram_deltas = 0 then 0 else 1)
+
+let run_metrics_check paths =
+  match List.map (fun p -> (p, read_file p)) paths with
+  | exception Sys_error e ->
+      Printf.eprintf "trace metrics-check: %s\n" e;
+      2
+  | files ->
+      let code = ref 0 in
+      List.iter
+        (fun (label, content) ->
+          if !code <> 2 then
+            match metrics_check content with
+            | Error e ->
+                Printf.eprintf "trace metrics-check: %s: %s\n" label e;
+                code := 2
+            | Ok r ->
+                Printf.printf "%s: %s" label r.m_rendered;
+                if r.m_violations <> [] && !code = 0 then code := 1)
+        files;
+      !code
 
 (* A positional argument may be a BENCH file or a directory of them.  A
    directory expands to its BENCH_*.json entries in name order; a missing
@@ -550,6 +1024,14 @@ let bench_check_term =
   in
   Term.(const run_bench_check $ threshold_arg $ files)
 
+let metrics_check_term =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"METRICS.txt"
+           ~doc:"OpenMetrics text files as written by dtr-serve --metrics \
+                 (one or more # EOF-terminated snapshots per file).")
+  in
+  Term.(const run_metrics_check $ files)
+
 let cmd_group ~wrap =
   Cmd.group
     (Cmd.info "trace"
@@ -565,4 +1047,11 @@ let cmd_group ~wrap =
                  "walk BENCH_<kernel>.json trajectories and fail on \
                   throughput regressions (exit 1)")
         Term.(const wrap $ bench_check_term);
+      Cmd.v (Cmd.info "metrics-check"
+               ~doc:
+                 "validate OpenMetrics expositions from dtr-serve --metrics: \
+                  well-formed snapshots, cumulative histogram buckets \
+                  agreeing with _count, counters monotone across snapshots \
+                  (exit 1 on violations)")
+        Term.(const wrap $ metrics_check_term);
     ]

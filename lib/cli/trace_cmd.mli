@@ -10,6 +10,7 @@ type diff_result = {
   rendered : string;
   count_deltas : int;  (** spans whose call counts differ *)
   counter_deltas : int;  (** metric counters whose values differ *)
+  histogram_deltas : int;  (** histograms whose total counts differ *)
 }
 
 val diff_reports :
@@ -18,11 +19,13 @@ val diff_reports :
   a:string ->
   b:string ->
   (diff_result, string) result
-(** Span-by-span diff of two dtr-obs-report documents (schema /1 or /2).
-    Spans are matched by slash-joined path through the span forest.  Two
-    reports of the same fixed-seed run must show zero count deltas — the
-    determinism invariant — while seconds naturally jitter and never
-    gate. *)
+(** Span-by-span diff of two dtr-obs-report documents (schema /1 to /3).
+    Spans are matched by slash-joined path through the span forest; /3
+    histograms by (name, labels), comparing total integer counts.  Two
+    reports of the same fixed-seed run must show zero span and histogram
+    total-count deltas — the determinism invariant — while seconds, sums,
+    quantiles and per-bucket placement (all derived from wall-clock
+    latencies) naturally jitter and never gate. *)
 
 type bench_row = {
   row_name : string;
@@ -63,6 +66,21 @@ val check_files :
 (** [check_files ~threshold [(label, contents); ...]] — malformed JSON is
     an error, not a skip: a gate that ignores a corrupt file is no gate. *)
 
+type metrics_result = {
+  m_rendered : string;
+  m_snapshots : int;
+  m_violations : string list;
+}
+
+val metrics_check : string -> (metrics_result, string) result
+(** Validate an OpenMetrics text stream as written by [dtr-serve --metrics]:
+    one or more ["# EOF"]-terminated snapshots.  Structural problems
+    (no terminator, malformed TYPE or sample lines) are [Error]s; semantic
+    ones — samples without a declared family, non-cumulative histogram
+    buckets, a [+Inf] bucket disagreeing with [_count], counters or
+    histogram counts going backwards between snapshots — accumulate in
+    [m_violations]. *)
+
 val sparkline : float list -> string
 (** Pure-ASCII intensity sparkline (ten levels), rescaled per series. *)
 
@@ -76,9 +94,11 @@ val print_convergence : unit -> unit
 
 val run_diff : string -> string -> int
 val run_bench_check : float -> string list -> int
+val run_metrics_check : string list -> int
 
 val diff_term : int Cmdliner.Term.t
 val bench_check_term : int Cmdliner.Term.t
+val metrics_check_term : int Cmdliner.Term.t
 
 val cmd_group : wrap:(int -> unit) -> unit Cmdliner.Cmd.t
 (** The [trace] command group.  [wrap] receives each subcommand's exit

@@ -1,0 +1,54 @@
+(** Fixed-bucket log-linear (HDR-style) latency histograms with per-domain
+    shards and a deterministic merge.  Recording is O(1), allocation-free
+    after the first touch per domain, and writer-local — no cross-domain
+    read-modify-write.  Values are in seconds; resolution is 1 microsecond
+    up to 32 us, then a bounded ~3% relative error (32 sub-buckets per
+    octave) up to ~71.6 minutes, beyond which values clamp into the last
+    bucket. *)
+
+type t
+
+val create : ?labels:(string * string) list -> string -> t
+(** Idempotent per (name, labels): re-creating returns the same histogram. *)
+
+val name : t -> string
+val labels : t -> (string * string) list
+
+val record : t -> float -> unit
+(** [record t seconds] bumps the bucket holding [seconds] in the calling
+    domain's shard.  Negative values clamp to 0. *)
+
+type snapshot = {
+  s_name : string;
+  s_labels : (string * string) list;
+  count : int;  (** exact number of recordings (= sum of bucket counts) *)
+  sum : float;  (** exact sum of recorded values, seconds *)
+  buckets : (int * int) list;
+      (** (bucket index, count), ascending index, zero counts omitted *)
+}
+
+val snapshot : t -> snapshot
+(** Merge all shards (ascending domain id) into one snapshot. *)
+
+val all : unit -> snapshot list
+(** Snapshots of every registered histogram, in registration order. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Per-bucket integer sum; name/labels taken from the first argument. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] with [q] in percent (50., 99.9, ...): upper bound in
+    seconds of the bucket holding the nearest-rank order statistic, so the
+    true value lies within one bucket width below the returned estimate.
+    0 on an empty snapshot. *)
+
+val num_buckets : int
+
+val index_of_seconds : float -> int
+(** Bucket index a value would be recorded into (last bucket on overflow). *)
+
+val bucket_bounds : int -> float * float
+(** Half-open [lower, upper) range of a bucket index, in seconds. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit

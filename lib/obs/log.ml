@@ -1,0 +1,61 @@
+(* Structured JSONL event log: a process-global sink that both binaries
+   share instead of ad-hoc stderr prints.  Each [event] call emits one JSON
+   object on its own line — schema tag first, then the event name, then the
+   caller's fields in order — and flushes, so a crashed run still leaves
+   every completed event on disk.  When no sink is open, [event] is a single
+   mutex-free ref read; the hot path stays unperturbed with logging off. *)
+
+module Json = Dtr_util.Json
+
+let serve_schema = "dtr-serve-log/1"
+let opt_schema = "dtr-opt-log/1"
+
+type sink = { oc : out_channel; close_on_detach : bool }
+
+let sink : sink option ref = ref None
+let sink_mutex = Mutex.create ()
+
+let close () =
+  Mutex.protect sink_mutex (fun () ->
+      (match !sink with
+      | Some s ->
+          if s.close_on_detach then close_out_noerr s.oc else flush s.oc
+      | None -> ());
+      sink := None)
+
+(* "fd:1" / "fd:2" attach to the process's stdout / stderr (flushed but not
+   closed on detach — in pipe mode stdout carries the protocol, so fd:2 is
+   the streaming choice); anything else is a path opened for truncation. *)
+let set_path = function
+  | None -> close ()
+  | Some spec ->
+      close ();
+      let s =
+        match spec with
+        | "fd:1" -> { oc = stdout; close_on_detach = false }
+        | "fd:2" -> { oc = stderr; close_on_detach = false }
+        | _ when String.length spec > 3 && String.sub spec 0 3 = "fd:" ->
+            invalid_arg ("Dtr_obs.Log: unsupported fd spec " ^ spec
+                        ^ " (only fd:1 and fd:2)")
+        | path -> { oc = open_out path; close_on_detach = true }
+      in
+      Mutex.protect sink_mutex (fun () -> sink := Some s)
+
+let enabled () = !sink <> None
+
+let event ~schema ~name fields =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+      let doc =
+        Json.Obj
+          (("schema", Json.Str schema) :: ("event", Json.Str name) :: fields)
+      in
+      let line = Json.to_string doc in
+      Mutex.protect sink_mutex (fun () ->
+          match !sink with
+          | None -> ()
+          | Some s ->
+              output_string s.oc line;
+              output_char s.oc '\n';
+              flush s.oc)

@@ -1,0 +1,24 @@
+(** Process-global structured JSONL log sink, shared by [dtr-serve] and
+    [dtr-opt] in place of ad-hoc stderr prints.  One JSON object per line:
+    [{"schema": ..., "event": ..., <fields>}], flushed per event.  With no
+    sink attached, {!event} is a single ref read — logging off costs
+    nothing on the hot path. *)
+
+val serve_schema : string
+(** ["dtr-serve-log/1"] — the per-event log-line schema tag. *)
+
+val opt_schema : string
+(** ["dtr-opt-log/1"] — schema tag for [dtr-opt] run-summary events. *)
+
+val set_path : string option -> unit
+(** [Some "fd:1"] / [Some "fd:2"] attach to stdout / stderr (not closed on
+    detach); [Some path] truncates and opens [path]; [None] detaches,
+    closing a file sink.  Replaces any previous sink. *)
+
+val enabled : unit -> bool
+
+val event : schema:string -> name:string -> (string * Dtr_util.Json.t) list -> unit
+(** Emit one log line; no-op when no sink is attached. *)
+
+val close : unit -> unit
+(** Detach the sink ([set_path None]). *)

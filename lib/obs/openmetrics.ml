@@ -1,0 +1,127 @@
+(* OpenMetrics v1 text exposition builder.  Callers add metric families in
+   the order they want them rendered; [render] emits one "# TYPE" line per
+   family followed by its samples and terminates the document with "# EOF".
+   Counter samples get the spec's "_total" suffix, histograms expand into
+   cumulative "_bucket{le=...}" samples plus "_sum"/"_count".  Periodic dump
+   mode appends whole snapshots to one stream, each ending in "# EOF";
+   [trace metrics-check] parses that framing back. *)
+
+module Json = Dtr_util.Json
+
+type family = {
+  f_name : string;
+  f_type : string; (* "counter" | "gauge" | "histogram" *)
+  mutable samples : string list; (* reversed; rendered lines sans newline *)
+}
+
+type t = { mutable families : family list (* reversed *) }
+
+let create () = { families = [] }
+
+(* Metric and label names are restricted to [a-zA-Z0-9_:] ([a-zA-Z0-9_] for
+   labels); anything else maps to '_' so internal dotted names like
+   "serve.latency" expose as "serve_latency". *)
+let sanitize ?(allow_colon = true) s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | ':' when allow_colon -> c
+      | _ -> '_')
+    (if s = "" then "_" else s)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\""
+                 (sanitize ~allow_colon:false k)
+                 (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* Integral values render without a fraction part so counter samples read as
+   exact counts; everything else reuses the JSON writer's round-trippable
+   float form. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Json.number_string v
+
+let family t name typ =
+  let name = sanitize name in
+  match List.find_opt (fun f -> f.f_name = name) t.families with
+  | Some f ->
+      if f.f_type <> typ then
+        invalid_arg ("Openmetrics: family " ^ name ^ " re-added as " ^ typ);
+      f
+  | None ->
+      let f = { f_name = name; f_type = typ; samples = [] } in
+      t.families <- f :: t.families;
+      f
+
+let add_sample f line = f.samples <- line :: f.samples
+
+let counter t ~name ?(labels = []) v =
+  let f = family t name "counter" in
+  add_sample f
+    (Printf.sprintf "%s_total%s %s" f.f_name (render_labels labels) (number v))
+
+let gauge t ~name ?(labels = []) v =
+  let f = family t name "gauge" in
+  add_sample f
+    (Printf.sprintf "%s%s %s" f.f_name (render_labels labels) (number v))
+
+let histogram t ~name (s : Histogram.snapshot) =
+  let f = family t name "histogram" in
+  let labels = s.Histogram.s_labels in
+  let cum = ref 0 in
+  List.iter
+    (fun (idx, c) ->
+      cum := !cum + c;
+      let _, upper = Histogram.bucket_bounds idx in
+      add_sample f
+        (Printf.sprintf "%s_bucket%s %d" f.f_name
+           (render_labels (labels @ [ ("le", number upper) ]))
+           !cum))
+    s.Histogram.buckets;
+  add_sample f
+    (Printf.sprintf "%s_bucket%s %d" f.f_name
+       (render_labels (labels @ [ ("le", "+Inf") ]))
+       s.Histogram.count);
+  add_sample f
+    (Printf.sprintf "%s_sum%s %s" f.f_name (render_labels labels)
+       (Json.number_string s.Histogram.sum));
+  add_sample f
+    (Printf.sprintf "%s_count%s %d" f.f_name (render_labels labels)
+       s.Histogram.count)
+
+let render t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name f.f_type);
+      List.iter
+        (fun line ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n')
+        (List.rev f.samples))
+    (List.rev t.families);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** OpenMetrics v1 text exposition builder: add families in render order,
+    then {!render} the whole snapshot terminated by ["# EOF"].  Counters get
+    the ["_total"] sample suffix; histograms expand to cumulative
+    ["_bucket{le=...}"] samples (plus ["+Inf"]) with ["_sum"]/["_count"].
+    Metric names are sanitized to [[a-zA-Z0-9_:]]. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> name:string -> ?labels:(string * string) list -> float -> unit
+val gauge : t -> name:string -> ?labels:(string * string) list -> float -> unit
+
+val histogram : t -> name:string -> Histogram.snapshot -> unit
+(** Uses the snapshot's own labels on every expanded sample. *)
+
+val render : t -> string

@@ -23,7 +23,9 @@ let reset () =
   Metric.reset_all ();
   Span.reset ();
   Trace.reset ();
-  Convergence.reset ()
+  Convergence.reset ();
+  Histogram.reset_all ();
+  Rolling.reset_all ()
 
 let escape = Json.escaped
 let float_json = Json.number_string
@@ -81,6 +83,38 @@ let series_json (name, points) =
   Printf.sprintf "{\"name\": \"%s\", \"points\": [%s]}" (escape name)
     (String.concat ", " (List.map point_json points))
 
+(* Schema /3 extends /2 with the live-telemetry registries: "histograms"
+   (log-linear latency histograms — the TOTAL count is deterministic for a
+   fixed event stream and gated by [trace diff]; per-bucket placement,
+   quantiles and sums derive from wall-clock latencies and are exempt) and
+   "rolling" (wall-clock-windowed gauges, reported for operators, never
+   gated). *)
+let histogram_json (s : Histogram.snapshot) =
+  let bucket (idx, c) =
+    let _, upper = Histogram.bucket_bounds idx in
+    Printf.sprintf "{\"le\": %s, \"count\": %d}" (float_json upper) c
+  in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"labels\": %s, \"count\": %d, \"sum\": %s, \"p50\": \
+     %s, \"p90\": %s, \"p99\": %s, \"p999\": %s, \"buckets\": [%s]}"
+    (escape s.Histogram.s_name)
+    (obj_json (List.map (fun (k, v) -> (k, S v)) s.Histogram.s_labels))
+    s.Histogram.count
+    (float_json s.Histogram.sum)
+    (float_json (Histogram.quantile s 50.))
+    (float_json (Histogram.quantile s 90.))
+    (float_json (Histogram.quantile s 99.))
+    (float_json (Histogram.quantile s 99.9))
+    (String.concat ", " (List.map bucket s.Histogram.buckets))
+
+let rolling_json (r : Rolling.snapshot) =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"window_seconds\": %d, \"total\": %s, \
+     \"per_second\": %s}"
+    (escape r.Rolling.r_name) r.Rolling.r_window
+    (float_json r.Rolling.r_total)
+    (float_json r.Rolling.r_per_second)
+
 let to_string () =
   let instance, results =
     Mutex.protect state_mutex (fun () -> (!instance, !results))
@@ -88,7 +122,7 @@ let to_string () =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "{";
-  line "  \"schema\": \"dtr-obs-report/2\",";
+  line "  \"schema\": \"dtr-obs-report/3\",";
   line "  \"instance\": %s," (obj_json instance);
   line "  \"results\": %s," (obj_json results);
   line "  \"spans\": [%s],"
@@ -100,6 +134,11 @@ let to_string () =
   line "  \"trace\": %s," (trace_json ());
   line "  \"convergence\": [%s],"
     (String.concat ", " (List.map series_json (Convergence.all ())));
+  line "  \"histograms\": [%s],"
+    (String.concat ", " (List.map histogram_json (Histogram.all ())));
+  line "  \"rolling\": [%s],"
+    (String.concat ", "
+       (List.map rolling_json (Rolling.all ~now:(Unix.gettimeofday ()))));
   line "  \"domains\": [%s]"
     (String.concat ", "
        (List.map

@@ -1,0 +1,90 @@
+(* Rolling-window gauges: a ring of per-second slots, one slot per residue
+   class of the epoch second modulo the window length.  Each slot carries the
+   epoch second it was last written for; [add] lazily zeroes a slot whose
+   stamp is stale before accumulating, and readers sum only slots whose stamp
+   falls inside (now - window, now].  Single-writer by design: the serve
+   daemon's event loop is the only producer, so slots need no atomics — the
+   structure is documented as not safe for concurrent writers.  "Now" is
+   event time supplied by the caller (the daemon stamps each handled event),
+   so nothing advances between events and replays of the same trace observe
+   the same totals modulo wall-clock slot boundaries. *)
+
+type t = {
+  rname : string;
+  window : int; (* seconds *)
+  stamps : int array; (* epoch second each slot was last written for *)
+  values : float array;
+}
+
+let registry_mutex = Mutex.create ()
+let registry : t list ref = ref []
+let default_window = 60
+
+let create ?(window = default_window) name =
+  if window < 1 then invalid_arg "Dtr_obs.Rolling.create: window < 1";
+  Mutex.protect registry_mutex (fun () ->
+      match List.find_opt (fun t -> t.rname = name) !registry with
+      | Some t -> t
+      | None ->
+          let t =
+            {
+              rname = name;
+              window;
+              stamps = Array.make window min_int;
+              values = Array.make window 0.;
+            }
+          in
+          registry := !registry @ [ t ];
+          t)
+
+let name t = t.rname
+let window t = t.window
+
+let add t ~now v =
+  let sec = int_of_float (floor now) in
+  let slot = ((sec mod t.window) + t.window) mod t.window in
+  if t.stamps.(slot) <> sec then begin
+    t.stamps.(slot) <- sec;
+    t.values.(slot) <- 0.
+  end;
+  t.values.(slot) <- t.values.(slot) +. v
+
+let incr t ~now = add t ~now 1.
+
+let total t ~now =
+  let sec = int_of_float (floor now) in
+  let acc = ref 0. in
+  for i = 0 to t.window - 1 do
+    if t.stamps.(i) > sec - t.window && t.stamps.(i) <= sec then
+      acc := !acc +. t.values.(i)
+  done;
+  !acc
+
+let rate t ~now = total t ~now /. float_of_int t.window
+
+type snapshot = {
+  r_name : string;
+  r_window : int;
+  r_total : float;
+  r_per_second : float;
+}
+
+let snapshot t ~now =
+  let tot = total t ~now in
+  {
+    r_name = t.rname;
+    r_window = t.window;
+    r_total = tot;
+    r_per_second = tot /. float_of_int t.window;
+  }
+
+let all ~now =
+  Mutex.protect registry_mutex (fun () -> !registry)
+  |> List.map (fun t -> snapshot t ~now)
+
+let reset t =
+  Array.fill t.stamps 0 t.window min_int;
+  Array.fill t.values 0 t.window 0.
+
+let reset_all () =
+  Mutex.protect registry_mutex (fun () -> !registry) |> List.iter reset

@@ -1,0 +1,39 @@
+(** Rolling-window gauges over per-second slot rings: cheap "last N seconds"
+    totals and rates (events/s, cache hit-rate numerators and denominators,
+    abort rates) driven by caller-supplied event time.  Single-writer: the
+    intended producer is the serve daemon's event loop; concurrent writers
+    are not supported. *)
+
+type t
+
+val create : ?window:int -> string -> t
+(** Idempotent per name; [window] (seconds, default 60) is fixed by the
+    first creation. *)
+
+val name : t -> string
+val window : t -> int
+
+val add : t -> now:float -> float -> unit
+(** Accumulate [v] into the slot for the epoch second of [now]. *)
+
+val incr : t -> now:float -> unit
+
+val total : t -> now:float -> float
+(** Sum over slots stamped within (now - window, now]. *)
+
+val rate : t -> now:float -> float
+(** [total / window] — per-second rate over the window. *)
+
+type snapshot = {
+  r_name : string;
+  r_window : int;
+  r_total : float;
+  r_per_second : float;
+}
+
+val snapshot : t -> now:float -> snapshot
+val all : now:float -> snapshot list
+(** Snapshots of every registered gauge, in registration order. *)
+
+val reset : t -> unit
+val reset_all : unit -> unit

@@ -17,6 +17,10 @@ module Resize = Dtr_core.Resize
 module Lexico = Dtr_cost.Lexico
 module Metric = Dtr_obs.Metric
 module Span = Dtr_obs.Span
+module Histogram = Dtr_obs.Histogram
+module Rolling = Dtr_obs.Rolling
+module Log = Dtr_obs.Log
+module Openmetrics = Dtr_obs.Openmetrics
 module Lru = Dtr_util.Lru
 module P = Protocol
 
@@ -30,6 +34,12 @@ module Cache = Lru.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* Periodic OpenMetrics dumps: [write] receives one whole exposition
+   snapshot (terminated by "# EOF") after every [every] handled events.
+   [every = 0] disables the periodic mode — the caller can still snapshot
+   on demand via [exposition] or the [metrics] protocol request. *)
+type metrics_sink = { write : string -> unit; every : int }
+
 type config = {
   scenario : Scenario.t;
   incumbent : Weights.t;
@@ -38,6 +48,7 @@ type config = {
   seed : int;
   exec : Dtr_exec.Exec.t;
   cache_capacity : int;
+  metrics : metrics_sink option;
 }
 
 (* A cached what-if answer: just the scalars — the load arrays of a full
@@ -71,6 +82,8 @@ type t = {
      moves. *)
   delta : Delta_cache.t;
   mutable warm_pruned : int;  (* trials early-aborted across warm repairs *)
+  mutable warm_evals : int;  (* fully-priced trials across warm repairs *)
+  metrics : metrics_sink option;
   perturb_rng : Rng.t;
   warm_rng : Rng.t;
   fraction : float option;
@@ -85,6 +98,37 @@ type t = {
 
 let c_events = Metric.Counter.create "serve.events"
 let c_errors = Metric.Counter.create "serve.errors"
+
+(* --- live telemetry ------------------------------------------------------ *)
+
+(* One latency histogram per event kind, registered up front so every run
+   reports the same histogram set (deterministic report layout even for
+   kinds a given trace never exercises).  Recording is unconditional, like
+   the [t.lat] latency array the [stats] reply has always kept: it touches
+   no RNG and no optimizer state, so the fixed-seed obs-on = obs-off
+   identity holds by construction. *)
+let event_kinds =
+  [
+    "hello"; "tm_update"; "link_down"; "link_up"; "srlg_down"; "resize";
+    "eval"; "reoptimize"; "stats"; "metrics"; "shutdown";
+  ]
+
+let latency_hists =
+  List.map
+    (fun k -> (k, Histogram.create ~labels:[ ("event", k) ] "serve.latency"))
+    event_kinds
+
+let hist_for name = List.assoc name latency_hists
+
+(* Rolling-window gauges over event time (the daemon stamps each handled
+   event); totals feed the events/s, cache hit-rate and warm abort-rate
+   gauges in [stats] and the OpenMetrics exposition. *)
+let roll_events = Rolling.create "serve.events"
+let roll_errors = Rolling.create "serve.errors"
+let roll_cache_hits = Rolling.create "serve.cache_hits"
+let roll_cache_lookups = Rolling.create "serve.cache_lookups"
+let roll_pruned = Rolling.create "serve.warm_pruned"
+let roll_trials = Rolling.create "serve.warm_trials"
 
 let create (cfg : config) =
   {
@@ -105,6 +149,8 @@ let create (cfg : config) =
        entire working set before the next event can reuse it. *)
     delta = Delta_cache.create ~capacity:4096;
     warm_pruned = 0;
+    warm_evals = 0;
+    metrics = cfg.metrics;
     perturb_rng = Rng.create (cfg.seed + 2);
     warm_rng = Rng.create (cfg.seed + 3);
     fraction = cfg.fraction;
@@ -399,6 +445,7 @@ let handle_reopt_warm t ~max_sweeps ~max_rounds ~target =
   in
   let seconds = Unix.gettimeofday () -. t0 in
   t.warm_pruned <- t.warm_pruned + r.Optimizer.warm_pruned;
+  t.warm_evals <- t.warm_evals + r.Optimizer.warm_evals;
   set_incumbent t r.Optimizer.weights;
   Ok
     (Json.Obj
@@ -454,9 +501,23 @@ let percentile_ms t p =
   if t.lat_len = 0 then 0.
   else 1000. *. Stat.percentile (Array.sub t.lat 0 t.lat_len) p
 
+let ratio num_ den_ = if den_ <= 0. then 0. else num_ /. den_
+
+(* The three headline rolling gauges, computed at [now] from the window
+   totals: events/s, eval-cache hit-rate (hits over lookups) and warm
+   abort-rate (early-aborted trials over all warm trials). *)
+let rolling_rates ~now =
+  let tot r = Rolling.total r ~now in
+  ( Rolling.rate roll_events ~now,
+    ratio (tot roll_cache_hits) (tot roll_cache_lookups),
+    ratio (tot roll_pruned) (tot roll_trials) )
+
 let handle_stats t =
   let s = Cache.stats t.cache in
   let d = Delta_cache.stats t.delta in
+  let now = Unix.gettimeofday () in
+  let events_ps, hit_rate, abort_rate = rolling_rates ~now in
+  let lookups = s.Lru.hits + s.Lru.misses in
   Ok
     (Json.Obj
        [
@@ -475,21 +536,34 @@ let handle_stats t =
              [
                ("hits", int s.Lru.hits);
                ("misses", int s.Lru.misses);
+               ("lookups", int lookups);
+               ("hit_rate", num (ratio (float_of_int s.Lru.hits) (float_of_int lookups)));
                ("evictions", int s.Lru.evictions);
                ("length", int s.Lru.length);
                ("capacity", int s.Lru.capacity);
+               ( "occupancy",
+                 num (ratio (float_of_int s.Lru.length) (float_of_int s.Lru.capacity)) );
              ] );
          ( "pruning",
            Json.Obj
              [
                ("enabled", Json.Bool (Prune.enabled ()));
                ("warm_pruned", int t.warm_pruned);
+               ("warm_evals", int t.warm_evals);
                ("delta_hits", int d.Delta_cache.hits);
                ("delta_lower_hits", int d.Delta_cache.lower_hits);
                ("delta_misses", int d.Delta_cache.misses);
                ("delta_evictions", int d.Delta_cache.evictions);
                ("delta_length", int d.Delta_cache.length);
                ("delta_capacity", int d.Delta_cache.capacity);
+             ] );
+         ( "rolling",
+           Json.Obj
+             [
+               ("window_seconds", int (Rolling.window roll_events));
+               ("events_per_second", num events_ps);
+               ("cache_hit_rate", num hit_rate);
+               ("abort_rate", num abort_rate);
              ] );
          ( "epochs",
            Json.Obj
@@ -501,6 +575,67 @@ let handle_stats t =
          ("failed", Json.Arr (List.map int t.failed));
          ("critical_arcs", int (List.length t.critical));
        ])
+
+(* One OpenMetrics text snapshot of everything the daemon can see: its own
+   counters, the shared LRU/delta-cache/pruning state, per-event-kind
+   latency histograms and the rolling-window gauges.  Served inline by the
+   [metrics] protocol request and dumped periodically by [--metrics]. *)
+let exposition t =
+  let now = Unix.gettimeofday () in
+  let b = Openmetrics.create () in
+  let s = Cache.stats t.cache in
+  let d = Delta_cache.stats t.delta in
+  let fl = float_of_int in
+  Openmetrics.counter b ~name:"dtr_serve_events" (fl t.events);
+  Openmetrics.counter b ~name:"dtr_serve_errors" (fl t.errors);
+  List.iter
+    (fun (_, h) ->
+      Openmetrics.histogram b ~name:"dtr_serve_latency_seconds"
+        (Histogram.snapshot h))
+    latency_hists;
+  List.iter
+    (fun (op, v) ->
+      Openmetrics.counter b ~name:"dtr_serve_cache_ops"
+        ~labels:[ ("op", op) ] (fl v))
+    [ ("hit", s.Lru.hits); ("miss", s.Lru.misses); ("evict", s.Lru.evictions) ];
+  Openmetrics.gauge b ~name:"dtr_serve_cache_entries" (fl s.Lru.length);
+  Openmetrics.gauge b ~name:"dtr_serve_cache_capacity" (fl s.Lru.capacity);
+  List.iter
+    (fun (op, v) ->
+      Openmetrics.counter b ~name:"dtr_serve_delta_cache_ops"
+        ~labels:[ ("op", op) ] (fl v))
+    [
+      ("hit", d.Delta_cache.hits);
+      ("lower_hit", d.Delta_cache.lower_hits);
+      ("miss", d.Delta_cache.misses);
+      ("evict", d.Delta_cache.evictions);
+    ];
+  Openmetrics.gauge b ~name:"dtr_serve_delta_cache_entries"
+    (fl d.Delta_cache.length);
+  Openmetrics.counter b ~name:"dtr_serve_warm_pruned" (fl t.warm_pruned);
+  Openmetrics.counter b ~name:"dtr_serve_warm_evals" (fl t.warm_evals);
+  List.iter
+    (fun (kind, v) ->
+      Openmetrics.counter b ~name:"dtr_serve_epoch"
+        ~labels:[ ("kind", kind) ] (fl v))
+    [
+      ("graph", t.graph_epoch);
+      ("matrix", t.matrix_epoch);
+      ("weights", t.weights_epoch);
+    ];
+  Openmetrics.gauge b ~name:"dtr_serve_failed_arcs" (fl (List.length t.failed));
+  Openmetrics.gauge b ~name:"dtr_serve_critical_arcs"
+    (fl (List.length t.critical));
+  let events_ps, hit_rate, abort_rate = rolling_rates ~now in
+  let window = [ ("window", string_of_int (Rolling.window roll_events)) ] in
+  Openmetrics.gauge b ~name:"dtr_serve_events_per_second" ~labels:window
+    events_ps;
+  Openmetrics.gauge b ~name:"dtr_serve_cache_hit_rate" ~labels:window hit_rate;
+  Openmetrics.gauge b ~name:"dtr_serve_abort_rate" ~labels:window abort_rate;
+  Openmetrics.render b
+
+let handle_metrics t =
+  Ok (Json.Obj [ ("exposition", Json.Str (exposition t)) ])
 
 let dispatch t (event : P.event) =
   match event with
@@ -517,7 +652,76 @@ let dispatch t (event : P.event) =
     ->
       handle_reopt_full t
   | P.Stats -> handle_stats t
+  | P.Metrics -> handle_metrics t
   | P.Shutdown -> Ok (Json.Obj [])
+
+(* Result fields worth echoing into the structured log line: the cost
+   coordinates, cache outcome and re-optimization effort of the handler's
+   reply, by key.  Everything else (arrays, wall-clock seconds the latency
+   field already covers) stays out of the log. *)
+let log_result_keys =
+  [
+    "lambda"; "phi"; "start_lambda"; "start_phi"; "cached"; "mode"; "sweeps";
+    "evals"; "rounds"; "pruned"; "connected"; "target_reached";
+  ]
+
+(* One JSONL line per handled event (schema dtr-serve-log/1): latency,
+   selected result fields, the reoptimize cost delta (dlambda, dphi), the
+   per-event cache/pruning deltas and the epoch coordinates after the
+   event.  No-op unless a [Log] sink is attached. *)
+let log_event t ~id ~name ~seconds ~outcome ~(c0 : Lru.stats)
+    ~(d0 : Delta_cache.stats) ~wp0 ~we0 =
+  let c1 = Cache.stats t.cache and d1 = Delta_cache.stats t.delta in
+  let result_fields =
+    match outcome with
+    | Ok (Json.Obj fields) ->
+        let picked =
+          List.filter (fun (k, _) -> List.mem k log_result_keys) fields
+        in
+        let delta k k0 =
+          match (List.assoc_opt k fields, List.assoc_opt k0 fields) with
+          | Some (Json.Num v), Some (Json.Num v0) ->
+              [ ("d" ^ k, Json.Num (v -. v0)) ]
+          | _ -> []
+        in
+        picked @ delta "lambda" "start_lambda" @ delta "phi" "start_phi"
+    | Ok _ -> []
+    | Error (code, message) ->
+        [
+          ("code", Json.Str (P.error_code_name code));
+          ("message", Json.Str message);
+        ]
+  in
+  Log.event ~schema:Log.serve_schema ~name
+    ([
+       ("id", int id);
+       ("ok", Json.Bool (Result.is_ok outcome));
+       ("latency_ms", num (1000. *. seconds));
+     ]
+    @ result_fields
+    @ [
+        ("cache_hits_delta", int (c1.Lru.hits - c0.Lru.hits));
+        ("cache_misses_delta", int (c1.Lru.misses - c0.Lru.misses));
+        ( "delta_cache_hits_delta",
+          int
+            (d1.Delta_cache.hits + d1.Delta_cache.lower_hits
+            - (d0.Delta_cache.hits + d0.Delta_cache.lower_hits)) );
+        ("warm_pruned_delta", int (t.warm_pruned - wp0));
+        ("warm_evals_delta", int (t.warm_evals - we0));
+        ( "epochs",
+          Json.Obj
+            [
+              ("graph", int t.graph_epoch);
+              ("matrix", int t.matrix_epoch);
+              ("weights", int t.weights_epoch);
+            ] );
+      ])
+
+let maybe_dump_metrics t =
+  match t.metrics with
+  | Some sink when sink.every > 0 && t.events mod sink.every = 0 ->
+      sink.write (exposition t)
+  | _ -> ()
 
 let handle_line t line =
   t.events <- t.events + 1;
@@ -526,9 +730,22 @@ let handle_line t line =
   | Error (code, message) ->
       t.errors <- t.errors + 1;
       if Metric.enabled () then Metric.Counter.incr c_errors;
+      let now = Unix.gettimeofday () in
+      Rolling.incr roll_events ~now;
+      Rolling.incr roll_errors ~now;
+      if Log.enabled () then
+        Log.event ~schema:Log.serve_schema ~name:"parse_error"
+          [
+            ("ok", Json.Bool false);
+            ("code", Json.Str (P.error_code_name code));
+            ("message", Json.Str message);
+          ];
+      maybe_dump_metrics t;
       (P.error_response ~id:None ~code ~message, true)
   | Ok { P.id; event } -> (
       let name = P.event_name event in
+      let c0 = Cache.stats t.cache and d0 = Delta_cache.stats t.delta in
+      let wp0 = t.warm_pruned and we0 = t.warm_evals in
       let t0 = Unix.gettimeofday () in
       let outcome =
         Span.with_ ~name:("serve." ^ name) @@ fun () ->
@@ -537,7 +754,22 @@ let handle_line t line =
         | exception Invalid_argument msg -> Error (P.Bad_request, msg)
         | exception exn -> Error (P.Internal, Printexc.to_string exn)
       in
-      record_latency t (Unix.gettimeofday () -. t0);
+      let now = Unix.gettimeofday () in
+      let seconds = now -. t0 in
+      record_latency t seconds;
+      Histogram.record (hist_for name) seconds;
+      Rolling.incr roll_events ~now;
+      if Result.is_error outcome then Rolling.incr roll_errors ~now;
+      let c1 = Cache.stats t.cache in
+      Rolling.add roll_cache_hits ~now (float_of_int (c1.Lru.hits - c0.Lru.hits));
+      Rolling.add roll_cache_lookups ~now
+        (float_of_int (c1.Lru.hits + c1.Lru.misses - (c0.Lru.hits + c0.Lru.misses)));
+      Rolling.add roll_pruned ~now (float_of_int (t.warm_pruned - wp0));
+      Rolling.add roll_trials ~now
+        (float_of_int (t.warm_evals + t.warm_pruned - (we0 + wp0)));
+      if Log.enabled () then
+        log_event t ~id ~name ~seconds ~outcome ~c0 ~d0 ~wp0 ~we0;
+      maybe_dump_metrics t;
       match outcome with
       | Ok result ->
           (P.ok_response ~id ~event:name result, event <> P.Shutdown)

@@ -18,6 +18,12 @@
     [dtr-opt optimize] on the same matrices would use, which is what makes
     the warm-vs-cold identity tests byte-exact. *)
 
+(** Periodic OpenMetrics dumps: [write] receives one whole exposition
+    snapshot (terminated by ["# EOF"]) after every [every] handled events;
+    [every = 0] leaves only on-demand snapshots ({!exposition} or the
+    [metrics] protocol request). *)
+type metrics_sink = { write : string -> unit; every : int }
+
 type config = {
   scenario : Dtr_core.Scenario.t;
   incumbent : Dtr_core.Weights.t;
@@ -26,6 +32,7 @@ type config = {
   seed : int;  (** the scenario seed; RNG streams derive from it *)
   exec : Dtr_exec.Exec.t;
   cache_capacity : int;  (** pricing-LRU capacity (entries) *)
+  metrics : metrics_sink option;
 }
 
 type t
@@ -36,6 +43,12 @@ val incumbent : t -> Dtr_core.Weights.t
 (** The current incumbent setting (shared, do not mutate). *)
 
 val cache_stats : t -> Dtr_util.Lru.stats
+
+val exposition : t -> string
+(** One OpenMetrics v1 text snapshot (daemon counters, cache and pruning
+    state, per-event-kind latency histograms, rolling gauges), terminated
+    by ["# EOF"].  The same text the [metrics] protocol request returns
+    inline. *)
 
 val handle_line : t -> string -> string * bool
 (** Process one request line; returns the response line (no newline) and

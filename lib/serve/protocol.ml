@@ -28,6 +28,7 @@ type event =
       target : (float * float) option;
     }
   | Stats
+  | Metrics
   | Shutdown
 
 type request = { id : int; event : event }
@@ -50,6 +51,7 @@ let event_name = function
   | Eval _ -> "eval"
   | Reoptimize _ -> "reoptimize"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 (* --- request parsing ----------------------------------------------------- *)
@@ -183,6 +185,7 @@ let event_of j = function
       Ok (Eval { failure })
   | "reoptimize" -> reoptimize_of j
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | kind -> Error (Unknown_event, Printf.sprintf "unknown event %S" kind)
 

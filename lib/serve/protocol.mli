@@ -58,6 +58,9 @@ type event =
               wire, both or neither) *)
     }
   | Stats
+  | Metrics
+      (** one OpenMetrics text snapshot of the live telemetry, returned
+          inline in the result's ["exposition"] field *)
   | Shutdown
 
 type request = { id : int; event : event }

@@ -68,19 +68,55 @@ let test_obs_start_symmetry () =
       Dtr_obs.Metric.set_enabled saved_metric;
       Dtr_obs.Trace.set_enabled saved_trace)
     (fun () ->
-      Cli.obs_start ~verbose:false ~report:None ~trace:(Some "t.json");
+      Cli.obs_start ~verbose:false ~report:None ~trace:(Some "t.json") ();
       Alcotest.(check bool) "--trace enables metrics" true (Dtr_obs.Metric.enabled ());
       Alcotest.(check bool) "--trace enables the recorder" true
         (Dtr_obs.Trace.enabled ());
-      Cli.obs_start ~verbose:false ~report:None ~trace:None;
+      Cli.obs_start ~verbose:false ~report:None ~trace:None ();
       Alcotest.(check bool) "plain run disables metrics again" false
         (Dtr_obs.Metric.enabled ());
       Alcotest.(check bool) "plain run disables the recorder again" false
         (Dtr_obs.Trace.enabled ());
-      Cli.obs_start ~verbose:false ~report:(Some "r.json") ~trace:None;
+      Cli.obs_start ~verbose:false ~report:(Some "r.json") ~trace:None ();
       Alcotest.(check bool) "--report enables metrics" true (Dtr_obs.Metric.enabled ());
       Alcotest.(check bool) "--report alone leaves the recorder off" false
         (Dtr_obs.Trace.enabled ()))
+
+(* A run that raises mid-flight must not leak enabled instrumentation or an
+   attached log sink into the next in-process run: with_obs tears the whole
+   bracket down on the way out and re-raises the original exception. *)
+let test_with_obs_exception_safety () =
+  let saved_metric = Dtr_obs.Metric.enabled () in
+  let saved_trace = Dtr_obs.Trace.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Dtr_obs.Metric.set_enabled saved_metric;
+      Dtr_obs.Trace.set_enabled saved_trace)
+    (fun () ->
+      let raised =
+        match
+          Cli.with_obs ~log:"fd:2" ~verbose:true ~report:None
+            ~trace:(Some "t.json") (fun () ->
+              Alcotest.(check bool) "metrics on inside the bracket" true
+                (Dtr_obs.Metric.enabled ());
+              Alcotest.(check bool) "log sink attached inside the bracket" true
+                (Dtr_obs.Log.enabled ());
+              failwith "boom")
+        with
+        | () -> false
+        | exception Failure msg -> msg = "boom"
+      in
+      Alcotest.(check bool) "original exception re-raised" true raised;
+      Alcotest.(check bool) "raise disables metrics" false
+        (Dtr_obs.Metric.enabled ());
+      Alcotest.(check bool) "raise disables the recorder" false
+        (Dtr_obs.Trace.enabled ());
+      Alcotest.(check bool) "raise detaches the log sink" false
+        (Dtr_obs.Log.enabled ());
+      (* The success path leaves whatever the run configured in place. *)
+      Cli.with_obs ~verbose:false ~report:None ~trace:None (fun () -> ());
+      Alcotest.(check bool) "clean run leaves metrics off" false
+        (Dtr_obs.Metric.enabled ()))
 
 (* --- trace diff --------------------------------------------------------- *)
 
@@ -284,6 +320,104 @@ let test_sparkline () =
   let long = Trace_cmd.sparkline (List.init 500 float_of_int) in
   Alcotest.(check bool) "long series bounded" true (String.length long <= 72)
 
+(* --- trace diff over /3 histograms -------------------------------------- *)
+
+let report_doc_v3 ~eval_count ~bucket_count =
+  Printf.sprintf
+    {|{
+  "schema": "dtr-obs-report/3",
+  "spans": [],
+  "counters": {},
+  "histograms": [
+    {"name": "serve.latency", "labels": {"event": "eval"}, "count": %d,
+     "sum": 0.5, "p50": 0.001, "p90": 0.002, "p99": 0.004, "p999": 0.004,
+     "buckets": [{"le": 0.001, "count": %d}, {"le": 0.004, "count": 2}]}
+  ],
+  "rolling": [{"name": "serve.events", "window_seconds": 60, "total": 5.0,
+               "per_second": 0.083}]
+}|}
+    eval_count bucket_count
+
+let test_trace_diff_histograms () =
+  let doc = report_doc_v3 ~eval_count:7 ~bucket_count:5 in
+  (match Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B" ~a:doc ~b:doc with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+      Alcotest.(check int) "identical /3 reports: no histogram deltas" 0
+        d.Trace_cmd.histogram_deltas);
+  (* Bucket placement depends on wall-clock latency, so bucket drift at the
+     same total must NOT gate — only total-count drift is deterministic. *)
+  (match
+     Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B"
+       ~a:(report_doc_v3 ~eval_count:7 ~bucket_count:5)
+       ~b:(report_doc_v3 ~eval_count:7 ~bucket_count:4)
+   with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+      Alcotest.(check int) "bucket drift at the same total never gates" 0
+        d.Trace_cmd.histogram_deltas);
+  match
+    Trace_cmd.diff_reports ~label_a:"A" ~label_b:"B"
+      ~a:(report_doc_v3 ~eval_count:7 ~bucket_count:5)
+      ~b:(report_doc_v3 ~eval_count:8 ~bucket_count:5)
+  with
+  | Error e -> Alcotest.failf "diff failed: %s" e
+  | Ok d ->
+      Alcotest.(check int) "total-count drift is a histogram delta" 1
+        d.Trace_cmd.histogram_deltas
+
+(* --- trace metrics-check ------------------------------------------------- *)
+
+let om_snapshot ?(events = 3) ?(inf = 2) ?(count = 2) ?(b1 = 1) () =
+  String.concat "\n"
+    [
+      "# TYPE dtr_serve_events counter";
+      Printf.sprintf "dtr_serve_events_total %d" events;
+      "# TYPE dtr_serve_latency_seconds histogram";
+      Printf.sprintf
+        {|dtr_serve_latency_seconds_bucket{event="eval",le="0.001"} %d|} b1;
+      Printf.sprintf
+        {|dtr_serve_latency_seconds_bucket{event="eval",le="+Inf"} %d|} inf;
+      {|dtr_serve_latency_seconds_sum{event="eval"} 0.0015|};
+      Printf.sprintf {|dtr_serve_latency_seconds_count{event="eval"} %d|} count;
+      "# EOF";
+      "";
+    ]
+
+let test_metrics_check_valid () =
+  match Trace_cmd.metrics_check (om_snapshot () ^ om_snapshot ~events:5 ()) with
+  | Error e -> Alcotest.failf "metrics-check failed: %s" e
+  | Ok r ->
+      Alcotest.(check int) "two snapshots parsed" 2 r.Trace_cmd.m_snapshots;
+      Alcotest.(check (list string)) "no violations" [] r.Trace_cmd.m_violations
+
+let test_metrics_check_violations () =
+  let check_violated name content =
+    match Trace_cmd.metrics_check content with
+    | Error e -> Alcotest.failf "%s: structural error instead of violation: %s" name e
+    | Ok r ->
+        Alcotest.(check bool)
+          (name ^ " reports a violation") true
+          (r.Trace_cmd.m_violations <> [])
+  in
+  (* Counter going backwards between snapshots. *)
+  check_violated "counter regression" (om_snapshot ~events:5 () ^ om_snapshot ~events:3 ());
+  (* +Inf bucket disagreeing with _count. *)
+  check_violated "+Inf vs _count" (om_snapshot ~inf:9 ());
+  (* Non-cumulative buckets: a bucket above the +Inf value. *)
+  check_violated "non-cumulative buckets" (om_snapshot ~b1:7 ());
+  (* Sample without a declared family. *)
+  check_violated "undeclared family"
+    "# TYPE dtr_serve_events counter\nmystery_metric 1\n# EOF\n"
+
+let test_metrics_check_structural_errors () =
+  (match Trace_cmd.metrics_check "# TYPE x counter\nx_total 1\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing # EOF must be a structural error");
+  match Trace_cmd.metrics_check "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty stream must be a structural error"
+
 let suite =
   [
     Alcotest.test_case "--jobs validation exit codes" `Quick
@@ -291,6 +425,16 @@ let suite =
     Alcotest.test_case "jobs_conv parser" `Quick test_jobs_conv_parse;
     Alcotest.test_case "exec_of_jobs" `Quick test_exec_of_jobs;
     Alcotest.test_case "obs_start symmetry" `Quick test_obs_start_symmetry;
+    Alcotest.test_case "with_obs exception safety" `Quick
+      test_with_obs_exception_safety;
+    Alcotest.test_case "trace diff: /3 histograms" `Quick
+      test_trace_diff_histograms;
+    Alcotest.test_case "metrics-check: valid stream" `Quick
+      test_metrics_check_valid;
+    Alcotest.test_case "metrics-check: violations" `Quick
+      test_metrics_check_violations;
+    Alcotest.test_case "metrics-check: structural errors" `Quick
+      test_metrics_check_structural_errors;
     Alcotest.test_case "trace diff: identical reports" `Quick
       test_trace_diff_identical;
     Alcotest.test_case "trace diff: detects deltas" `Quick

@@ -1,0 +1,281 @@
+(* Tests for the live-telemetry primitives (dtr_obs): the log-linear
+   latency histogram — bucket geometry, exact counts, nearest-rank
+   quantiles, the shard-merge = single-stream algebra, and the /3 report
+   round-trip through the JSON parser — and the rolling-window gauges
+   driven by caller-supplied event time. *)
+
+module Histogram = Dtr_obs.Histogram
+module Rolling = Dtr_obs.Rolling
+module Report = Dtr_obs.Report
+module Json = Dtr_util.Json
+
+(* --- bucket geometry ----------------------------------------------------- *)
+
+let test_bucket_geometry () =
+  (* Every bucket's half-open range contains exactly the values that index
+     back into it; bucket upper bounds are the next bucket's lower bound. *)
+  for i = 0 to Histogram.num_buckets - 1 do
+    let lo, up = Histogram.bucket_bounds i in
+    Alcotest.(check bool) "bounds ordered" true (lo < up);
+    Alcotest.(check int)
+      (Printf.sprintf "lower bound of bucket %d maps to itself" i)
+      i
+      (Histogram.index_of_seconds lo);
+    if i < Histogram.num_buckets - 1 then begin
+      let lo', _ = Histogram.bucket_bounds (i + 1) in
+      Alcotest.(check (float 1e-12)) "contiguous buckets" up lo';
+      (* The bucket midpoint stays in the bucket (the exact upper bound is
+         subject to float-to-microsecond truncation, the midpoint is not). *)
+      Alcotest.(check int) "midpoint maps into the bucket" i
+        (Histogram.index_of_seconds ((lo +. up) /. 2.))
+    end
+  done;
+  (* Relative bucket width stays within the documented ~3.2% (1/sub). *)
+  for i = 32 to Histogram.num_buckets - 1 do
+    let lo, up = Histogram.bucket_bounds i in
+    Alcotest.(check bool) "relative width bounded" true ((up -. lo) /. lo <= 1. /. 32. +. 1e-9)
+  done
+
+let test_index_edge_cases () =
+  Alcotest.(check int) "negative clamps to bucket 0" 0
+    (Histogram.index_of_seconds (-3.));
+  Alcotest.(check int) "zero is bucket 0" 0 (Histogram.index_of_seconds 0.);
+  Alcotest.(check int) "sub-microsecond is bucket 0" 0
+    (Histogram.index_of_seconds 4e-7);
+  Alcotest.(check int) "huge values clamp to the last bucket"
+    (Histogram.num_buckets - 1)
+    (Histogram.index_of_seconds 1e12);
+  Alcotest.(check int) "infinity clamps to the last bucket"
+    (Histogram.num_buckets - 1)
+    (Histogram.index_of_seconds infinity)
+
+(* --- recording and snapshots --------------------------------------------- *)
+
+let test_record_snapshot () =
+  let h = Histogram.create ~labels:[ ("case", "unit") ] "test.hist.basic" in
+  Histogram.reset h;
+  List.iter (Histogram.record h) [ 1e-6; 1e-6; 5e-6; 1e-3; 2.5 ];
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "exact count" 5 s.Histogram.count;
+  Alcotest.(check (float 1e-9)) "exact sum" (1e-6 +. 1e-6 +. 5e-6 +. 1e-3 +. 2.5)
+    s.Histogram.sum;
+  Alcotest.(check int) "distinct buckets" 4 (List.length s.Histogram.buckets);
+  List.iter
+    (fun (i, c) ->
+      Alcotest.(check bool) "no zero buckets in snapshot" true (c > 0);
+      Alcotest.(check bool) "indices in range" true
+        (i >= 0 && i < Histogram.num_buckets))
+    s.Histogram.buckets;
+  let idx = List.map fst s.Histogram.buckets in
+  Alcotest.(check (list int)) "ascending bucket order" (List.sort compare idx) idx;
+  Histogram.reset h;
+  Alcotest.(check int) "reset empties" 0 (Histogram.snapshot h).Histogram.count
+
+let test_create_idempotent () =
+  let a = Histogram.create ~labels:[ ("k", "v") ] "test.hist.idem" in
+  let b = Histogram.create ~labels:[ ("k", "v") ] "test.hist.idem" in
+  Histogram.reset a;
+  Histogram.record a 1e-4;
+  Alcotest.(check int) "same (name, labels) is the same histogram" 1
+    (Histogram.snapshot b).Histogram.count;
+  let c = Histogram.create ~labels:[ ("k", "other") ] "test.hist.idem" in
+  Alcotest.(check int) "different labels are a different histogram" 0
+    (Histogram.snapshot c).Histogram.count
+
+(* Recording from several domains lands in per-domain shards; the snapshot
+   merge must still see every recording exactly once. *)
+let test_multi_domain_merge () =
+  let h = Histogram.create "test.hist.domains" in
+  Histogram.reset h;
+  let per_domain = 500 in
+  let worker () =
+    for i = 1 to per_domain do
+      Histogram.record h (1e-6 *. float_of_int i)
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  worker ();
+  Domain.join d1;
+  Domain.join d2;
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "all shards merged" (3 * per_domain) s.Histogram.count;
+  Alcotest.(check int) "bucket counts sum to the total" s.Histogram.count
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Histogram.buckets)
+
+(* --- quantiles ----------------------------------------------------------- *)
+
+let test_quantile_known_distribution () =
+  let h = Histogram.create "test.hist.quantile" in
+  Histogram.reset h;
+  (* 90 fast observations at 2 us, 10 slow at ~1 ms. *)
+  for _ = 1 to 90 do Histogram.record h 2e-6 done;
+  for _ = 1 to 10 do Histogram.record h 1e-3 done;
+  let s = Histogram.snapshot h in
+  let _, up_fast = Histogram.bucket_bounds (Histogram.index_of_seconds 2e-6) in
+  let _, up_slow = Histogram.bucket_bounds (Histogram.index_of_seconds 1e-3) in
+  Alcotest.(check (float 1e-12)) "p50 is the fast bucket" up_fast
+    (Histogram.quantile s 50.);
+  Alcotest.(check (float 1e-12)) "p90 is the fast bucket (rank 90)" up_fast
+    (Histogram.quantile s 90.);
+  Alcotest.(check (float 1e-12)) "p99 is the slow bucket" up_slow
+    (Histogram.quantile s 99.);
+  Alcotest.(check (float 1e-12)) "empty snapshot quantile is 0" 0.
+    (Histogram.quantile { s with Histogram.count = 0; buckets = [] } 50.)
+
+(* --- qcheck properties --------------------------------------------------- *)
+
+let samples_gen =
+  QCheck.(list_of_size (Gen.int_range 1 200) (float_range 1e-7 100.))
+
+(* Splitting a recording stream across histograms and merging the snapshots
+   is indistinguishable from recording everything into one histogram — the
+   algebra behind both the per-domain shard merge and report aggregation. *)
+let test_merge_is_single_stream_prop =
+  QCheck.Test.make ~name:"shard-merge = single-stream recording" ~count:100
+    QCheck.(pair samples_gen (int_range 0 200))
+    (fun (samples, cut) ->
+      let ha = Histogram.create "test.hist.prop_a" in
+      let hb = Histogram.create "test.hist.prop_b" in
+      let hall = Histogram.create "test.hist.prop_all" in
+      Histogram.reset ha;
+      Histogram.reset hb;
+      Histogram.reset hall;
+      List.iteri
+        (fun i v ->
+          Histogram.record (if i < cut then ha else hb) v;
+          Histogram.record hall v)
+        samples;
+      let merged = Histogram.merge (Histogram.snapshot ha) (Histogram.snapshot hb) in
+      let whole = Histogram.snapshot hall in
+      merged.Histogram.count = whole.Histogram.count
+      && merged.Histogram.buckets = whole.Histogram.buckets
+      && Float.abs (merged.Histogram.sum -. whole.Histogram.sum)
+         <= 1e-9 *. Float.max 1. whole.Histogram.sum)
+
+(* The estimator returns the upper bound of the bucket holding the true
+   nearest-rank order statistic: the true value lies within one bucket
+   width below the estimate (the documented rank-error contract). *)
+let test_quantile_rank_error_prop =
+  QCheck.Test.make ~name:"quantile rank error <= one bucket width" ~count:100
+    QCheck.(pair samples_gen (float_range 0. 100.))
+    (fun (samples, q) ->
+      let h = Histogram.create "test.hist.prop_q" in
+      Histogram.reset h;
+      List.iter (Histogram.record h) samples;
+      let s = Histogram.snapshot h in
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank =
+        let r = int_of_float (ceil (q /. 100. *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let v_true = List.nth sorted (rank - 1) in
+      let lo, up = Histogram.bucket_bounds (Histogram.index_of_seconds v_true) in
+      let est = Histogram.quantile s q in
+      est = up && lo <= v_true && v_true < up +. 1e-12)
+
+(* The /3 report's histogram section survives a round trip through the JSON
+   parser with its integer counts intact — the property trace diff and the
+   CI determinism gate rely on. *)
+let test_report_roundtrip_prop =
+  QCheck.Test.make ~name:"report /3 histogram JSON round-trips" ~count:30
+    samples_gen
+    (fun samples ->
+      let h =
+        Histogram.create ~labels:[ ("event", "roundtrip") ] "test.hist.report"
+      in
+      Histogram.reset h;
+      List.iter (Histogram.record h) samples;
+      let doc = Report.to_string () in
+      let j =
+        match Json.parse doc with
+        | Ok j -> j
+        | Error e -> QCheck.Test.fail_reportf "report is not JSON: %s" e
+      in
+      let hists =
+        match Json.member "histograms" j with
+        | Some (Json.Arr hs) -> hs
+        | _ -> QCheck.Test.fail_report "no histograms array"
+      in
+      let mine =
+        List.find_opt
+          (fun hj ->
+            Json.member "name" hj = Some (Json.Str "test.hist.report")
+            && (match Json.member "labels" hj with
+               | Some (Json.Obj [ ("event", Json.Str "roundtrip") ]) -> true
+               | _ -> false))
+          hists
+      in
+      match mine with
+      | None -> QCheck.Test.fail_report "histogram missing from report"
+      | Some hj ->
+          let count =
+            match Json.member "count" hj with
+            | Some (Json.Num c) -> int_of_float c
+            | _ -> QCheck.Test.fail_report "no count"
+          in
+          let buckets =
+            match Json.member "buckets" hj with
+            | Some (Json.Arr bs) ->
+                List.map
+                  (fun bj ->
+                    match (Json.member "le" bj, Json.member "count" bj) with
+                    | Some (Json.Num le), Some (Json.Num c) ->
+                        (le, int_of_float c)
+                    | _ -> QCheck.Test.fail_report "malformed bucket")
+                  bs
+            | _ -> QCheck.Test.fail_report "no buckets"
+          in
+          let les = List.map fst buckets in
+          count = List.length samples
+          && List.fold_left (fun acc (_, c) -> acc + c) 0 buckets = count
+          && List.sort compare les = les)
+
+(* --- rolling-window gauges ----------------------------------------------- *)
+
+let test_rolling_window () =
+  let r = Rolling.create "test.rolling.window" in
+  Rolling.reset r;
+  Alcotest.(check int) "default window" 60 (Rolling.window r);
+  Rolling.add r ~now:1000.5 2.;
+  Rolling.incr r ~now:1030.2;
+  Alcotest.(check (float 1e-9)) "both slots inside the window" 3.
+    (Rolling.total r ~now:1030.9);
+  Alcotest.(check (float 1e-9)) "rate = total / window" (3. /. 60.)
+    (Rolling.rate r ~now:1030.9);
+  (* Sliding past the first slot expires it. *)
+  Alcotest.(check (float 1e-9)) "slot at t=1000 expired at t=1061" 1.
+    (Rolling.total r ~now:1061.0);
+  (* Far future: everything expired. *)
+  Alcotest.(check (float 1e-9)) "all slots expired" 0.
+    (Rolling.total r ~now:5000.0)
+
+let test_rolling_slot_reuse () =
+  let r = Rolling.create ~window:10 "test.rolling.reuse" in
+  Rolling.reset r;
+  Alcotest.(check int) "custom window" 10 (Rolling.window r);
+  Rolling.add r ~now:2000.0 5.;
+  (* Same ring slot one full window later: the stale value must not leak
+     into the fresh second. *)
+  Rolling.add r ~now:2010.0 1.;
+  Alcotest.(check (float 1e-9)) "stale slot lazily reset on reuse" 1.
+    (Rolling.total r ~now:2010.0);
+  let s = Rolling.snapshot r ~now:2010.0 in
+  Alcotest.(check string) "snapshot name" "test.rolling.reuse" s.Rolling.r_name;
+  Alcotest.(check (float 1e-9)) "snapshot rate" 0.1 s.Rolling.r_per_second
+
+let suite =
+  [
+    Alcotest.test_case "bucket geometry" `Quick test_bucket_geometry;
+    Alcotest.test_case "index edge cases" `Quick test_index_edge_cases;
+    Alcotest.test_case "record and snapshot" `Quick test_record_snapshot;
+    Alcotest.test_case "create is idempotent" `Quick test_create_idempotent;
+    Alcotest.test_case "multi-domain shard merge" `Quick test_multi_domain_merge;
+    Alcotest.test_case "quantiles on a known distribution" `Quick
+      test_quantile_known_distribution;
+    QCheck_alcotest.to_alcotest test_merge_is_single_stream_prop;
+    QCheck_alcotest.to_alcotest test_quantile_rank_error_prop;
+    QCheck_alcotest.to_alcotest test_report_roundtrip_prop;
+    Alcotest.test_case "rolling window expiry" `Quick test_rolling_window;
+    Alcotest.test_case "rolling slot reuse" `Quick test_rolling_slot_reuse;
+  ]

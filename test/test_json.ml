@@ -86,7 +86,7 @@ let test_reads_own_report () =
       Dtr_obs.Span.with_ ~name:"inner" (fun () -> ()));
   Dtr_obs.Report.set_instance [ ("topology", Dtr_obs.Report.S "rand") ];
   let j = Json.parse_exn (Dtr_obs.Report.to_string ()) in
-  Alcotest.(check string) "schema readable" "dtr-obs-report/2"
+  Alcotest.(check string) "schema readable" "dtr-obs-report/3"
     (Json.string_member "schema" j ~default:"?");
   match Json.to_list (Option.get (Json.member "spans" j)) with
   | [ outer ] ->

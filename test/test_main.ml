@@ -22,6 +22,7 @@ let () =
       ("core.eval", Test_eval.suite);
       ("exec", Test_exec.suite);
       ("obs", Test_obs.suite);
+      ("obs.histogram", Test_histogram.suite);
       ("obs.trace", Test_trace.suite);
       ("util.json", Test_json.suite);
       ("cli", Test_cli.suite);

@@ -207,7 +207,7 @@ let test_report_json () =
       Alcotest.(check bool) (Printf.sprintf "report contains %s" needle) true
         (contains s needle))
     [
-      "\"schema\": \"dtr-obs-report/2\"";
+      "\"schema\": \"dtr-obs-report/3\"";
       "\"name\": \"phase_x\"";
       "\"name\": \"sub\"";
       "\"topology\": \"rand \\\"quoted\\\"\"";
@@ -222,6 +222,10 @@ let test_report_json () =
       "\"dropped\"";
       "\"capacity\"";
       "\"convergence\"";
+      (* /3 additions: latency histograms and rolling-window gauges are
+         always present, even when empty. *)
+      "\"histograms\"";
+      "\"rolling\"";
     ];
   Report.reset ();
   let s = Report.to_string () in

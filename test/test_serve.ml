@@ -45,8 +45,8 @@ let build_scenario ~seed ~nodes =
   in
   Scenario.make ~graph ~rd ~rt ~params:Scenario.quick_params
 
-let make_daemon ?(cache_capacity = 16) ~scenario ~incumbent ~critical ~seed
-    ~exec () =
+let make_daemon ?(cache_capacity = 16) ?metrics ~scenario ~incumbent ~critical
+    ~seed ~exec () =
   Daemon.create
     {
       Daemon.scenario;
@@ -56,6 +56,7 @@ let make_daemon ?(cache_capacity = 16) ~scenario ~incumbent ~critical ~seed
       seed;
       exec;
       cache_capacity;
+      metrics;
     }
 
 (* Feed one request line and fail the test on an error envelope. *)
@@ -426,6 +427,173 @@ let test_daemon_error_envelopes () =
   let _, continue = Daemon.handle_line d {|{"id": 6, "event": "shutdown"}|} in
   Alcotest.(check bool) "shutdown stops the loop" false continue
 
+(* --- telemetry ------------------------------------------------------------ *)
+
+let telemetry_events =
+  [
+    {|{"id": 1, "event": "eval"}|};
+    {|{"id": 2, "event": "tm_update", "model": "gaussian", "eps": 0.1}|};
+    {|{"id": 3, "event": "eval", "failure": {"arc": 1}}|};
+    {|{"id": 4, "event": "eval", "failure": {"arc": 1}}|};
+    {|{"id": 5, "event": "link_down", "arc": 2}|};
+    {|{"id": 6, "event": "eval"}|};
+    {|{"id": 7, "event": "link_up", "arc": 2}|};
+    {|{"id": 8, "event": "reoptimize", "mode": "warm", "max_sweeps": 2, "max_rounds": 1}|};
+  ]
+
+(* The metrics request returns a complete OpenMetrics exposition inline,
+   and the exposition passes the same validator CI runs (well-formed
+   families, cumulative buckets, +Inf = _count). *)
+let test_metrics_request () =
+  let seed = 31 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let d =
+    make_daemon ~scenario
+      ~incumbent:(Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1)
+      ~critical:[] ~seed ~exec:(Exec.of_jobs 1) ()
+  in
+  List.iter (fun l -> ignore (ok_line d l)) telemetry_events;
+  let j = ok_line d {|{"id": 9, "event": "metrics"}|} in
+  let exposition =
+    match Json.member "result" j with
+    | Some r -> (
+        match Json.member "exposition" r with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.fail "metrics result carries no exposition string")
+    | None -> Alcotest.fail "metrics response has no result"
+  in
+  let contains needle =
+    let nn = String.length needle and hn = String.length exposition in
+    let rec go i =
+      i + nn <= hn && (String.sub exposition i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition contains " ^ needle) true
+        (contains needle))
+    [
+      "# TYPE dtr_serve_events counter";
+      "# TYPE dtr_serve_latency_seconds histogram";
+      {|dtr_serve_latency_seconds_bucket{event="eval",le="+Inf"}|};
+      "# TYPE dtr_serve_cache_ops counter";
+      "dtr_serve_events_per_second";
+      "# EOF";
+    ];
+  match Dtr_cli.Trace_cmd.metrics_check exposition with
+  | Error e -> Alcotest.failf "exposition fails metrics-check: %s" e
+  | Ok r ->
+      Alcotest.(check int) "one snapshot" 1 r.Dtr_cli.Trace_cmd.m_snapshots;
+      Alcotest.(check (list string)) "no violations" []
+        r.Dtr_cli.Trace_cmd.m_violations
+
+(* stats now carries the rolling-rate denominators: cache lookups, hit rate,
+   occupancy, warm_evals and the rolling window block. *)
+let test_stats_telemetry_fields () =
+  let seed = 32 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let d =
+    make_daemon ~scenario
+      ~incumbent:(Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1)
+      ~critical:[] ~seed ~exec:(Exec.of_jobs 1) ()
+  in
+  ignore (ok_line d {|{"id": 1, "event": "eval"}|});
+  ignore (ok_line d {|{"id": 2, "event": "eval"}|});
+  let j = ok_line d {|{"id": 3, "event": "stats"}|} in
+  let result = Option.get (Json.member "result" j) in
+  let cache = Option.get (Json.member "cache" result) in
+  (match Json.member "lookups" cache with
+  | Some (Json.Num n) ->
+      Alcotest.(check bool) "lookups counted" true (n >= 2.)
+  | _ -> Alcotest.fail "cache.lookups missing");
+  (match Json.member "hit_rate" cache with
+  | Some (Json.Num r) ->
+      Alcotest.(check bool) "hit_rate in [0,1]" true (r >= 0. && r <= 1.)
+  | _ -> Alcotest.fail "cache.hit_rate missing");
+  (match Json.member "occupancy" cache with
+  | Some (Json.Num r) ->
+      Alcotest.(check bool) "occupancy in [0,1]" true (r >= 0. && r <= 1.)
+  | _ -> Alcotest.fail "cache.occupancy missing");
+  (match Json.member "evictions" cache with
+  | Some (Json.Num _) -> ()
+  | _ -> Alcotest.fail "cache.evictions missing");
+  (match Json.member "pruning" result with
+  | Some p -> (
+      match Json.member "warm_evals" p with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "pruning.warm_evals missing")
+  | None -> Alcotest.fail "pruning missing");
+  match Json.member "rolling" result with
+  | Some r ->
+      List.iter
+        (fun k ->
+          match Json.member k r with
+          | Some (Json.Num _) -> ()
+          | _ -> Alcotest.failf "rolling.%s missing" k)
+        [ "window_seconds"; "events_per_second"; "cache_hit_rate"; "abort_rate" ]
+  | None -> Alcotest.fail "rolling missing"
+
+(* The PR-4 invariant extended to the new telemetry: a daemon with the
+   OpenMetrics sink dumping after every event and the JSONL log attached
+   answers a fixed-seed event stream identically to an uninstrumented
+   daemon — same responses (wall-clock fields excepted), same incumbent —
+   and two instrumented runs agree with each other. *)
+let test_telemetry_never_perturbs () =
+  let seed = 33 in
+  let scenario = build_scenario ~seed ~nodes:8 in
+  let wallclock = [ "seconds"; "phase1_seconds"; "phase2_seconds" ] in
+  let run ~instrumented =
+    let log_file =
+      if instrumented then Some (Filename.temp_file "dtr_test_serve" ".jsonl")
+      else None
+    in
+    Dtr_obs.Log.set_path log_file;
+    let metrics =
+      if instrumented then
+        Some { Daemon.write = (fun (_ : string) -> ()); every = 1 }
+      else None
+    in
+    let d =
+      make_daemon ?metrics ~scenario
+        ~incumbent:(Weights.create ~num_arcs:(Scenario.num_arcs scenario) ~init:1)
+        ~critical:[] ~seed ~exec:(Exec.of_jobs 1) ()
+    in
+    let responses =
+      List.map
+        (fun line ->
+          let j = ok_line d line in
+          let rec strip = function
+            | Json.Obj fields ->
+                Json.Obj
+                  (List.filter_map
+                     (fun (k, v) ->
+                       if List.mem k wallclock then None else Some (k, strip v))
+                     fields)
+            | Json.Arr xs -> Json.Arr (List.map strip xs)
+            | other -> other
+          in
+          Json.to_string (strip j))
+        telemetry_events
+    in
+    Dtr_obs.Log.set_path None;
+    Option.iter Sys.remove log_file;
+    (responses, Daemon.incumbent d)
+  in
+  let off_resp, off_w = run ~instrumented:false in
+  let on_resp, on_w = run ~instrumented:true in
+  let on2_resp, on2_w = run ~instrumented:true in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "event %d response identical on/off" (i + 1))
+        a b)
+    (List.combine off_resp on_resp);
+  Alcotest.(check bool) "incumbent identical on/off" true
+    (Weights.equal off_w on_w);
+  Alcotest.(check bool) "two instrumented runs agree" true
+    (Weights.equal on_w on2_w && on_resp = on2_resp)
+
 let suite =
   [
     Alcotest.test_case "warm-vs-cold identity (jobs 1 and 2)" `Slow
@@ -444,4 +612,10 @@ let suite =
       test_protocol_envelopes;
     Alcotest.test_case "daemon: error envelopes, shutdown" `Quick
       test_daemon_error_envelopes;
+    Alcotest.test_case "metrics request: inline OpenMetrics exposition" `Quick
+      test_metrics_request;
+    Alcotest.test_case "stats: cache and rolling telemetry fields" `Quick
+      test_stats_telemetry_fields;
+    Alcotest.test_case "telemetry never perturbs (fixed-seed identity)" `Quick
+      test_telemetry_never_perturbs;
   ]
